@@ -1,0 +1,17 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.sim import GPUSimulator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return GPUSimulator()

@@ -1,0 +1,25 @@
+"""Figure 12: approximate KL divergence and policy entropy over training."""
+
+import numpy as np
+
+from repro.bench.experiments import figure12_training_stats
+
+
+def test_figure12_training_stats(benchmark, simulator):
+    stats = benchmark.pedantic(
+        lambda: figure12_training_stats(
+            "mmLeakyReLu", scale="test", train_timesteps=128, episode_length=16, simulator=simulator
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    kl = [value for _, value in stats["kl"]]
+    entropy = [value for _, value in stats["entropy"]]
+    print("\nFigure 12 — training time series")
+    print("  approx KL per update:  ", [round(v, 5) for v in kl])
+    print("  policy entropy/update: ", [round(v, 4) for v in entropy])
+    assert len(kl) >= 2 and len(entropy) >= 2
+    # Entropy decreases (the policy becomes more certain) as training proceeds.
+    assert entropy[-1] <= entropy[0] + 1e-6
+    # KL stays small and finite (the clipped objective keeps updates close).
+    assert all(np.isfinite(kl)) and max(kl) < 1.0

@@ -1,0 +1,46 @@
+"""Figure 6 and the §5.3 headline: kernel throughput of CuAsmRL vs Triton vs baselines.
+
+The paper reports 2%-26% per-kernel speedups over Triton and a geometric mean
+of 1.09x.  On the simulator the reproduction checks the *shape*: CuAsmRL never
+loses to Triton, at least some kernels improve measurably, the geometric mean
+is above 1, and the untuned Cutlass default configuration is far slower.
+"""
+
+from repro.bench.experiments import (
+    EVALUATED_KERNELS,
+    figure6_summary,
+    figure6_throughput,
+    format_table,
+)
+
+
+def test_figure6_throughput(benchmark, simulator):
+    rows = benchmark.pedantic(
+        lambda: figure6_throughput(
+            EVALUATED_KERNELS,
+            scale="test",
+            train_timesteps=96,
+            episode_length=16,
+            simulator=simulator,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    summary = figure6_summary(rows)
+    print("\nFigure 6 — normalized kernel throughput (Triton = 1.0)")
+    print(format_table([row.as_dict() for row in rows]))
+    print(
+        f"\n§5.3 headline: geomean speedup {summary['geomean_speedup']:.3f}x, "
+        f"max {summary['max_speedup']:.3f}x (paper: 1.09x geomean, up to 1.26x)"
+    )
+    # CuAsmRL never regresses vs the -O3 schedule it starts from.
+    assert all(row.cuasmrl >= 0.999 for row in rows)
+    # At least some kernels see a real improvement and the geomean is > 1.
+    assert summary["max_speedup"] > 1.01
+    assert summary["geomean_speedup"] > 1.0
+    # The untuned Cutlass default configuration is clearly slower than the
+    # autotuned Triton build.  (The paper's ~10x gap appears at paper-scale
+    # shapes where the tiny default tiles leave the tensor cores starved; at
+    # the reduced test shapes the gap is smaller but the ordering holds.)
+    cutlass = [row.cutlass for row in rows if row.cutlass is not None]
+    assert cutlass and all(value < 0.95 for value in cutlass)

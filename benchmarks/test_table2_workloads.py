@@ -1,0 +1,13 @@
+"""Table 2: the evaluated kernels and their configurations."""
+
+from repro.bench.experiments import EVALUATED_KERNELS, format_table, table2_workloads
+
+
+def test_table2_workloads(benchmark):
+    rows = benchmark.pedantic(lambda: table2_workloads(scale="paper"), rounds=1, iterations=1)
+    print("\nTable 2 — evaluated kernels (paper-scale configurations)")
+    print(format_table(rows))
+    assert {row["kernel"] for row in rows} == set(EVALUATED_KERNELS)
+    compute = [r for r in rows if r["bound"] == "compute"]
+    memory = [r for r in rows if r["bound"] == "memory"]
+    assert len(compute) == 4 and len(memory) == 2

@@ -1,0 +1,13 @@
+"""Pytest root conftest.
+
+Makes the test and benchmark suites runnable straight from a source checkout
+(``pytest tests/``) even when the package has not been pip-installed, by
+putting ``src/`` on ``sys.path`` ahead of site-packages.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Inspect the compilation pipeline: tile IR, PTX-like listing and the -O3 SASS.
+
+Reproduces the §5.6 comparison (Listing 8 vs Listing 9): the cp.async the
+kernel author can see at the PTX level versus the LDGSTS instructions that
+``ptxas`` interleaves with IMAD address arithmetic in the SASS schedule —
+the level CuAsmRL optimizes.
+
+Run with:  python examples/inspect_sass_pipeline.py
+"""
+
+from repro.analysis import run_pre_game_analysis
+from repro.triton import compile_spec, get_spec, render_ptx
+
+
+def main() -> None:
+    compiled = compile_spec(get_spec("mmLeakyReLu"), scale="test")
+
+    print("=" * 70)
+    print("Tile IR (what the kernel author writes against)")
+    print("=" * 70)
+    print("\n".join(compiled.program.render().splitlines()[:25]))
+
+    print("\n" + "=" * 70)
+    print("PTX-like listing (Listing 8 level: cp.async visible, no schedule)")
+    print("=" * 70)
+    ptx = render_ptx(compiled.program).splitlines()
+    async_lines = [line for line in ptx if "cp.async" in line][:5]
+    print("\n".join(ptx[:12] + ["    ..."] + async_lines))
+
+    print("\n" + "=" * 70)
+    print("-O3 SASS schedule (Listing 9 level: LDGSTS + control codes)")
+    print("=" * 70)
+    sass = compiled.kernel.render().splitlines()
+    interesting = [line for line in sass if any(op in line for op in ("LDGSTS", "IMAD", "HMMA", "BAR"))]
+    print("\n".join(interesting[:20]))
+
+    print("\n" + "=" * 70)
+    print("Pre-game static analysis summary (§3.2)")
+    print("=" * 70)
+    analysis = run_pre_game_analysis(compiled.kernel)
+    for key, value in analysis.summary().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that editable
+installs work on environments whose setuptools predates PEP 660 editable-wheel
+support (no ``wheel`` package required).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Pre-game static analysis passes (§3.2 of the paper).
+
+Before the assembly game starts, CuAsmRL runs several analysis passes over
+the disassembled SASS listing:
+
+* basic-block / control-flow structure (instructions are never reordered
+  across labels or synchronization instructions);
+* register def-use chains within blocks;
+* stall-count resolution for every memory instruction that consumes the
+  output of a fixed-latency instruction — resolved from the built-in table,
+  inferred from the original (always-valid) schedule, or deny-listed;
+* the operand/memory tables used by the state embedding.
+"""
+
+from repro.analysis.cfg import BasicBlock, ControlFlowInfo, build_cfg
+from repro.analysis.defuse import DefUseChains, RegisterAccess, build_def_use
+from repro.analysis.memory_table import EmbeddingTables, build_embedding_tables
+from repro.analysis.passes import PreGameAnalysis, run_pre_game_analysis
+from repro.analysis.stall_inference import (
+    Resolution,
+    StallDependence,
+    StallInferenceResult,
+    infer_stall_counts,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowInfo",
+    "build_cfg",
+    "DefUseChains",
+    "RegisterAccess",
+    "build_def_use",
+    "EmbeddingTables",
+    "build_embedding_tables",
+    "Resolution",
+    "StallDependence",
+    "StallInferenceResult",
+    "infer_stall_counts",
+    "PreGameAnalysis",
+    "run_pre_game_analysis",
+]

@@ -1,0 +1,131 @@
+"""Basic-block and control-flow structure of a SASS kernel.
+
+The assembly game restricts reordering to within a basic block (§3.5): no
+instruction may move across a label or across a barrier / synchronization /
+control-flow instruction.  This pass computes those block boundaries once and
+provides lookups used by the action-space builder and the masking logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import SassKernel
+from repro.sass.operands import LabelOperand
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A half-open listing-index range ``[start, end)`` of reorderable lines.
+
+    ``start``/``end`` index into ``kernel.lines``; the block never contains a
+    label, and any synchronizing instruction is the last line of its block.
+    """
+
+    index: int
+    start: int
+    end: int
+
+    def __contains__(self, line_index: int) -> bool:
+        return self.start <= line_index < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ControlFlowInfo:
+    """Result of :func:`build_cfg`."""
+
+    blocks: list[BasicBlock]
+    #: Listing index -> block index (labels map to -1).
+    block_of_line: dict[int, int]
+    #: Label name -> listing index.
+    label_positions: dict[str, int]
+    #: Successor block indices per block (best-effort from branch targets).
+    successors: dict[int, list[int]] = field(default_factory=dict)
+
+    def block_of(self, line_index: int) -> BasicBlock | None:
+        block_index = self.block_of_line.get(line_index, -1)
+        if block_index < 0:
+            return None
+        return self.blocks[block_index]
+
+    def same_block(self, index_a: int, index_b: int) -> bool:
+        block_a = self.block_of_line.get(index_a, -1)
+        block_b = self.block_of_line.get(index_b, -2)
+        return block_a >= 0 and block_a == block_b
+
+
+def build_cfg(kernel: SassKernel) -> ControlFlowInfo:
+    """Compute basic blocks and (best-effort) successors for ``kernel``."""
+    blocks: list[BasicBlock] = []
+    block_of_line: dict[int, int] = {}
+    label_positions: dict[str, int] = {}
+
+    start = 0
+    for i, line in enumerate(kernel.lines):
+        if isinstance(line, Label):
+            label_positions[line.name] = i
+            if i > start:
+                blocks.append(BasicBlock(len(blocks), start, i))
+            start = i + 1
+        elif isinstance(line, Instruction) and line.is_sync:
+            blocks.append(BasicBlock(len(blocks), start, i + 1))
+            start = i + 1
+    if start < len(kernel.lines):
+        blocks.append(BasicBlock(len(blocks), start, len(kernel.lines)))
+    blocks = [b for b in blocks if b.size > 0]
+    # Re-number after filtering empties.
+    blocks = [BasicBlock(idx, b.start, b.end) for idx, b in enumerate(blocks)]
+
+    for block in blocks:
+        for line_index in range(block.start, block.end):
+            if isinstance(kernel.lines[line_index], Instruction):
+                block_of_line[line_index] = block.index
+
+    successors = _compute_successors(kernel, blocks, label_positions, block_of_line)
+    return ControlFlowInfo(
+        blocks=blocks,
+        block_of_line=block_of_line,
+        label_positions=label_positions,
+        successors=successors,
+    )
+
+
+def _compute_successors(
+    kernel: SassKernel,
+    blocks: list[BasicBlock],
+    label_positions: dict[str, int],
+    block_of_line: dict[int, int],
+) -> dict[int, list[int]]:
+    def block_starting_at(line_index: int) -> int | None:
+        for block in blocks:
+            if block.start >= line_index:
+                return block.index
+        return None
+
+    successors: dict[int, list[int]] = {b.index: [] for b in blocks}
+    for block in blocks:
+        last = kernel.lines[block.end - 1]
+        targets: list[int] = []
+        falls_through = True
+        if isinstance(last, Instruction):
+            base = last.base_opcode
+            if base in {"BRA", "BRX", "JMP"}:
+                for op in last.operands:
+                    if isinstance(op, LabelOperand) and op.name in label_positions:
+                        target_block = block_starting_at(label_positions[op.name])
+                        if target_block is not None:
+                            targets.append(target_block)
+                # An unconditional branch (no guard predicate) does not fall through.
+                if last.predicate is None:
+                    falls_through = False
+            elif base in {"EXIT", "RET"} and last.predicate is None:
+                falls_through = False
+        if falls_through and block.index + 1 < len(blocks):
+            targets.append(block.index + 1)
+        successors[block.index] = sorted(set(targets))
+    return successors

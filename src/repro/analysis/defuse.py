@@ -1,0 +1,112 @@
+"""Register def-use chains within basic blocks.
+
+Action masking needs to know, for every instruction, which preceding
+instruction last assigned each of its source registers (§3.5 "Register
+dependencies") and which following instructions consume its destinations.
+The analysis is intentionally block-local — the game never moves across
+blocks, so cross-block dependencies are irrelevant to masking (they are what
+puts instructions on the denylist in :mod:`repro.analysis.stall_inference`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import ControlFlowInfo, build_cfg
+from repro.sass.instruction import Instruction
+from repro.sass.kernel import SassKernel
+
+
+@dataclass(frozen=True)
+class RegisterAccess:
+    """One register access: which line touched which register and how."""
+
+    line_index: int
+    register: int
+    is_write: bool
+
+
+@dataclass
+class DefUseChains:
+    """Def-use information for one kernel.
+
+    Attributes
+    ----------
+    reaching_def:
+        ``(line_index, register) -> line_index of the block-local definition``
+        that reaches this use, or ``None`` recorded as absent when the value
+        is defined outside the block (live-in).
+    uses_of:
+        ``line_index -> set of line indices`` that use any register defined by
+        that line (block-local).
+    live_in_uses:
+        Line indices that use at least one register not defined earlier in
+        their own block.
+    """
+
+    reaching_def: dict[tuple[int, int], int] = field(default_factory=dict)
+    uses_of: dict[int, set[int]] = field(default_factory=dict)
+    live_in_uses: set[int] = field(default_factory=set)
+
+    def definition_of(self, line_index: int, register: int) -> int | None:
+        return self.reaching_def.get((line_index, register))
+
+    def is_user(self, def_index: int, use_index: int) -> bool:
+        """Whether ``use_index`` consumes a register defined at ``def_index``."""
+        return use_index in self.uses_of.get(def_index, set())
+
+
+def build_def_use(kernel: SassKernel, cfg: ControlFlowInfo | None = None) -> DefUseChains:
+    """Compute block-local def-use chains for ``kernel``."""
+    cfg = cfg or build_cfg(kernel)
+    chains = DefUseChains()
+
+    for block in cfg.blocks:
+        # register -> line index of the most recent definition in this block
+        last_def: dict[int, int] = {}
+        last_pred_def: dict[int, int] = {}
+        last_uniform_def: dict[int, int] = {}
+        for line_index in range(block.start, block.end):
+            line = kernel.lines[line_index]
+            if not isinstance(line, Instruction):
+                continue
+
+            used_live_in = False
+            for reg in line.read_registers():
+                def_index = last_def.get(reg)
+                if def_index is None:
+                    used_live_in = True
+                else:
+                    chains.reaching_def[(line_index, reg)] = def_index
+                    chains.uses_of.setdefault(def_index, set()).add(line_index)
+            for pred in line.read_predicates():
+                def_index = last_pred_def.get(pred)
+                if def_index is not None:
+                    chains.uses_of.setdefault(def_index, set()).add(line_index)
+            for ureg in line.read_uniform_registers():
+                def_index = last_uniform_def.get(ureg)
+                if def_index is not None:
+                    chains.uses_of.setdefault(def_index, set()).add(line_index)
+            if used_live_in:
+                chains.live_in_uses.add(line_index)
+
+            for reg in line.written_registers():
+                last_def[reg] = line_index
+            for pred in line.written_predicates():
+                last_pred_def[pred] = line_index
+            for ureg in line.written_uniform_registers():
+                last_uniform_def[ureg] = line_index
+    return chains
+
+
+def register_accesses(kernel: SassKernel) -> list[RegisterAccess]:
+    """Flat list of every register read/write in listing order (for tests)."""
+    accesses: list[RegisterAccess] = []
+    for i, line in enumerate(kernel.lines):
+        if not isinstance(line, Instruction):
+            continue
+        for reg in sorted(line.read_registers()):
+            accesses.append(RegisterAccess(i, reg, is_write=False))
+        for reg in sorted(line.written_registers()):
+            accesses.append(RegisterAccess(i, reg, is_write=True))
+    return accesses

@@ -1,0 +1,102 @@
+"""Embedding preparation tables (§3.2, third analysis pass; §3.4).
+
+The state embedding converts every SASS instruction into a fixed-width
+vector.  To do that it needs, ahead of time:
+
+* a mapping from operand registers / memory locations to integer indices
+  (normalized by the table size during embedding);
+* the maximum operand count in the file, so shorter instructions can be
+  padded with ``-1``;
+* the set of memory-instruction listing indices (the opcode channel of the
+  embedding only distinguishes memory from non-memory instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sass.instruction import Instruction
+from repro.sass.kernel import SassKernel
+from repro.sass.operands import (
+    ConstantMemoryOperand,
+    ImmediateOperand,
+    MemoryOperand,
+    Operand,
+    PredicateOperand,
+    RegisterOperand,
+    SpecialRegisterOperand,
+    UniformRegisterOperand,
+)
+
+
+@dataclass
+class EmbeddingTables:
+    """Lookup tables used by :mod:`repro.core.embedding`."""
+
+    #: Operand key -> integer index.
+    operand_index: dict[str, int] = field(default_factory=dict)
+    #: Maximum number of operands of any instruction in the file.
+    max_operands: int = 0
+    #: Total number of distinct operand keys (normalization denominator).
+    @property
+    def num_operands(self) -> int:
+        return max(1, len(self.operand_index))
+
+    def index_of(self, operand: Operand) -> int:
+        """Index of an operand, adding it to the table when unseen."""
+        key = operand_key(operand)
+        if key not in self.operand_index:
+            self.operand_index[key] = len(self.operand_index)
+        return self.operand_index[key]
+
+    def lookup(self, operand: Operand) -> int | None:
+        """Index of an operand, or ``None`` when it is not in the table."""
+        return self.operand_index.get(operand_key(operand))
+
+    def normalized_index(self, operand: Operand) -> float:
+        """Index normalized to ``[0, 1)`` by the table size (§3.4)."""
+        index = self.lookup(operand)
+        if index is None:
+            return -1.0
+        return index / self.num_operands
+
+
+def operand_key(operand: Operand) -> str:
+    """A canonical string key for the operand table.
+
+    Registers are keyed by their index (ignoring ``.reuse`` / negation so the
+    same physical location always maps to the same index); memory operands by
+    their base + descriptor + offset; immediates by their value.
+    """
+    if isinstance(operand, RegisterOperand):
+        return "RZ" if operand.is_rz else f"R{operand.index}"
+    if isinstance(operand, UniformRegisterOperand):
+        return "URZ" if operand.is_urz else f"UR{operand.index}"
+    if isinstance(operand, PredicateOperand):
+        return "PT" if operand.is_pt else f"P{operand.index}"
+    if isinstance(operand, SpecialRegisterOperand):
+        return operand.name
+    if isinstance(operand, ImmediateOperand):
+        return f"IMM:{operand.value}"
+    if isinstance(operand, ConstantMemoryOperand):
+        return f"C:{operand.bank}:{operand.offset}"
+    if isinstance(operand, MemoryOperand):
+        base = operand.base.render() if operand.base is not None else ""
+        ubase = operand.uniform_base.render() if operand.uniform_base is not None else ""
+        desc = operand.descriptor.render() if operand.descriptor is not None else ""
+        return f"MEM:{desc}:{base}:{ubase}:{operand.offset}"
+    return f"OP:{operand.render()}"
+
+
+def build_embedding_tables(kernel: SassKernel) -> EmbeddingTables:
+    """Scan the kernel and build the operand table and padding width."""
+    tables = EmbeddingTables()
+    max_operands = 0
+    for line in kernel.lines:
+        if not isinstance(line, Instruction):
+            continue
+        max_operands = max(max_operands, len(line.operands))
+        for operand in line.operands:
+            tables.index_of(operand)
+    tables.max_operands = max_operands
+    return tables

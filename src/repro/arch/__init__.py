@@ -1,0 +1,22 @@
+"""GPU architecture model: Ampere/A100 parameters, latencies and register banks."""
+
+from repro.arch.ampere import A100, AmpereConfig
+from repro.arch.latency_table import (
+    STALL_COUNT_TABLE,
+    StallCountTable,
+    default_stall_table,
+    execution_latency,
+    issue_throughput,
+)
+from repro.arch.registers import RegisterBankModel
+
+__all__ = [
+    "AmpereConfig",
+    "A100",
+    "StallCountTable",
+    "STALL_COUNT_TABLE",
+    "default_stall_table",
+    "execution_latency",
+    "issue_throughput",
+    "RegisterBankModel",
+]

@@ -1,0 +1,92 @@
+"""Register-file bank model and the operand reuse cache.
+
+On Volta/Turing/Ampere the register file of each SM sub-partition is split
+into banks; an instruction that reads two operands living in the same bank in
+the same cycle suffers a *bank conflict* and stalls for an extra cycle.  The
+``.reuse`` flag tells the operand collector to keep a source operand latched
+so the next instruction can read it without touching the register file —
+MaxAs documents this as the main tool for avoiding conflicts, and §5.7.1 of
+the paper attributes the discovered HMMA/LDGSTS reordering win to keeping the
+reuse cache valid.
+
+This module gives the simulator a simple but faithful model of both effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def register_bank(reg_index: int, num_banks: int = 4) -> int:
+    """Bank assignment of a 32-bit register (Ampere: index modulo bank count)."""
+    return reg_index % num_banks
+
+
+@dataclass
+class RegisterBankModel:
+    """Tracks operand-collector state for one warp on one sub-partition.
+
+    The model answers a single question per issued instruction: *how many
+    extra cycles of operand-fetch stall does this instruction pay?*  It keeps
+    a small reuse cache keyed by register index; entries are installed by
+    ``.reuse`` flags and invalidated whenever the owning warp is switched out
+    (the hypothesis of §5.7.1) or the register is overwritten.
+    """
+
+    num_banks: int = 4
+    reuse_slots: int = 8
+    _reuse_cache: set[int] = field(default_factory=set)
+
+    def invalidate(self) -> None:
+        """Invalidate the reuse cache (warp switch or barrier)."""
+        self._reuse_cache.clear()
+
+    def invalidate_register(self, reg_index: int) -> None:
+        """Drop a register from the cache when it is overwritten."""
+        self._reuse_cache.discard(reg_index)
+
+    def cached_registers(self) -> frozenset[int]:
+        return frozenset(self._reuse_cache)
+
+    def operand_fetch_stalls(self, read_registers, reuse_registers) -> int:
+        """Extra cycles to fetch the given source registers.
+
+        Parameters
+        ----------
+        read_registers:
+            Iterable of register indices the instruction reads.
+        reuse_registers:
+            Subset of those registers flagged ``.reuse`` by the schedule.
+
+        Returns
+        -------
+        int
+            Number of extra stall cycles caused by bank conflicts, after
+            accounting for operands served from the reuse cache.
+        """
+        reads = list(dict.fromkeys(read_registers))  # stable unique
+        reuse = set(reuse_registers)
+
+        # Operands already latched in the reuse cache skip the register file.
+        fetched = [r for r in reads if r not in self._reuse_cache]
+
+        # Count same-cycle bank conflicts among the remaining fetches.
+        bank_counts: dict[int, int] = {}
+        for reg in fetched:
+            bank = register_bank(reg, self.num_banks)
+            bank_counts[bank] = bank_counts.get(bank, 0) + 1
+        conflicts = sum(count - 1 for count in bank_counts.values() if count > 1)
+
+        # Install newly flagged operands, evicting oldest-first when full.
+        for reg in reads:
+            if reg in reuse:
+                if len(self._reuse_cache) >= self.reuse_slots and reg not in self._reuse_cache:
+                    # Evict an arbitrary (but deterministic) entry.
+                    self._reuse_cache.discard(min(self._reuse_cache))
+                self._reuse_cache.add(reg)
+        return conflicts
+
+    def notify_write(self, written_registers) -> None:
+        """Invalidate cache entries clobbered by an instruction's writes."""
+        for reg in written_registers:
+            self.invalidate_register(reg)

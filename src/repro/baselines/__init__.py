@@ -1,0 +1,18 @@
+"""Baselines: alternative schedulers (§7) and vendor reference implementations (§5.1)."""
+
+from repro.baselines.search import (
+    ScheduleSearchResult,
+    evolutionary_search,
+    greedy_search,
+    random_search,
+)
+from repro.baselines.vendor import VendorBaselines, VendorTimings
+
+__all__ = [
+    "ScheduleSearchResult",
+    "random_search",
+    "greedy_search",
+    "evolutionary_search",
+    "VendorBaselines",
+    "VendorTimings",
+]

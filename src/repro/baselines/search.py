@@ -1,0 +1,202 @@
+"""Search-based schedule optimizers (discussed as alternatives in §7).
+
+The paper's reordering formulation also admits training-free search
+algorithms: random search, greedy hill-climbing and a simple evolutionary
+strategy.  They reuse the same action space, masking and reward machinery as
+the RL agent so the comparison is apples-to-apples — and they serve as
+ablation baselines for the RL choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.env import AssemblyGame
+from repro.sass.kernel import SassKernel
+from repro.sim.gpu import GPUSimulator
+from repro.triton.compiler import CompiledKernel
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class ScheduleSearchResult:
+    """Outcome of a search-based optimization run."""
+
+    method: str
+    baseline_time_ms: float
+    best_time_ms: float
+    best_kernel: SassKernel
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_time_ms / self.best_time_ms if self.best_time_ms else 1.0
+
+
+def _make_env(compiled: CompiledKernel, simulator: GPUSimulator | None, episode_length: int) -> AssemblyGame:
+    return AssemblyGame(compiled, simulator or GPUSimulator(), episode_length=episode_length)
+
+
+def random_search(
+    compiled: CompiledKernel,
+    *,
+    budget: int = 64,
+    episode_length: int = 32,
+    simulator: GPUSimulator | None = None,
+    seed: int = 0,
+) -> ScheduleSearchResult:
+    """Uniform random valid moves until the evaluation budget is exhausted."""
+    env = _make_env(compiled, simulator, episode_length)
+    rng = as_rng(seed)
+    env.reset()
+    evaluations = 0
+    history = []
+    while evaluations < budget:
+        mask = env.action_masks()
+        valid = np.flatnonzero(mask)
+        if len(valid) == 0:
+            # A freshly reset schedule with no legal move: nothing to search.
+            if not history:
+                break
+            env.reset()
+            continue
+        action = int(rng.choice(valid))
+        _, _, terminated, truncated, info = env.step(action)
+        evaluations += 1
+        history.append(info.get("time_ms", env.best_time_ms))
+        if terminated or truncated:
+            env.reset()
+    return ScheduleSearchResult(
+        method="random",
+        baseline_time_ms=env.baseline_time_ms,
+        best_time_ms=env.best_time_ms,
+        best_kernel=env.best_kernel,
+        evaluations=evaluations,
+        history=history,
+    )
+
+
+def greedy_search(
+    compiled: CompiledKernel,
+    *,
+    budget: int = 128,
+    episode_length: int = 64,
+    simulator: GPUSimulator | None = None,
+) -> ScheduleSearchResult:
+    """Greedy hill-climbing: at every step take the single move that improves
+    the runtime the most; stop when no move improves or the budget runs out.
+
+    This also serves as the stand-in for expert hand-scheduling (the vendor
+    reference implementations) in the Figure 6 harness.
+    """
+    env = _make_env(compiled, simulator, episode_length)
+    env.reset()
+    evaluations = 0
+    history = []
+    improved = True
+    while improved and evaluations < budget:
+        improved = False
+        mask = env.action_masks()
+        valid = list(np.flatnonzero(mask))
+        if not valid:
+            break
+        base_kernel = env.current_kernel
+        base_time = env._previous_time_ms
+        best_action = None
+        best_time = base_time
+        for action in valid:
+            if evaluations >= budget:
+                break
+            source, destination = env.action_space_map.target_indices(base_kernel, action)
+            candidate = base_kernel.swap(source, destination)
+            time_ms = env._measure(candidate)
+            evaluations += 1
+            history.append(time_ms)
+            if time_ms < best_time - 1e-12:
+                best_time = time_ms
+                best_action = action
+        if best_action is not None:
+            env.step(int(best_action))
+            improved = True
+    return ScheduleSearchResult(
+        method="greedy",
+        baseline_time_ms=env.baseline_time_ms,
+        best_time_ms=env.best_time_ms,
+        best_kernel=env.best_kernel,
+        evaluations=evaluations,
+        history=history,
+    )
+
+
+def evolutionary_search(
+    compiled: CompiledKernel,
+    *,
+    population: int = 8,
+    generations: int = 4,
+    moves_per_individual: int = 8,
+    episode_length: int = 64,
+    simulator: GPUSimulator | None = None,
+    seed: int = 0,
+) -> ScheduleSearchResult:
+    """(mu + lambda)-style evolutionary search over move sequences (§7).
+
+    Individuals are sequences of valid moves applied from the -O3 schedule;
+    mutation appends/perturbs moves.  As the paper notes, the approach needs
+    no training but is prone to local minima.
+    """
+    env = _make_env(compiled, simulator, episode_length)
+    rng = as_rng(seed)
+    evaluations = 0
+    history: list[float] = []
+
+    def evaluate(sequence: list[int]) -> float:
+        nonlocal evaluations
+        env.reset()
+        last_time = env.baseline_time_ms
+        for action in sequence:
+            mask = env.action_masks()
+            if not mask[action % len(mask)]:
+                valid = np.flatnonzero(mask)
+                if len(valid) == 0:
+                    break
+                action = int(valid[action % len(valid)])
+            else:
+                action = action % len(mask)
+            _, _, terminated, truncated, info = env.step(action)
+            evaluations += 1
+            last_time = info.get("time_ms", last_time)
+            if terminated or truncated:
+                break
+        history.append(last_time)
+        return last_time
+
+    genome_space = max(env.action_space.n, 1)
+    populace = [
+        [int(rng.integers(0, genome_space)) for _ in range(moves_per_individual)]
+        for _ in range(population)
+    ]
+    scored = [(evaluate(individual), individual) for individual in populace]
+    for _ in range(generations):
+        scored.sort(key=lambda item: item[0])
+        parents = [individual for _, individual in scored[: max(2, population // 2)]]
+        children = []
+        while len(children) < population - len(parents):
+            parent = parents[int(rng.integers(0, len(parents)))]
+            child = list(parent)
+            index = int(rng.integers(0, len(child)))
+            child[index] = int(rng.integers(0, genome_space))
+            children.append(child)
+        populace = parents + children
+        scored = [(evaluate(individual), individual) for individual in populace]
+
+    return ScheduleSearchResult(
+        method="evolutionary",
+        baseline_time_ms=env.baseline_time_ms,
+        best_time_ms=env.best_time_ms,
+        best_kernel=env.best_kernel,
+        evaluations=evaluations,
+        history=history,
+    )

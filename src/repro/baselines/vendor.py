@@ -1,0 +1,95 @@
+"""Vendor reference baselines used in Figure 6 of the paper.
+
+The paper compares against PyTorch-eager (CuBLAS), FlashAttention-2 and
+Cutlass.  None of those proprietary / CUDA artifacts can run offline, so each
+baseline is replaced by a simulated equivalent that exercises the same
+distinguishing behaviour (documented in DESIGN.md):
+
+* **Torch / CuBLAS / FlashAttention-2 reference** — for the compute-bound
+  kernels these are expert hand-optimized schedules; they are modelled by
+  running greedy hill-climbing schedule search (the automated analogue of
+  expert trial-and-error scheduling) on the autotuned kernel.  For the
+  memory-bound kernels Torch composes *unfused* eager operations, which is
+  modelled by measuring the kernel split into separate passes over global
+  memory (one extra read+write round-trip), matching why Triton's fusion wins.
+* **Cutlass (default configuration)** — the fused GEMM compiled with a
+  deliberately untuned default tile configuration, reproducing the ~10x gap
+  the paper observes when no autotuner is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.search import greedy_search
+from repro.errors import CompilerError
+from repro.sim.gpu import GPUSimulator
+from repro.triton.compiler import CompiledKernel, compile_spec
+from repro.triton.spec import KernelSpec
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("baselines.vendor")
+
+#: The deliberately poor "default" Cutlass-like configuration (no autotuning).
+CUTLASS_DEFAULT_CONFIG = {"BLOCK_M": 16, "BLOCK_N": 16, "BLOCK_K": 16, "num_warps": 1}
+
+
+@dataclass
+class VendorTimings:
+    """Reference timings for one workload (milliseconds)."""
+
+    kernel: str
+    torch_ms: float | None = None
+    reference_ms: float | None = None  # CuBLAS / flash-attention-2 equivalent
+    cutlass_ms: float | None = None
+
+
+class VendorBaselines:
+    """Builds and measures the simulated vendor baselines."""
+
+    def __init__(self, simulator: GPUSimulator | None = None, *, search_budget: int = 48):
+        self.simulator = simulator or GPUSimulator()
+        self.search_budget = search_budget
+
+    # ------------------------------------------------------------------
+    def expert_schedule_ms(self, compiled: CompiledKernel) -> float:
+        """Expert hand-scheduled reference (CuBLAS / flash-attention analogue)."""
+        result = greedy_search(compiled, budget=self.search_budget, simulator=self.simulator)
+        return result.best_time_ms
+
+    def unfused_ms(self, compiled: CompiledKernel) -> float:
+        """Torch-eager analogue for memory-bound kernels: unfused passes.
+
+        Composing eager ops materialises intermediates in global memory; the
+        simulated cost is the fused kernel plus one additional full read and
+        write of the tensor (the intermediate round-trip).
+        """
+        timing = compiled.measure(self.simulator)
+        stats = timing.timing.memory_stats
+        tensor_bytes = max(stats.global_load_bytes, stats.global_store_bytes, 1)
+        extra_cycles = 2 * tensor_bytes / self.simulator.config.memory.dram_bytes_per_cycle_per_sm
+        extra_ms = self.simulator.config.cycles_to_ms(extra_cycles * timing.waves)
+        launch_overhead_ms = 0.005  # an extra kernel launch per unfused op
+        return timing.time_ms + extra_ms + launch_overhead_ms
+
+    def cutlass_default_ms(self, spec: KernelSpec, shapes: dict) -> float | None:
+        """Cutlass with its default (untuned) configuration."""
+        try:
+            compiled = compile_spec(spec, shapes=shapes, config=CUTLASS_DEFAULT_CONFIG)
+        except CompilerError as exc:
+            _LOG.debug("cutlass default config invalid for %s: %s", spec.name, exc)
+            return None
+        return compiled.measure(self.simulator).time_ms
+
+    # ------------------------------------------------------------------
+    def timings_for(self, spec: KernelSpec, compiled: CompiledKernel) -> VendorTimings:
+        """All applicable vendor baselines for one workload."""
+        timings = VendorTimings(kernel=spec.name)
+        if spec.compute_bound:
+            timings.reference_ms = self.expert_schedule_ms(compiled)
+            timings.torch_ms = timings.reference_ms
+            if spec.name == "mmLeakyReLu":
+                timings.cutlass_ms = self.cutlass_default_ms(spec, compiled.shapes)
+        else:
+            timings.torch_ms = self.unfused_ms(compiled)
+        return timings

@@ -1,0 +1,29 @@
+"""Experiment harness regenerating every table and figure of the paper's evaluation."""
+
+from repro.bench.experiments import (
+    Figure6Row,
+    figure6_throughput,
+    figure7_stall_resolution,
+    figure8_hyperparameter_sweep,
+    figure9_13_optimization_moves,
+    figure10_11_memory_chart,
+    figure12_training_stats,
+    format_table,
+    table1_stall_counts,
+    table2_workloads,
+    table3_workload_analysis,
+)
+
+__all__ = [
+    "Figure6Row",
+    "figure6_throughput",
+    "figure7_stall_resolution",
+    "figure8_hyperparameter_sweep",
+    "figure9_13_optimization_moves",
+    "figure10_11_memory_chart",
+    "figure12_training_stats",
+    "table1_stall_counts",
+    "table2_workloads",
+    "table3_workload_analysis",
+    "format_table",
+]

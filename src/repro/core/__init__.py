@@ -1,0 +1,30 @@
+"""CuAsmRL core: the assembly game, trainer, optimizer and jit integration."""
+
+from repro.core.actions import ActionSpace, Direction, ReorderAction
+from repro.core.embedding import StateEmbedder
+from repro.core.env import AssemblyGame, EpisodeRecord
+from repro.core.jit import CacheEntry, CubinCache, JitKernel, cache_key, jit
+from repro.core.masking import ActionMasker, check_stall_after_hoist
+from repro.core.optimizer import CuAsmRLOptimizer, OptimizedKernel
+from repro.core.trainer import CuAsmRLTrainer, OptimizationMove, OptimizationResult
+
+__all__ = [
+    "StateEmbedder",
+    "ActionSpace",
+    "Direction",
+    "ReorderAction",
+    "ActionMasker",
+    "check_stall_after_hoist",
+    "AssemblyGame",
+    "EpisodeRecord",
+    "CuAsmRLTrainer",
+    "OptimizationResult",
+    "OptimizationMove",
+    "CuAsmRLOptimizer",
+    "OptimizedKernel",
+    "jit",
+    "JitKernel",
+    "CubinCache",
+    "CacheEntry",
+    "cache_key",
+]

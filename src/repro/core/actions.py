@@ -1,0 +1,78 @@
+"""Action space of the assembly game (§3.5).
+
+The agent picks a memory load/store instruction and a direction; the action
+swaps that instruction with its neighbour above or below.  Actions are
+indexed ``candidate * 2 + direction`` where direction 0 moves the
+instruction up and 1 moves it down.  Candidates are the actionable memory
+instructions that survived the denylist, tracked by object identity so the
+mapping stays stable while the schedule mutates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import EnvironmentError_
+from repro.sass.instruction import Instruction
+from repro.sass.kernel import SassKernel
+
+
+class Direction(IntEnum):
+    UP = 0
+    DOWN = 1
+
+
+@dataclass(frozen=True)
+class ReorderAction:
+    """A decoded action: which candidate moves and in which direction."""
+
+    candidate: int
+    direction: Direction
+
+    @property
+    def index(self) -> int:
+        return self.candidate * 2 + int(self.direction)
+
+
+class ActionSpace:
+    """Maps discrete action ids to reorder moves on the current schedule."""
+
+    def __init__(self, kernel: SassKernel, candidate_indices: list[int]):
+        #: The actual Instruction objects being tracked (identity-stable).
+        self._candidates: list[Instruction] = [kernel.lines[i] for i in candidate_indices]
+        for line in self._candidates:
+            if not isinstance(line, Instruction):
+                raise EnvironmentError_("candidate indices must point at instructions")
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self._candidates)
+
+    @property
+    def n(self) -> int:
+        return self.num_candidates * 2
+
+    def decode(self, action: int) -> ReorderAction:
+        if not 0 <= action < self.n:
+            raise EnvironmentError_(f"action {action} out of range (n={self.n})")
+        return ReorderAction(candidate=action // 2, direction=Direction(action % 2))
+
+    def candidate_positions(self, kernel: SassKernel) -> list[int]:
+        """Current listing index of every candidate (by object identity)."""
+        position_of = {id(line): i for i, line in enumerate(kernel.lines)}
+        positions = []
+        for candidate in self._candidates:
+            pos = position_of.get(id(candidate))
+            if pos is None:
+                raise EnvironmentError_("candidate instruction vanished from the kernel")
+            positions.append(pos)
+        return positions
+
+    def target_indices(self, kernel: SassKernel, action: int) -> tuple[int, int]:
+        """Listing indices ``(source, destination)`` for a swap."""
+        decoded = self.decode(action)
+        positions = self.candidate_positions(kernel)
+        source = positions[decoded.candidate]
+        destination = source - 1 if decoded.direction is Direction.UP else source + 1
+        return source, destination

@@ -1,0 +1,168 @@
+"""The assembly game environment (§3.3–3.6, Figure 3 of the paper).
+
+State: the embedding matrix of the current SASS schedule.  Action: pick a
+memory load/store instruction and swap it with the instruction above/below.
+Reward: the relative runtime improvement of the mutated schedule, measured by
+executing the re-assembled kernel on the (simulated) GPU:
+
+    R_i = (T_{i-1} - T_i) / T_0 * 100                         (Eq. 3)
+
+Episodes start from the ``-O3`` schedule, run for a fixed number of moves
+(32 by default) and terminate early when no valid action remains.  The best
+schedule seen across all episodes is tracked for deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.passes import PreGameAnalysis, run_pre_game_analysis
+from repro.arch.latency_table import StallCountTable
+from repro.core.actions import ActionSpace
+from repro.core.embedding import StateEmbedder
+from repro.core.masking import ActionMasker
+from repro.errors import EnvironmentError_
+from repro.rl.env_api import Box, Discrete, Env
+from repro.sass.kernel import SassKernel
+from repro.sim.gpu import GPUSimulator, MeasurementConfig
+from repro.triton.compiler import CompiledKernel
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("core.env")
+
+
+@dataclass
+class EpisodeRecord:
+    """Trace of one episode: actions taken and runtimes observed (§5.7)."""
+
+    actions: list[int] = field(default_factory=list)
+    runtimes_ms: list[float] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+    total_reward: float = 0.0
+
+
+class AssemblyGame(Env):
+    """Gym-style environment that mutates a SASS schedule and measures it."""
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        simulator: GPUSimulator | None = None,
+        *,
+        episode_length: int = 32,
+        measurement: MeasurementConfig | None = None,
+        stall_table: StallCountTable | None = None,
+        inputs: dict | None = None,
+        input_seed: int = 0,
+    ):
+        self.compiled = compiled
+        self.simulator = simulator or GPUSimulator()
+        self.episode_length = int(episode_length)
+        self.measurement = measurement or MeasurementConfig()
+        self.inputs = inputs if inputs is not None else compiled.make_inputs(input_seed)
+
+        # Pre-game static analysis on the -O3 schedule (§3.2).
+        self.initial_kernel: SassKernel = compiled.kernel
+        self.analysis: PreGameAnalysis = run_pre_game_analysis(
+            self.initial_kernel, stall_table=stall_table
+        )
+        if not self.analysis.candidate_indices:
+            raise EnvironmentError_(
+                f"kernel {self.initial_kernel.metadata.name!r} has no actionable memory instructions"
+            )
+        self.embedder = StateEmbedder(self.initial_kernel, self.analysis.embedding)
+        self.action_space_map = ActionSpace(self.initial_kernel, self.analysis.candidate_indices)
+        self.masker = ActionMasker(self.action_space_map, self.analysis.stalls)
+
+        self.observation_space = Box(self.embedder.shape)
+        self.action_space = Discrete(self.action_space_map.n)
+
+        # Baseline runtime T0 of the -O3 schedule.
+        self.baseline_time_ms = self._measure(self.initial_kernel)
+        self.best_time_ms = self.baseline_time_ms
+        self.best_kernel = self.initial_kernel
+        self.episodes: list[EpisodeRecord] = []
+
+        self._kernel = self.initial_kernel
+        self._previous_time_ms = self.baseline_time_ms
+        self._steps = 0
+        self._record = EpisodeRecord()
+
+    # ------------------------------------------------------------------
+    def _measure(self, kernel: SassKernel) -> float:
+        timing = self.simulator.measure(
+            kernel,
+            self.compiled.grid,
+            self.inputs,
+            self.compiled.param_order,
+            measurement=self.measurement,
+        )
+        return timing.time_ms
+
+    # ------------------------------------------------------------------
+    # Gym interface
+    # ------------------------------------------------------------------
+    def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, dict]:
+        self._kernel = self.initial_kernel
+        self._previous_time_ms = self.baseline_time_ms
+        self._steps = 0
+        self._record = EpisodeRecord()
+        observation = self.embedder.embed(self._kernel)
+        return observation, {"baseline_time_ms": self.baseline_time_ms}
+
+    def action_masks(self) -> np.ndarray:
+        return self.masker.mask(self._kernel)
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, bool, dict]:
+        mask = self.masker.mask(self._kernel)
+        if not mask.any():
+            # No valid action: terminate immediately (§3.5).
+            observation = self.embedder.embed(self._kernel)
+            return observation, 0.0, True, False, {"terminated_no_actions": True}
+        if not mask[action]:
+            # An invalid action should have been masked by the agent; treat it
+            # as a no-op with zero reward so training remains well defined.
+            observation = self.embedder.embed(self._kernel)
+            self._steps += 1
+            truncated = self._steps >= self.episode_length
+            return observation, 0.0, False, truncated, {"invalid_action": True}
+
+        source, destination = self.action_space_map.target_indices(self._kernel, action)
+        self._kernel = self._kernel.swap(source, destination)
+
+        time_ms = self._measure(self._kernel)
+        reward = (self._previous_time_ms - time_ms) / self.baseline_time_ms * 100.0
+        self._previous_time_ms = time_ms
+        self._steps += 1
+
+        self._record.actions.append(int(action))
+        self._record.runtimes_ms.append(time_ms)
+        self._record.rewards.append(float(reward))
+        self._record.total_reward += float(reward)
+
+        if time_ms < self.best_time_ms:
+            self.best_time_ms = time_ms
+            self.best_kernel = self._kernel
+            _LOG.debug("new best schedule: %.4f ms (baseline %.4f)", time_ms, self.baseline_time_ms)
+
+        truncated = self._steps >= self.episode_length
+        if truncated:
+            self.episodes.append(self._record)
+        observation = self.embedder.embed(self._kernel)
+        info = {
+            "time_ms": time_ms,
+            "best_time_ms": self.best_time_ms,
+            "swap": (source, destination),
+        }
+        return observation, float(reward), False, truncated, info
+
+    # ------------------------------------------------------------------
+    @property
+    def current_kernel(self) -> SassKernel:
+        return self._kernel
+
+    def best_speedup(self) -> float:
+        """Throughput speedup of the best schedule over the -O3 baseline."""
+        return self.baseline_time_ms / self.best_time_ms if self.best_time_ms > 0 else 1.0

@@ -1,0 +1,144 @@
+"""The ``@cuasmrl.jit`` integration and the offline-search / deploy-time cache (§4.1–4.2).
+
+The paper's workflow is: change one line (``@triton.jit`` → ``@cuasmrl.jit``),
+invoke the kernel once to trigger the hierarchical optimization, and at
+deployment pass ``load_dir`` so the cached optimized cubin is looked up
+instead of retrained.  This module reproduces that workflow on top of the
+mini-Triton specs: the cache key is derived from the GPU type, workload name
+and shapes, and the cached artifact is the packed cubin plus a small JSON
+metadata record.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.optimizer import CuAsmRLOptimizer, OptimizedKernel
+from repro.errors import OptimizationError
+from repro.sass.cubin import Cubin
+from repro.sass.disassembler import disassemble
+from repro.sim.gpu import GPUSimulator
+from repro.triton.compiler import CompiledKernel, compile_spec
+from repro.triton.spec import KernelSpec
+from repro.utils.logging import get_logger
+from repro.utils.serialization import from_json_file, to_json_file, to_json_str
+
+_LOG = get_logger("core.jit")
+
+
+def cache_key(gpu_name: str, kernel_name: str, shapes: dict) -> str:
+    """Cache key: GPU type + workload + shapes, as §4.2 prescribes."""
+    shape_part = "_".join(f"{k}{v}" for k, v in sorted(shapes.items()))
+    gpu_part = gpu_name.replace(" ", "-").replace("/", "-")
+    return f"{gpu_part}__{kernel_name}__{shape_part}"
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimized kernel."""
+
+    key: str
+    cubin_path: Path
+    meta_path: Path
+
+    def load_cubin(self) -> Cubin:
+        return Cubin.unpack(self.cubin_path.read_bytes())
+
+    def load_meta(self) -> dict:
+        return from_json_file(self.meta_path)
+
+
+class CubinCache:
+    """Filesystem cache of optimized cubins."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def entry(self, key: str) -> CacheEntry:
+        return CacheEntry(
+            key=key,
+            cubin_path=self.directory / f"{key}.cubin",
+            meta_path=self.directory / f"{key}.json",
+        )
+
+    def has(self, key: str) -> bool:
+        entry = self.entry(key)
+        return entry.cubin_path.exists() and entry.meta_path.exists()
+
+    def store(self, key: str, optimized: OptimizedKernel) -> CacheEntry:
+        entry = self.entry(key)
+        entry.cubin_path.write_bytes(optimized.cubin.pack())
+        to_json_file(entry.meta_path, {
+            "key": key,
+            "kernel": optimized.compiled.kernel.metadata.name,
+            "shapes": optimized.compiled.shapes,
+            "config": optimized.compiled.config,
+            "baseline_time_ms": optimized.result.baseline_time_ms,
+            "best_time_ms": optimized.result.best_time_ms,
+            "speedup": optimized.result.speedup,
+        })
+        return entry
+
+    def load(self, key: str) -> CacheEntry:
+        if not self.has(key):
+            raise OptimizationError(f"no cached cubin for key {key!r} in {self.directory}")
+        return self.entry(key)
+
+
+class JitKernel:
+    """The object returned by :func:`jit`: optimize once, deploy from cache."""
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        *,
+        ret_ptr: int | None = None,
+        cache_dir: str | Path = ".cuasmrl_cache",
+        simulator: GPUSimulator | None = None,
+        optimizer: CuAsmRLOptimizer | None = None,
+        scale: str = "bench",
+    ):
+        self.spec = spec
+        self.ret_ptr = ret_ptr
+        self.cache = CubinCache(cache_dir)
+        self.simulator = simulator or GPUSimulator()
+        self.optimizer = optimizer or CuAsmRLOptimizer(self.simulator, train_timesteps=256)
+        self.scale = scale
+
+    # ------------------------------------------------------------------
+    def _key(self, shapes: dict) -> str:
+        return cache_key(self.simulator.config.name, self.spec.name, shapes)
+
+    def optimize(self, *, shapes: dict | None = None, verify: bool = True) -> OptimizedKernel:
+        """Invoke the hierarchical optimization and cache the result."""
+        shapes = dict(shapes) if shapes is not None else dict(self.spec.shapes(self.scale))
+        optimized = self.optimizer.optimize(self.spec, shapes=shapes, verify=verify)
+        self.cache.store(self._key(shapes), optimized)
+        return optimized
+
+    def load(self, *, shapes: dict | None = None, load_dir: str | Path | None = None) -> CompiledKernel:
+        """Deploy-time lookup: load the cached optimized schedule (no training)."""
+        shapes = dict(shapes) if shapes is not None else dict(self.spec.shapes(self.scale))
+        cache = CubinCache(load_dir) if load_dir is not None else self.cache
+        entry = cache.load(self._key(shapes))
+        meta = entry.load_meta()
+        compiled = compile_spec(self.spec, shapes=shapes, config=meta["config"])
+        kernel = disassemble(entry.load_cubin(), kernel_name=compiled.kernel.metadata.name)
+        return compiled.with_kernel(kernel)
+
+    def __call__(self, inputs: dict | None = None, *, shapes: dict | None = None, load_dir=None):
+        """Run the kernel: from the cache when available, otherwise the -O3 build."""
+        shapes = dict(shapes) if shapes is not None else dict(self.spec.shapes(self.scale))
+        if load_dir is not None or self.cache.has(self._key(shapes)):
+            compiled = self.load(shapes=shapes, load_dir=load_dir)
+        else:
+            compiled = compile_spec(self.spec, shapes=shapes)
+        return compiled.run(self.simulator, inputs)
+
+
+def jit(spec: KernelSpec, *, ret_ptr: int | None = None, **kwargs) -> JitKernel:
+    """The one-line integration of Listing 4: wrap a kernel spec with CuAsmRL."""
+    return JitKernel(spec, ret_ptr=ret_ptr, **kwargs)

@@ -1,0 +1,175 @@
+"""Action masking (§3.5 and Algorithm 1 of the paper).
+
+An action is masked out (probability forced to zero) when the swap it
+describes could violate:
+
+* **register dependencies** — the moving instruction and the neighbour it
+  swaps with must not have a RAW / WAR / WAW conflict on general-purpose
+  registers, predicates or uniform registers;
+* **barrier dependencies** — an instruction must not move above the setter
+  of a scoreboard barrier it waits on (nor may a setter move below a waiter);
+* **stall-count dependencies** (Algorithm 1) — after the swap the accumulated
+  stall between every fixed-latency producer and its consumers must still be
+  at least the producer's stall count from the (built-in or inferred) table;
+* **basic-block / synchronization boundaries** — never move across labels or
+  barrier / branch / sync instructions;
+* **heuristic rules** — adjacent LDGSTS instructions writing consecutive
+  shared addresses from the same base register are never swapped with each
+  other (the Ampere-specific hazard the paper identifies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stall_inference import StallInferenceResult
+from repro.arch.latency_table import StallCountTable
+from repro.core.actions import ActionSpace, Direction
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import SassKernel
+
+
+def _register_conflict(a: Instruction, b: Instruction) -> bool:
+    """Whether two instructions must keep their relative order."""
+    a_writes, b_writes = a.written_registers(), b.written_registers()
+    a_reads, b_reads = a.read_registers(), b.read_registers()
+    if a_writes & (b_reads | b_writes) or b_writes & a_reads:
+        return True
+    a_pw, b_pw = a.written_predicates(), b.written_predicates()
+    a_pr, b_pr = a.read_predicates(), b.read_predicates()
+    if a_pw & (b_pr | b_pw) or b_pw & a_pr:
+        return True
+    a_uw, b_uw = a.written_uniform_registers(), b.written_uniform_registers()
+    a_ur, b_ur = a.read_uniform_registers(), b.read_uniform_registers()
+    if a_uw & (b_ur | b_uw) or b_uw & a_ur:
+        return True
+    return False
+
+
+def _barrier_conflict(upper: Instruction, lower: Instruction) -> bool:
+    """Whether ``lower`` may not be hoisted above ``upper``.
+
+    ``lower`` waits on a scoreboard slot that ``upper`` sets, or ``upper``
+    waits on a slot that ``lower`` sets (the wait must stay after the setter).
+    """
+    if upper.control.set_barriers & lower.control.wait_mask:
+        return True
+    if lower.control.set_barriers & upper.control.wait_mask:
+        return True
+    return False
+
+
+def _shared_async_base(a: Instruction, b: Instruction) -> bool:
+    """Heuristic rule: adjacent LDGSTS from the same base register never swap."""
+    if a.base_opcode != "LDGSTS" or b.base_opcode != "LDGSTS":
+        return False
+    a_regs = set()
+    b_regs = set()
+    for op in a.memory_operands():
+        a_regs |= op.registers()
+    for op in b.memory_operands():
+        b_regs |= op.registers()
+    return bool(a_regs & b_regs)
+
+
+def check_stall_after_hoist(
+    kernel: SassKernel,
+    position: int,
+    removed_stall: int,
+    table: StallCountTable,
+    block_start: int,
+) -> bool:
+    """Algorithm 1: is the stall-count budget still satisfied if the
+    instruction at ``position`` loses ``removed_stall`` cycles of slack?
+
+    Scans backwards from ``position`` accumulating stall counts; for every
+    fixed-latency producer whose output the instruction consumes, the
+    accumulated stall (after removing ``removed_stall``) must be at least the
+    producer's minimum stall count.  Unknown producers fail conservatively.
+    """
+    instr = kernel.lines[position]
+    if not isinstance(instr, Instruction):
+        return False
+    needed = set(instr.read_registers())
+    if not needed:
+        return True
+    accumulated = -int(removed_stall)
+    scan = position - 1
+    while needed and scan >= block_start:
+        candidate = kernel.lines[scan]
+        if not isinstance(candidate, Instruction):
+            break
+        accumulated += candidate.control.stall
+        defined = candidate.written_registers() & needed
+        if defined:
+            needed -= defined
+            if candidate.is_fixed_latency:
+                min_stall = table.lookup(candidate.opcode)
+                if min_stall is None:
+                    return False
+                if accumulated < min_stall:
+                    return False
+        scan -= 1
+    return True
+
+
+class ActionMasker:
+    """Computes the boolean action mask for the current schedule."""
+
+    def __init__(
+        self,
+        action_space: ActionSpace,
+        stalls: StallInferenceResult,
+    ):
+        self.action_space = action_space
+        self.stalls = stalls
+        self.table = stalls.effective_table
+
+    def mask(self, kernel: SassKernel) -> np.ndarray:
+        mask = np.zeros(self.action_space.n, dtype=bool)
+        positions = self.action_space.candidate_positions(kernel)
+        blocks = kernel.basic_blocks()
+
+        def block_of(index: int) -> tuple[int, int] | None:
+            for start, end in blocks:
+                if start <= index < end:
+                    return (start, end)
+            return None
+
+        for candidate, position in enumerate(positions):
+            block = block_of(position)
+            if block is None:
+                continue
+            for direction in (Direction.UP, Direction.DOWN):
+                action = candidate * 2 + int(direction)
+                neighbour_index = position - 1 if direction is Direction.UP else position + 1
+                if not (block[0] <= neighbour_index < block[1]):
+                    continue
+                neighbour = kernel.lines[neighbour_index]
+                if not isinstance(neighbour, Instruction) or isinstance(neighbour, Label):
+                    continue
+                moving = kernel.lines[position]
+                if neighbour.is_sync or moving.is_sync:
+                    continue
+                if _register_conflict(moving, neighbour):
+                    continue
+                if _shared_async_base(moving, neighbour):
+                    continue
+                if direction is Direction.UP:
+                    if _barrier_conflict(neighbour, moving):
+                        continue
+                    # The moving instruction loses the neighbour's stall slack.
+                    if not check_stall_after_hoist(
+                        kernel, position, neighbour.control.stall, self.table, block[0]
+                    ):
+                        continue
+                else:
+                    if _barrier_conflict(moving, neighbour):
+                        continue
+                    # The neighbour is hoisted above the moving instruction.
+                    if not check_stall_after_hoist(
+                        kernel, neighbour_index, moving.control.stall, self.table, block[0]
+                    ):
+                        continue
+                mask[action] = True
+        return mask

@@ -1,0 +1,117 @@
+"""Exception hierarchy for the CuAsmRL reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-hierarchies mirror the subsystems: SASS parsing and
+assembling, the mini-Triton compiler, the GPU simulator and the RL stack.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# SASS substrate
+# --------------------------------------------------------------------------
+class SassError(ReproError):
+    """Base class for errors in the SASS substrate."""
+
+
+class SassParseError(SassError):
+    """A SASS text line could not be parsed.
+
+    Attributes
+    ----------
+    line:
+        The offending source line (may be ``None`` when unavailable).
+    lineno:
+        1-based line number in the source listing, or ``None``.
+    """
+
+    def __init__(self, message: str, line: str | None = None, lineno: int | None = None):
+        self.line = line
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        if line is not None:
+            message = f"{message}\n  >> {line.rstrip()}"
+        super().__init__(message)
+
+
+class SassEncodeError(SassError):
+    """An instruction could not be rendered back to SASS text."""
+
+
+class CubinError(SassError):
+    """A cubin container is malformed or cannot be (dis)assembled."""
+
+
+class AssemblerError(SassError):
+    """The SASS assembler rejected a kernel."""
+
+
+class DisassemblerError(SassError):
+    """The disassembler could not decode a cubin kernel section."""
+
+
+# --------------------------------------------------------------------------
+# Mini-Triton compiler
+# --------------------------------------------------------------------------
+class CompilerError(ReproError):
+    """Base class for errors in the mini-Triton compiler."""
+
+
+class LoweringError(CompilerError):
+    """The tile-level IR could not be lowered."""
+
+
+class PtxasError(CompilerError):
+    """The ptxas-like backend failed (register allocation, scheduling...)."""
+
+
+class AutotuneError(CompilerError):
+    """The autotuner could not find a valid configuration."""
+
+
+# --------------------------------------------------------------------------
+# Simulator
+# --------------------------------------------------------------------------
+class SimulatorError(ReproError):
+    """Base class for errors in the GPU simulator."""
+
+
+class LaunchError(SimulatorError):
+    """A kernel launch was invalid (bad grid/block configuration...)."""
+
+
+class ExecutionError(SimulatorError):
+    """The functional interpreter hit an illegal instruction or state."""
+
+
+class DataHazardError(SimulatorError):
+    """A schedule violated a data dependency (detected by the simulator)."""
+
+
+# --------------------------------------------------------------------------
+# Analysis / RL / optimizer
+# --------------------------------------------------------------------------
+class AnalysisError(ReproError):
+    """A static analysis pass failed."""
+
+
+class RLError(ReproError):
+    """Base class for errors in the RL stack."""
+
+
+class EnvironmentError_(RLError):
+    """The assembly-game environment was used incorrectly."""
+
+
+class OptimizationError(ReproError):
+    """The high-level CuAsmRL optimizer failed."""
+
+
+class VerificationError(ReproError):
+    """Probabilistic testing detected an output mismatch."""

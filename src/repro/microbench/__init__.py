@@ -1,0 +1,15 @@
+"""Microbenchmarking of instruction stall counts (§4.3, Table 1)."""
+
+from repro.microbench.clockbased import clock_based_stall_estimate
+from repro.microbench.harness import (
+    MicrobenchResult,
+    build_stall_table,
+    measure_stall_count,
+)
+
+__all__ = [
+    "MicrobenchResult",
+    "measure_stall_count",
+    "build_stall_table",
+    "clock_based_stall_estimate",
+]

@@ -1,0 +1,70 @@
+"""Clock-based microbenchmarking (Listing 7 of the paper).
+
+§4.3 argues clock-based measurements *underestimate* stall counts: the second
+``CS2R SR_CLOCKLO`` read is not guaranteed to happen after the timed sequence
+has fully completed, so dividing the elapsed clock by the instruction count
+gives fewer cycles than the dependence actually needs.  This module
+reproduces that experiment so the discrepancy can be shown next to the
+dependency-based result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sass.kernel import KernelMetadata, SassKernel
+from repro.sass.parser import parse_listing
+from repro.sim.gpu import GPUSimulator
+from repro.sim.launch import GridConfig
+
+
+@dataclass
+class ClockBasedResult:
+    opcode: str
+    sequence_length: int
+    elapsed_cycles: float
+    cycles_per_instruction: float
+
+
+def clock_based_stall_estimate(
+    opcode: str = "IADD3",
+    *,
+    sequence_length: int = 10,
+    issue_stall: int = 1,
+    simulator: GPUSimulator | None = None,
+) -> ClockBasedResult:
+    """Time a back-to-back sequence of ``opcode`` with CS2R clock reads.
+
+    Issuing the sequence with a small stall count (the default 1, as a naive
+    clock benchmark would) measures issue throughput, not result latency —
+    reproducing the ~2.6 cycle underestimate the paper reports for IADD3.
+    """
+    simulator = simulator or GPUSimulator()
+    body = "\n".join(
+        f"[B------:R-:W-:-:S{issue_stall:02d}] {opcode} R{10 + (i % 4)}, R8, 0x1, RZ ;"
+        for i in range(sequence_length)
+    )
+    text = f"""
+[B------:R-:W-:-:S04] MOV R8, 0x1 ;
+[B------:R-:W-:-:S04] MOV R4, c[0x0][0x160] ;
+[B------:R-:W-:-:S02] CS2R R2, SR_CLOCKLO ;
+{body}
+[B------:R-:W-:-:S04] CS2R R6, SR_CLOCKLO ;
+[B------:R-:W-:-:S05] IADD3 R6, -R2, R6, RZ ;
+[B------:R0:W-:-:S02] STG.E.32 [R4.64], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+"""
+    kernel = SassKernel(parse_listing(text), metadata=KernelMetadata(name="clockbench", num_warps=1))
+    out = np.zeros(64, dtype=np.float32)
+    run = simulator.run(
+        kernel, GridConfig(grid=(1, 1, 1), num_warps=1), {"out": out}, ["out"], output_names=["out"]
+    )
+    elapsed = float(run.outputs["out"].reshape(-1)[0])
+    return ClockBasedResult(
+        opcode=opcode,
+        sequence_length=sequence_length,
+        elapsed_cycles=elapsed,
+        cycles_per_instruction=elapsed / sequence_length,
+    )

@@ -1,0 +1,116 @@
+"""Dependency-based stall-count microbenchmarks (§4.3 of the paper).
+
+The methodology is exactly the paper's: write a tiny SASS kernel in which a
+store consumes the output of the instruction under test, gradually lower the
+instruction's stall count, and find the smallest stall count for which the
+stored value still matches the expected value.  Because the simulator models
+timing-aware register visibility, an under-stalled consumer reads the stale
+value and the mismatch is detected — the same observable a real A100 gives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.latency_table import StallCountTable
+from repro.sass.control import MAX_STALL
+from repro.sass.kernel import KernelMetadata, SassKernel
+from repro.sass.parser import parse_listing
+from repro.sim.gpu import GPUSimulator
+from repro.sim.launch import GridConfig
+
+
+@dataclass
+class MicrobenchResult:
+    """Measured stall count for one opcode."""
+
+    opcode: str
+    stall_count: int
+    trials: list[tuple[int, bool]]
+
+
+#: Microbenchmark templates: the instruction under test produces R15 (from
+#: R14 = 3), and an STG stores R15 to the output buffer.  ``{stall}`` is the
+#: stall count being probed; ``expected(x)`` gives the value the store should
+#: see when the dependence is honoured.
+_TEMPLATES: dict[str, tuple[str, float]] = {
+    "MOV": ("[B------:R-:W-:-:S{stall:02d}] MOV R15, 0x7 ;", 7.0),
+    "IADD3": ("[B------:R-:W-:-:S{stall:02d}] IADD3 R15, R14, 0x5, RZ ;", 8.0),
+    "IADD3.X": ("[B------:R-:W-:-:S{stall:02d}] IADD3.X R15, R14, 0x5, RZ ;", 8.0),
+    "IMAD": ("[B------:R-:W-:-:S{stall:02d}] IMAD R15, R14, 0x4, RZ ;", 12.0),
+    "IMAD.IADD": ("[B------:R-:W-:-:S{stall:02d}] IMAD.IADD R15, R14, 0x1, R14 ;", 6.0),
+    "IMAD.WIDE": ("[B------:R-:W-:-:S{stall:02d}] IMAD.WIDE R16, R14, 0x4, RZ ;", 12.0),
+    "IMAD.WIDE.U32": ("[B------:R-:W-:-:S{stall:02d}] IMAD.WIDE.U32 R16, R14, 0x8, RZ ;", 24.0),
+    "IABS": ("[B------:R-:W-:-:S{stall:02d}] IABS R15, -R14 ;", 3.0),
+    "IMNMX": ("[B------:R-:W-:-:S{stall:02d}] IMNMX R15, R14, 0x2, PT ;", 2.0),
+    "SEL": ("[B------:R-:W-:-:S{stall:02d}] SEL R15, R14, 0x9, PT ;", 3.0),
+    "LEA": ("[B------:R-:W-:-:S{stall:02d}] LEA R15, R14, 0x1, 0x2 ;", 13.0),
+    "FADD": ("[B------:R-:W-:-:S{stall:02d}] FADD R15, R14, 2.5 ;", 5.5),
+    "HADD2": ("[B------:R-:W-:-:S{stall:02d}] HADD2 R15, R14, 1.0 ;", 4.0),
+    "FMUL": ("[B------:R-:W-:-:S{stall:02d}] FMUL R15, R14, 2.0 ;", 6.0),
+    "FFMA": ("[B------:R-:W-:-:S{stall:02d}] FFMA R15, R14, 2.0, 1.0 ;", 7.0),
+    "SHF": ("[B------:R-:W-:-:S{stall:02d}] SHF.L.U32 R15, R14, 0x2, RZ ;", 12.0),
+    "LOP3": ("[B------:R-:W-:-:S{stall:02d}] LOP3.AND R15, R14, 0x2, RZ ;", 2.0),
+}
+
+_PROLOGUE = """
+[B------:R-:W-:-:S04] MOV R14, 0x3 ;
+[B------:R-:W-:-:S04] MOV R4, c[0x0][0x160] ;
+"""
+
+_EPILOGUE = """
+[B------:R0:W-:-:S02] STG.E.32 [R4.64], {result_reg} ;
+[B------:R-:W-:-:S05] EXIT ;
+"""
+
+
+def _build_kernel(opcode: str, stall: int) -> SassKernel:
+    template, _ = _TEMPLATES[opcode]
+    result_reg = "R16" if "WIDE" in opcode else "R15"
+    text = _PROLOGUE + template.format(stall=stall) + "\n" + _EPILOGUE.format(result_reg=result_reg)
+    lines = parse_listing(text)
+    return SassKernel(lines, metadata=KernelMetadata(name=f"ub_{opcode.replace('.', '_')}", num_warps=1))
+
+
+def run_microbench_kernel(opcode: str, stall: int, simulator: GPUSimulator | None = None) -> bool:
+    """Run one trial; returns True when the stored value matches the expectation."""
+    simulator = simulator or GPUSimulator()
+    _, expected = _TEMPLATES[opcode]
+    kernel = _build_kernel(opcode, stall)
+    out = np.zeros(64, dtype=np.float32)
+    run = simulator.run(kernel, GridConfig(grid=(1, 1, 1), num_warps=1), {"out": out}, ["out"], output_names=["out"])
+    observed = float(run.outputs["out"].reshape(-1)[0])
+    return abs(observed - expected) < 1e-3
+
+
+def measure_stall_count(opcode: str, *, simulator: GPUSimulator | None = None) -> MicrobenchResult:
+    """Dependency-based stall-count measurement for one opcode."""
+    if opcode not in _TEMPLATES:
+        raise KeyError(f"no microbenchmark template for {opcode!r}; available: {sorted(_TEMPLATES)}")
+    simulator = simulator or GPUSimulator()
+    trials: list[tuple[int, bool]] = []
+    minimal = MAX_STALL
+    for stall in range(MAX_STALL, 0, -1):
+        ok = run_microbench_kernel(opcode, stall, simulator)
+        trials.append((stall, ok))
+        if ok:
+            minimal = stall
+        else:
+            break
+    return MicrobenchResult(opcode=opcode, stall_count=minimal, trials=trials)
+
+
+def build_stall_table(opcodes=None, *, simulator: GPUSimulator | None = None) -> StallCountTable:
+    """Re-derive Table 1 by microbenchmarking every templated opcode."""
+    simulator = simulator or GPUSimulator()
+    table = StallCountTable()
+    for opcode in opcodes or sorted(_TEMPLATES):
+        result = measure_stall_count(opcode, simulator=simulator)
+        table.record(opcode, result.stall_count)
+    return table
+
+
+def available_opcodes() -> list[str]:
+    return sorted(_TEMPLATES)

@@ -1,0 +1,46 @@
+"""Reinforcement-learning stack: numpy neural nets, masked PPO and a Gym-like API."""
+
+from repro.rl.buffer import RolloutBatch, RolloutBuffer
+from repro.rl.distributions import MaskedCategorical
+from repro.rl.env_api import Box, Discrete, Env, Space
+from repro.rl.nn import (
+    Conv1d,
+    Dense,
+    GlobalAvgPool,
+    Layer,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    clip_grad_norm,
+    orthogonal_init,
+)
+from repro.rl.optim import Adam
+from repro.rl.policy import ActorCritic
+from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory, UpdateStats
+
+__all__ = [
+    "Env",
+    "Space",
+    "Discrete",
+    "Box",
+    "MaskedCategorical",
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Conv1d",
+    "GlobalAvgPool",
+    "Sequential",
+    "orthogonal_init",
+    "clip_grad_norm",
+    "Adam",
+    "ActorCritic",
+    "RolloutBuffer",
+    "RolloutBatch",
+    "PPOConfig",
+    "PPOTrainer",
+    "TrainingHistory",
+    "UpdateStats",
+]

@@ -1,0 +1,75 @@
+"""Masked categorical distribution used for action selection.
+
+Invalid actions (those that would violate a dependence, §3.5) receive a mask
+of 0, which assigns them an effectively impossible probability by pushing
+their logit to a large negative value before the softmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK_VALUE = -1e9
+
+
+class MaskedCategorical:
+    """A batch of categorical distributions with optional action masks."""
+
+    def __init__(self, logits: np.ndarray, mask: np.ndarray | None = None):
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim == 1:
+            logits = logits[None, :]
+        self.mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 1:
+                mask = mask[None, :]
+            logits = np.where(mask, logits, _MASK_VALUE)
+            self.mask = mask
+        self.logits = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(self.logits)
+        self.probs = exp / exp.sum(axis=1, keepdims=True)
+
+    @property
+    def num_actions(self) -> int:
+        return self.probs.shape[1]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        cumulative = self.probs.cumsum(axis=1)
+        draws = rng.random(self.probs.shape[0])[:, None]
+        return (cumulative < draws).sum(axis=1)
+
+    def mode(self) -> np.ndarray:
+        return self.probs.argmax(axis=1)
+
+    def log_prob(self, actions: np.ndarray) -> np.ndarray:
+        actions = np.asarray(actions, dtype=int)
+        rows = np.arange(self.probs.shape[0])
+        return np.log(self.probs[rows, actions] + 1e-12)
+
+    def entropy(self) -> np.ndarray:
+        p = self.probs
+        return -(p * np.log(p + 1e-12)).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Gradients (analytic, used by the PPO update)
+    # ------------------------------------------------------------------
+    def log_prob_grad_logits(self, actions: np.ndarray) -> np.ndarray:
+        """d log pi(a|s) / d logits = onehot(a) - probs."""
+        actions = np.asarray(actions, dtype=int)
+        grad = -self.probs.copy()
+        grad[np.arange(self.probs.shape[0]), actions] += 1.0
+        if self.mask is not None:
+            grad = np.where(self.mask, grad, 0.0)
+        return grad
+
+    def entropy_grad_logits(self) -> np.ndarray:
+        """d entropy / d logits for a softmax-parameterised categorical."""
+        p = self.probs
+        log_p = np.log(p + 1e-12)
+        inner = -(log_p + 1.0)
+        expectation = (p * inner).sum(axis=1, keepdims=True)
+        grad = p * (inner - expectation)
+        if self.mask is not None:
+            grad = np.where(self.mask, grad, 0.0)
+        return grad

@@ -1,0 +1,59 @@
+"""Gym-style environment interface.
+
+The paper wraps the reordering process in the standardized Gym interface
+(§3.7) so future RL algorithms can be swapped in; this module defines the
+same contract for the pure-numpy stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Space:
+    """Base class of observation / action spaces."""
+
+
+class Discrete(Space):
+    """A discrete action space of ``n`` actions."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Discrete({self.n})"
+
+
+class Box(Space):
+    """A continuous observation space described by its shape."""
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = tuple(int(s) for s in shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box(shape={self.shape})"
+
+
+class Env:
+    """Gym-like environment contract.
+
+    Sub-classes must define ``observation_space``, ``action_space`` and
+    implement :meth:`reset` and :meth:`step`.  Environments with invalid
+    actions additionally expose :meth:`action_masks`.
+    """
+
+    observation_space: Box
+    action_space: Discrete
+
+    def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, dict]:
+        raise NotImplementedError
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, bool, dict]:
+        raise NotImplementedError
+
+    def action_masks(self) -> np.ndarray:
+        """Boolean mask of currently valid actions (all valid by default)."""
+        return np.ones(self.action_space.n, dtype=bool)
+
+    def close(self) -> None:  # pragma: no cover - optional hook
+        """Release any resources held by the environment."""

@@ -1,0 +1,39 @@
+"""Adam optimizer for the numpy neural-network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.nn import Parameter
+
+
+class Adam:
+    """Adam with the standard bias correction (the PPO reference default)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 2.5e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-5,
+    ):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._t += 1
+        for i, p in enumerate(self.parameters):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * p.grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * (p.grad**2)
+            m_hat = self._m[i] / (1 - self.beta1**self._t)
+            v_hat = self._v[i] / (1 - self.beta2**self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

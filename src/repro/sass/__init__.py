@@ -1,0 +1,83 @@
+"""SASS substrate: instruction model, parser, kernel container, cubin and (dis)assembler.
+
+This package reproduces the tooling CuAsmRL relies on around NVIDIA's
+undocumented SASS ISA (CuAssembler, ``cuobjdump``): parsing listing text into
+structured instructions, rendering them back, and moving kernels in and out
+of a cubin container while preserving every other section.
+"""
+
+from repro.sass.assembler import assemble, encode_kernel_section, splice_kernel
+from repro.sass.control import DEFAULT_CONTROL, MAX_STALL, NUM_BARRIERS, ControlCode
+from repro.sass.cubin import Cubin, Section, SectionFlag, Symbol
+from repro.sass.disassembler import decode_kernel_section, disassemble, disassemble_all
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import KernelMetadata, SassKernel
+from repro.sass.opcodes import (
+    ACTIONABLE_MEMORY_OPCODES,
+    LatencyClass,
+    OpcodeCategory,
+    OpcodeInfo,
+    all_opcodes,
+    base_opcode,
+    lookup,
+)
+from repro.sass.operands import (
+    BarrierConvergenceOperand,
+    ConstantMemoryOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    PredicateOperand,
+    RegisterOperand,
+    SpecialRegisterOperand,
+    UniformRegisterOperand,
+    adjacent_register,
+    parse_operand,
+)
+from repro.sass.parser import parse_line, parse_listing
+
+__all__ = [
+    "ControlCode",
+    "DEFAULT_CONTROL",
+    "NUM_BARRIERS",
+    "MAX_STALL",
+    "Instruction",
+    "Label",
+    "SassKernel",
+    "KernelMetadata",
+    "Cubin",
+    "Section",
+    "SectionFlag",
+    "Symbol",
+    "assemble",
+    "splice_kernel",
+    "encode_kernel_section",
+    "disassemble",
+    "disassemble_all",
+    "decode_kernel_section",
+    "parse_line",
+    "parse_listing",
+    "parse_operand",
+    "Operand",
+    "RegisterOperand",
+    "UniformRegisterOperand",
+    "PredicateOperand",
+    "SpecialRegisterOperand",
+    "ImmediateOperand",
+    "ConstantMemoryOperand",
+    "MemoryOperand",
+    "LabelOperand",
+    "BarrierConvergenceOperand",
+    "adjacent_register",
+    "OpcodeInfo",
+    "OpcodeCategory",
+    "LatencyClass",
+    "lookup",
+    "base_opcode",
+    "all_opcodes",
+    "ACTIONABLE_MEMORY_OPCODES",
+    "is_known",
+]
+
+from repro.sass.opcodes import is_known  # noqa: E402  (re-exported)

@@ -1,0 +1,108 @@
+"""SASS assembler: :class:`SassKernel` -> cubin kernel section / cubin.
+
+This plays the role of CuAssembler in the paper's pipeline: after the RL agent
+mutates a SASS schedule, the listing must be assembled back into the binary
+kernel section and spliced into the original cubin with all other sections
+untouched (§4.1).
+
+The kernel-section payload format is a compact binary encoding: a fixed
+header carrying the kernel metadata followed by one length-prefixed record per
+listing line.  It is intentionally opaque (you need the disassembler to read
+it) and strictly round-trips through :mod:`repro.sass.disassembler`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import AssemblerError
+from repro.sass.cubin import Cubin, Section, SectionFlag, Symbol
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import KernelMetadata, SassKernel
+
+#: Magic marking a kernel-section payload.
+KERNEL_SECTION_MAGIC = b"SASS"
+KERNEL_SECTION_VERSION = 1
+
+_KERNEL_HEADER = struct.Struct("<4sHH32sIIIII")
+# magic, version, reserved, name, num_regs, smem, num_warps, num_params, line count
+
+_LINE_KIND_INSTRUCTION = 0
+_LINE_KIND_LABEL = 1
+
+
+def encode_kernel_section(kernel: SassKernel) -> bytes:
+    """Encode a kernel into the binary kernel-section payload."""
+    meta = kernel.metadata
+    name_raw = meta.name.encode("utf8")
+    if len(name_raw) > 32:
+        raise AssemblerError(f"kernel name too long: {meta.name!r}")
+    out = bytearray()
+    out += _KERNEL_HEADER.pack(
+        KERNEL_SECTION_MAGIC,
+        KERNEL_SECTION_VERSION,
+        0,
+        name_raw.ljust(32, b"\x00"),
+        meta.num_registers,
+        meta.shared_memory_bytes,
+        meta.num_warps,
+        meta.num_params,
+        len(kernel.lines),
+    )
+    for line in kernel.lines:
+        if isinstance(line, Label):
+            kind = _LINE_KIND_LABEL
+            payload = line.name.encode("utf8")
+        elif isinstance(line, Instruction):
+            kind = _LINE_KIND_INSTRUCTION
+            payload = line.render().encode("utf8")
+        else:  # pragma: no cover - defensive
+            raise AssemblerError(f"cannot encode line of type {type(line).__name__}")
+        out += struct.pack("<BI", kind, len(payload))
+        out += payload
+    return bytes(out)
+
+
+def assemble(kernel: SassKernel, *, arch_sm: int = 80) -> Cubin:
+    """Assemble a single kernel into a fresh cubin."""
+    cubin = Cubin(arch_sm=arch_sm)
+    section_name = f".text.{kernel.metadata.name}"
+    payload = encode_kernel_section(kernel)
+    cubin.add_section(
+        Section(name=section_name, data=payload, flags=SectionFlag.ALLOC | SectionFlag.EXECINSTR)
+    )
+    cubin.add_section(
+        Section(
+            name=".nv.info",
+            data=_encode_nv_info(kernel.metadata),
+            flags=SectionFlag.INFO,
+        )
+    )
+    cubin.add_symbol(Symbol(name=kernel.metadata.name, section=section_name, value=0, size=len(payload)))
+    return cubin
+
+
+def splice_kernel(cubin: Cubin, kernel: SassKernel) -> Cubin:
+    """Return a copy of ``cubin`` with ``kernel``'s section payload replaced.
+
+    Every other section and the symbol table are preserved byte-for-byte,
+    mirroring the paper's requirement that ELF metadata stays intact.
+    """
+    section_name = f".text.{kernel.metadata.name}"
+    new = Cubin.unpack(cubin.pack())  # deep copy via round-trip
+    if not new.has_section(section_name):
+        raise AssemblerError(
+            f"cubin has no kernel section {section_name!r}; "
+            f"available: {new.kernel_names()}"
+        )
+    new.replace_section(section_name, encode_kernel_section(kernel))
+    return new
+
+
+def _encode_nv_info(meta: KernelMetadata) -> bytes:
+    """Encode the auxiliary metadata section (kept opaque, round-trips)."""
+    text = (
+        f"arch={meta.arch};regs={meta.num_registers};smem={meta.shared_memory_bytes};"
+        f"warps={meta.num_warps};params={meta.num_params}"
+    )
+    return text.encode("utf8")

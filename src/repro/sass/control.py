@@ -1,0 +1,161 @@
+"""SASS control codes.
+
+Since the Kepler architecture, NVIDIA GPUs use *static scheduling*: every SASS
+instruction carries a control code that the hardware obeys verbatim (§2.3 of
+the paper).  The textual convention used by CuAssembler — and therefore by
+this reproduction — encodes the control code in front of each instruction:
+
+``[B------:R-:W2:Y:S02]``
+
+==============  =============================================================
+Field           Meaning
+==============  =============================================================
+``B------``     *wait barrier mask*: six scoreboard slots (0-5); a digit in
+                position *i* means "stall until scoreboard *i* is clear".
+``R-`` / ``R2``  *read barrier*: scoreboard slot set when the instruction's
+                source operands have been consumed (used by variable-latency
+                instructions that read registers, e.g. stores).
+``W-`` / ``W2``  *write barrier*: scoreboard slot set when the instruction's
+                destination register is ready (used by loads).
+``Y`` / ``-``    *yield flag*: hint to the warp scheduler to switch warps.
+``S02``          *stall count*: number of cycles to stall before issuing the
+                 next instruction of the same warp.
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SassParseError
+
+#: Number of scoreboard slots on Volta/Turing/Ampere GPUs.
+NUM_BARRIERS = 6
+
+#: Maximum encodable stall count (4 bits on real hardware).
+MAX_STALL = 15
+
+_CONTROL_RE = re.compile(
+    r"^\[B(?P<wait>[-0-5]{6}):R(?P<read>[-0-5]):W(?P<write>[-0-5]):"
+    r"(?P<yield>[-Y]):S(?P<stall>\d{1,2})\]$"
+)
+
+
+@dataclass(frozen=True)
+class ControlCode:
+    """Decoded control code of a single SASS instruction.
+
+    Attributes
+    ----------
+    wait_mask:
+        Frozen set of scoreboard indices (0-5) this instruction waits on.
+    read_barrier:
+        Scoreboard index set as *read* barrier, or ``None``.
+    write_barrier:
+        Scoreboard index set as *write* barrier, or ``None``.
+    yield_flag:
+        Whether the yield hint is set.
+    stall:
+        Stall count in cycles (0-15).
+    """
+
+    wait_mask: frozenset[int] = field(default_factory=frozenset)
+    read_barrier: int | None = None
+    write_barrier: int | None = None
+    yield_flag: bool = False
+    stall: int = 1
+
+    def __post_init__(self) -> None:
+        for slot in self.wait_mask:
+            if not 0 <= slot < NUM_BARRIERS:
+                raise ValueError(f"wait barrier slot {slot} out of range")
+        for name in ("read_barrier", "write_barrier"):
+            value = getattr(self, name)
+            if value is not None and not 0 <= value < NUM_BARRIERS:
+                raise ValueError(f"{name} {value} out of range")
+        if not 0 <= self.stall <= MAX_STALL:
+            raise ValueError(f"stall count {self.stall} out of range (0-{MAX_STALL})")
+
+    # ------------------------------------------------------------------
+    # Parsing / rendering
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ControlCode":
+        """Parse a ``[B------:R-:W2:Y:S02]`` string."""
+        match = _CONTROL_RE.match(text.strip())
+        if match is None:
+            raise SassParseError(f"malformed control code {text!r}")
+        wait_field = match.group("wait")
+        wait: set[int] = set()
+        for pos, ch in enumerate(wait_field):
+            if ch == "-":
+                continue
+            slot = int(ch)
+            if slot != pos:
+                raise SassParseError(
+                    f"wait barrier digit {ch!r} at position {pos} in {text!r}"
+                )
+            wait.add(slot)
+        read = match.group("read")
+        write = match.group("write")
+        stall = int(match.group("stall"))
+        if stall > MAX_STALL:
+            raise SassParseError(f"stall count {stall} exceeds {MAX_STALL} in {text!r}")
+        return cls(
+            wait_mask=frozenset(wait),
+            read_barrier=None if read == "-" else int(read),
+            write_barrier=None if write == "-" else int(write),
+            yield_flag=match.group("yield") == "Y",
+            stall=stall,
+        )
+
+    def render(self) -> str:
+        """Render back to the canonical textual form."""
+        wait = "".join(str(i) if i in self.wait_mask else "-" for i in range(NUM_BARRIERS))
+        read = "-" if self.read_barrier is None else str(self.read_barrier)
+        write = "-" if self.write_barrier is None else str(self.write_barrier)
+        yld = "Y" if self.yield_flag else "-"
+        return f"[B{wait}:R{read}:W{write}:{yld}:S{self.stall:02d}]"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    # ------------------------------------------------------------------
+    # Queries and functional updates
+    # ------------------------------------------------------------------
+    def waits_on(self, slot: int) -> bool:
+        """Whether the instruction waits on scoreboard ``slot``."""
+        return slot in self.wait_mask
+
+    def sets_barrier(self, slot: int) -> bool:
+        """Whether the instruction sets scoreboard ``slot`` (read or write)."""
+        return self.read_barrier == slot or self.write_barrier == slot
+
+    @property
+    def set_barriers(self) -> frozenset[int]:
+        """All scoreboard slots set by this instruction."""
+        slots = set()
+        if self.read_barrier is not None:
+            slots.add(self.read_barrier)
+        if self.write_barrier is not None:
+            slots.add(self.write_barrier)
+        return frozenset(slots)
+
+    def with_stall(self, stall: int) -> "ControlCode":
+        """Return a copy with a different stall count."""
+        return replace(self, stall=stall)
+
+    def with_wait(self, slots) -> "ControlCode":
+        """Return a copy waiting on ``slots`` (iterable of scoreboard indices)."""
+        return replace(self, wait_mask=frozenset(int(s) for s in slots))
+
+    def with_write_barrier(self, slot: int | None) -> "ControlCode":
+        return replace(self, write_barrier=slot)
+
+    def with_read_barrier(self, slot: int | None) -> "ControlCode":
+        return replace(self, read_barrier=slot)
+
+
+#: A permissive default used when synthesizing instructions programmatically.
+DEFAULT_CONTROL = ControlCode(stall=1)

@@ -1,0 +1,203 @@
+"""Cubin container format.
+
+A *cubin* is the executable GPU binary produced by ``ptxas``: an ELF file
+holding one ``.text.<kernel>`` section per kernel plus symbol tables and
+metadata sections.  CuAsmRL never interprets most of that — it only needs to
+(1) locate the kernel section, (2) replace it with an optimized one and (3)
+keep every other byte intact (§4.1: "the meta-information such as the symbol
+tables and the ELF format must be preserved").
+
+This module implements a compact ELF-like container with exactly those
+properties: named sections with flags, a symbol table, deterministic binary
+packing/unpacking, and strict round-tripping.  The kernel section payload is
+produced by :mod:`repro.sass.assembler` and decoded by
+:mod:`repro.sass.disassembler`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import CubinError
+
+#: Magic bytes identifying our container ("fake" + ELF-ish).
+MAGIC = b"\x7fCUBNrepro"
+FORMAT_VERSION = 2
+
+_HEADER_STRUCT = struct.Struct("<10sHHI")  # magic, version, arch, section count
+_SECTION_HEADER_STRUCT = struct.Struct("<64sIII")  # name, flags, size, crc32
+_SYMBOL_STRUCT = struct.Struct("<64s64sII")  # name, section, value, size
+
+
+class SectionFlag:
+    """Bit flags on a section (subset of ELF SHF_*)."""
+
+    ALLOC = 0x1
+    EXECINSTR = 0x2
+    INFO = 0x4
+
+
+@dataclass
+class Section:
+    """A named byte section of the cubin."""
+
+    name: str
+    data: bytes
+    flags: int = 0
+
+    @property
+    def is_kernel_text(self) -> bool:
+        return self.name.startswith(".text.")
+
+    @property
+    def kernel_name(self) -> str | None:
+        if not self.is_kernel_text:
+            return None
+        return self.name[len(".text.") :]
+
+
+@dataclass
+class Symbol:
+    """A symbol-table entry (kernel entry points, constant banks...)."""
+
+    name: str
+    section: str
+    value: int = 0
+    size: int = 0
+
+
+class Cubin:
+    """An in-memory cubin: ordered sections plus a symbol table."""
+
+    def __init__(self, arch_sm: int = 80):
+        self.arch_sm = arch_sm
+        self._sections: dict[str, Section] = {}
+        self._order: list[str] = []
+        self.symbols: list[Symbol] = []
+
+    # ------------------------------------------------------------------
+    # Section management
+    # ------------------------------------------------------------------
+    def add_section(self, section: Section) -> None:
+        if section.name in self._sections:
+            raise CubinError(f"duplicate section {section.name!r}")
+        self._sections[section.name] = section
+        self._order.append(section.name)
+
+    def replace_section(self, name: str, data: bytes) -> None:
+        """Replace a section's payload in place, preserving order and flags."""
+        if name not in self._sections:
+            raise CubinError(f"no such section {name!r}")
+        old = self._sections[name]
+        self._sections[name] = Section(name=name, data=data, flags=old.flags)
+
+    def get_section(self, name: str) -> Section:
+        try:
+            return self._sections[name]
+        except KeyError as exc:
+            raise CubinError(f"no such section {name!r}") from exc
+
+    def has_section(self, name: str) -> bool:
+        return name in self._sections
+
+    @property
+    def sections(self) -> list[Section]:
+        return [self._sections[name] for name in self._order]
+
+    def kernel_sections(self) -> list[Section]:
+        """All ``.text.<kernel>`` sections in order."""
+        return [s for s in self.sections if s.is_kernel_text]
+
+    def kernel_names(self) -> list[str]:
+        return [s.kernel_name for s in self.kernel_sections()]
+
+    def add_symbol(self, symbol: Symbol) -> None:
+        self.symbols.append(symbol)
+
+    # ------------------------------------------------------------------
+    # Binary packing
+    # ------------------------------------------------------------------
+    def pack(self) -> bytes:
+        """Serialize the container to bytes (deterministic)."""
+        out = bytearray()
+        out += _HEADER_STRUCT.pack(MAGIC, FORMAT_VERSION, self.arch_sm, len(self._order))
+        for name in self._order:
+            section = self._sections[name]
+            crc = zlib.crc32(section.data) & 0xFFFFFFFF
+            out += _SECTION_HEADER_STRUCT.pack(
+                _pack_name(section.name), section.flags, len(section.data), crc
+            )
+            out += section.data
+        out += struct.pack("<I", len(self.symbols))
+        for sym in self.symbols:
+            out += _SYMBOL_STRUCT.pack(
+                _pack_name(sym.name), _pack_name(sym.section), sym.value, sym.size
+            )
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "Cubin":
+        """Deserialize a container previously produced by :meth:`pack`."""
+        if len(blob) < _HEADER_STRUCT.size:
+            raise CubinError("blob too small to be a cubin")
+        magic, version, arch_sm, nsections = _HEADER_STRUCT.unpack_from(blob, 0)
+        if magic != MAGIC:
+            raise CubinError("bad magic: not a cubin produced by this library")
+        if version != FORMAT_VERSION:
+            raise CubinError(f"unsupported cubin format version {version}")
+        cubin = cls(arch_sm=arch_sm)
+        offset = _HEADER_STRUCT.size
+        for _ in range(nsections):
+            if offset + _SECTION_HEADER_STRUCT.size > len(blob):
+                raise CubinError("truncated section header")
+            name_raw, flags, size, crc = _SECTION_HEADER_STRUCT.unpack_from(blob, offset)
+            offset += _SECTION_HEADER_STRUCT.size
+            data = blob[offset : offset + size]
+            if len(data) != size:
+                raise CubinError("truncated section payload")
+            if (zlib.crc32(data) & 0xFFFFFFFF) != crc:
+                raise CubinError(f"CRC mismatch in section {_unpack_name(name_raw)!r}")
+            offset += size
+            cubin.add_section(Section(name=_unpack_name(name_raw), data=data, flags=flags))
+        if offset + 4 > len(blob):
+            raise CubinError("truncated symbol table")
+        (nsymbols,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        for _ in range(nsymbols):
+            name_raw, section_raw, value, size = _SYMBOL_STRUCT.unpack_from(blob, offset)
+            offset += _SYMBOL_STRUCT.size
+            cubin.add_symbol(
+                Symbol(
+                    name=_unpack_name(name_raw),
+                    section=_unpack_name(section_raw),
+                    value=value,
+                    size=size,
+                )
+            )
+        return cubin
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex digest of the packed container (used as a cache key)."""
+        return f"{zlib.crc32(self.pack()) & 0xFFFFFFFF:08x}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cubin(sm_{self.arch_sm}, sections={self._order}, "
+            f"symbols={len(self.symbols)})"
+        )
+
+
+def _pack_name(name: str) -> bytes:
+    raw = name.encode("utf8")
+    if len(raw) > 63:
+        raise CubinError(f"name too long: {name!r}")
+    return raw.ljust(64, b"\x00")
+
+
+def _unpack_name(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("utf8")

@@ -1,0 +1,114 @@
+"""SASS disassembler: cubin kernel section -> :class:`SassKernel`.
+
+Plays the role of ``cuobjdump -sass`` / CuAssembler's decoder in the paper's
+workflow (Figure 2): the Triton-compiled cubin is intercepted, its kernel
+section is decoded into SASS instructions, optimized by the RL agent and then
+re-assembled.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DisassemblerError
+from repro.sass.assembler import (
+    KERNEL_SECTION_MAGIC,
+    KERNEL_SECTION_VERSION,
+    _KERNEL_HEADER,
+    _LINE_KIND_INSTRUCTION,
+    _LINE_KIND_LABEL,
+)
+from repro.sass.cubin import Cubin
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import KernelMetadata, SassKernel
+from repro.sass.parser import parse_line
+
+
+def decode_kernel_section(data: bytes, *, arch: str = "sm_80") -> SassKernel:
+    """Decode a kernel-section payload into a :class:`SassKernel`."""
+    if len(data) < _KERNEL_HEADER.size:
+        raise DisassemblerError("kernel section too small")
+    (
+        magic,
+        version,
+        _reserved,
+        name_raw,
+        num_regs,
+        smem,
+        num_warps,
+        num_params,
+        nlines,
+    ) = _KERNEL_HEADER.unpack_from(data, 0)
+    if magic != KERNEL_SECTION_MAGIC:
+        raise DisassemblerError("bad kernel-section magic")
+    if version != KERNEL_SECTION_VERSION:
+        raise DisassemblerError(f"unsupported kernel-section version {version}")
+    metadata = KernelMetadata(
+        name=name_raw.rstrip(b"\x00").decode("utf8"),
+        num_registers=num_regs,
+        shared_memory_bytes=smem,
+        num_warps=num_warps,
+        arch=arch,
+        num_params=num_params,
+    )
+    offset = _KERNEL_HEADER.size
+    lines: list[Instruction | Label] = []
+    for _ in range(nlines):
+        if offset + 5 > len(data):
+            raise DisassemblerError("truncated line record")
+        kind, length = struct.unpack_from("<BI", data, offset)
+        offset += 5
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise DisassemblerError("truncated line payload")
+        offset += length
+        text = payload.decode("utf8")
+        if kind == _LINE_KIND_LABEL:
+            lines.append(Label(text))
+        elif kind == _LINE_KIND_INSTRUCTION:
+            parsed = parse_line(text)
+            if not isinstance(parsed, Instruction):
+                raise DisassemblerError(f"expected instruction, got {parsed!r}")
+            lines.append(parsed)
+        else:
+            raise DisassemblerError(f"unknown line kind {kind}")
+    return SassKernel(lines, metadata=metadata)
+
+
+def disassemble(cubin: Cubin, kernel_name: str | None = None) -> SassKernel:
+    """Disassemble one kernel out of a cubin.
+
+    Parameters
+    ----------
+    cubin:
+        The container.
+    kernel_name:
+        Which kernel to decode; defaults to the only kernel when the cubin
+        holds exactly one.
+    """
+    kernel_sections = cubin.kernel_sections()
+    if not kernel_sections:
+        raise DisassemblerError("cubin contains no kernel sections")
+    if kernel_name is None:
+        if len(kernel_sections) != 1:
+            raise DisassemblerError(
+                f"cubin holds {len(kernel_sections)} kernels; specify kernel_name "
+                f"from {cubin.kernel_names()}"
+            )
+        section = kernel_sections[0]
+    else:
+        matches = [s for s in kernel_sections if s.kernel_name == kernel_name]
+        if not matches:
+            raise DisassemblerError(
+                f"no kernel {kernel_name!r} in cubin; available: {cubin.kernel_names()}"
+            )
+        section = matches[0]
+    return decode_kernel_section(section.data, arch=f"sm_{cubin.arch_sm}")
+
+
+def disassemble_all(cubin: Cubin) -> dict[str, SassKernel]:
+    """Disassemble every kernel in the cubin, keyed by kernel name."""
+    return {
+        section.kernel_name: decode_kernel_section(section.data, arch=f"sm_{cubin.arch_sm}")
+        for section in cubin.kernel_sections()
+    }

@@ -1,0 +1,433 @@
+"""SASS operand model.
+
+Operands are the registers, predicates, immediates, constant-bank references
+and memory addresses appearing after an opcode.  The model is deliberately
+explicit: every operand kind is its own class with a ``render()`` method that
+round-trips through the parser, and register-carrying operands expose the set
+of 32-bit general purpose registers they touch so dependence analysis can be
+exact.
+
+The ``.64`` suffix handling follows §3.2 / Eq. (2) of the paper: a register
+suffixed with ``.64`` names a 64-bit quantity held in an *aligned pair* of
+adjacent 32-bit registers, so dependence analysis must include the adjacent
+register as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SassParseError
+
+#: Index used to represent ``RZ`` (the always-zero register).
+RZ_INDEX = 255
+#: Index used to represent ``URZ`` (the always-zero uniform register).
+URZ_INDEX = 63
+#: Index used to represent ``PT`` (the always-true predicate).
+PT_INDEX = 7
+
+
+def adjacent_register(index: int) -> int:
+    """Return the adjacent register of an aligned 64-bit pair (paper Eq. 2).
+
+    ``base = index // 2``, ``mod = index % 2``, ``flip = 1 - mod`` and the
+    adjacent register is ``base * 2 + flip``: even registers pair with the
+    next odd one and vice versa.
+    """
+    base = index // 2
+    mod = index % 2
+    flip = 1 - mod
+    return base * 2 + flip
+
+
+class Operand:
+    """Base class for all operand kinds."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def registers(self) -> frozenset[int]:
+        """32-bit general-purpose registers referenced by this operand."""
+        return frozenset()
+
+    def uniform_registers(self) -> frozenset[int]:
+        """Uniform registers referenced by this operand."""
+        return frozenset()
+
+    def predicates(self) -> frozenset[int]:
+        """Predicate registers referenced by this operand."""
+        return frozenset()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class RegisterOperand(Operand):
+    """A general-purpose register, e.g. ``R12``, ``-R4``, ``R8.64``, ``R6.reuse``.
+
+    Attributes
+    ----------
+    index:
+        Register number, or :data:`RZ_INDEX` for ``RZ``.
+    is64:
+        ``.64`` suffix — the operand covers the aligned register pair.
+    reuse:
+        ``.reuse`` flag — hint to keep the value in the operand collector
+        cache (§5.7.1).
+    negated / absolute:
+        ``-R4`` / ``|R4|`` source modifiers.
+    """
+
+    index: int
+    is64: bool = False
+    reuse: bool = False
+    negated: bool = False
+    absolute: bool = False
+
+    @property
+    def is_rz(self) -> bool:
+        return self.index == RZ_INDEX
+
+    def registers(self) -> frozenset[int]:
+        if self.is_rz:
+            return frozenset()
+        regs = {self.index}
+        if self.is64:
+            regs.add(adjacent_register(self.index))
+        return frozenset(regs)
+
+    def render(self) -> str:
+        name = "RZ" if self.is_rz else f"R{self.index}"
+        if self.is64:
+            name += ".64"
+        if self.reuse:
+            name += ".reuse"
+        if self.absolute:
+            name = f"|{name}|"
+        if self.negated:
+            name = f"-{name}"
+        return name
+
+    def without_reuse(self) -> "RegisterOperand":
+        return RegisterOperand(self.index, self.is64, False, self.negated, self.absolute)
+
+    def with_reuse(self) -> "RegisterOperand":
+        return RegisterOperand(self.index, self.is64, True, self.negated, self.absolute)
+
+
+@dataclass(frozen=True)
+class UniformRegisterOperand(Operand):
+    """A uniform register, e.g. ``UR16`` or ``URZ``."""
+
+    index: int
+
+    @property
+    def is_urz(self) -> bool:
+        return self.index == URZ_INDEX
+
+    def uniform_registers(self) -> frozenset[int]:
+        return frozenset() if self.is_urz else frozenset({self.index})
+
+    def render(self) -> str:
+        return "URZ" if self.is_urz else f"UR{self.index}"
+
+
+@dataclass(frozen=True)
+class PredicateOperand(Operand):
+    """A predicate register, e.g. ``P0``, ``!P4`` or ``PT``."""
+
+    index: int
+    negated: bool = False
+
+    @property
+    def is_pt(self) -> bool:
+        return self.index == PT_INDEX
+
+    def predicates(self) -> frozenset[int]:
+        return frozenset() if self.is_pt else frozenset({self.index})
+
+    def render(self) -> str:
+        name = "PT" if self.is_pt else f"P{self.index}"
+        return f"!{name}" if self.negated else name
+
+
+@dataclass(frozen=True)
+class SpecialRegisterOperand(Operand):
+    """A special read-only register, e.g. ``SR_CLOCKLO`` or ``SR_TID.X``."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ImmediateOperand(Operand):
+    """An immediate literal.
+
+    ``value`` is stored as an integer for hexadecimal/decimal literals and as
+    a float for floating-point literals; ``is_float`` disambiguates rendering.
+    """
+
+    value: float
+    is_float: bool = False
+    hex_rendered: bool = True
+
+    def render(self) -> str:
+        if self.is_float:
+            return repr(float(self.value))
+        value = int(self.value)
+        if self.hex_rendered:
+            sign = "-" if value < 0 else ""
+            return f"{sign}0x{abs(value):x}"
+        return str(value)
+
+
+@dataclass(frozen=True)
+class ConstantMemoryOperand(Operand):
+    """A constant-bank reference, e.g. ``c[0x0][0x160]``.
+
+    Kernel parameters live in constant bank 0 starting at 0x160 on Ampere.
+    """
+
+    bank: int
+    offset: int
+
+    def render(self) -> str:
+        return f"c[0x{self.bank:x}][0x{self.offset:x}]"
+
+
+@dataclass(frozen=True)
+class MemoryOperand(Operand):
+    """A memory address operand.
+
+    Covers the forms found in Ampere SASS:
+
+    * ``[R2.64]``, ``[R4+0x10]``, ``[R219+0x4000]`` — register plus offset;
+    * ``desc[UR16][R10.64]`` — descriptor-based global access where the
+      uniform register pair holds the TMA-style descriptor;
+    * ``[UR4+0x8]`` — uniform-register addressed.
+    """
+
+    base: RegisterOperand | None = None
+    uniform_base: UniformRegisterOperand | None = None
+    descriptor: UniformRegisterOperand | None = None
+    offset: int = 0
+
+    def registers(self) -> frozenset[int]:
+        return self.base.registers() if self.base is not None else frozenset()
+
+    def uniform_registers(self) -> frozenset[int]:
+        regs: set[int] = set()
+        if self.uniform_base is not None:
+            regs |= self.uniform_base.uniform_registers()
+        if self.descriptor is not None:
+            regs |= self.descriptor.uniform_registers()
+        return frozenset(regs)
+
+    def render(self) -> str:
+        inner_parts = []
+        if self.base is not None:
+            inner_parts.append(self.base.render())
+        if self.uniform_base is not None:
+            inner_parts.append(self.uniform_base.render())
+        if self.offset:
+            sign = "+" if self.offset >= 0 else "-"
+            inner_parts.append(f"{sign}0x{abs(self.offset):x}")
+        inner = "[" + ("".join(inner_parts) if inner_parts else "0x0") + "]"
+        if self.descriptor is not None:
+            return f"desc[{self.descriptor.render()}]{inner}"
+        return inner
+
+
+@dataclass(frozen=True)
+class LabelOperand(Operand):
+    """A branch target label, e.g. ``` `(.L_x_12) ``` or a bare label name."""
+
+    name: str
+
+    def render(self) -> str:
+        return f"`({self.name})"
+
+
+@dataclass(frozen=True)
+class BarrierConvergenceOperand(Operand):
+    """A convergence-barrier operand, e.g. ``B0`` used by BSSY/BSYNC."""
+
+    index: int
+
+    def render(self) -> str:
+        return f"B{self.index}"
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a single operand token into the corresponding operand object."""
+    token = text.strip()
+    if not token:
+        raise SassParseError("empty operand")
+
+    negated = False
+    if token.startswith("!"):
+        inner = token[1:].strip()
+        return _parse_predicate(inner, negated=True)
+    if token.startswith("-") and not _looks_like_number(token):
+        negated = True
+        token = token[1:].strip()
+    absolute = False
+    if token.startswith("|") and token.endswith("|"):
+        absolute = True
+        token = token[1:-1].strip()
+
+    if token.startswith("desc[") or token.startswith("["):
+        return _parse_memory(token)
+    if token.startswith("c[") or token.startswith("cx["):
+        return _parse_constant(token)
+    if token.startswith("`("):
+        name = token[2:]
+        if name.endswith(")"):
+            name = name[:-1]
+        return LabelOperand(name)
+    if token.startswith("SR_"):
+        return SpecialRegisterOperand(token)
+    if token == "RZ" or (token.startswith("RZ.")):
+        is64 = ".64" in token
+        reuse = ".reuse" in token
+        return RegisterOperand(RZ_INDEX, is64=is64, reuse=reuse, negated=negated, absolute=absolute)
+    if token == "URZ":
+        return UniformRegisterOperand(URZ_INDEX)
+    if token == "PT":
+        return PredicateOperand(PT_INDEX, negated=negated)
+    if token.startswith("UR") and _digits(token[2:].split(".")[0]):
+        return UniformRegisterOperand(int(token[2:].split(".")[0]))
+    if token.startswith("P") and _digits(token[1:]):
+        return PredicateOperand(int(token[1:]), negated=negated)
+    if token.startswith("B") and _digits(token[1:]) and len(token) <= 3:
+        return BarrierConvergenceOperand(int(token[1:]))
+    if token.startswith("R") and _digits(token[1:].split(".")[0]):
+        parts = token.split(".")
+        index = int(parts[0][1:])
+        suffixes = [p for p in parts[1:]]
+        return RegisterOperand(
+            index,
+            is64="64" in suffixes,
+            reuse="reuse" in suffixes,
+            negated=negated,
+            absolute=absolute,
+        )
+    if _looks_like_number(token):
+        return _parse_immediate(token, negated=negated)
+    raise SassParseError(f"cannot parse operand {text!r}")
+
+
+def _parse_predicate(token: str, *, negated: bool) -> PredicateOperand:
+    if token == "PT":
+        return PredicateOperand(PT_INDEX, negated=negated)
+    if token.startswith("P") and _digits(token[1:]):
+        return PredicateOperand(int(token[1:]), negated=negated)
+    raise SassParseError(f"cannot parse predicate operand {token!r}")
+
+
+def _parse_constant(token: str) -> ConstantMemoryOperand:
+    body = token[1:] if token.startswith("c") else token
+    body = body.lstrip("x")
+    parts = body.replace("][", "|").strip("[]").split("|")
+    if len(parts) != 2:
+        raise SassParseError(f"cannot parse constant operand {token!r}")
+    try:
+        bank = int(parts[0], 0)
+        offset = int(parts[1], 0)
+    except ValueError as exc:
+        raise SassParseError(f"cannot parse constant operand {token!r}") from exc
+    return ConstantMemoryOperand(bank, offset)
+
+
+def _parse_memory(token: str) -> MemoryOperand:
+    descriptor = None
+    rest = token
+    if rest.startswith("desc["):
+        end = rest.index("]")
+        desc_token = rest[5:end]
+        desc_op = parse_operand(desc_token)
+        if not isinstance(desc_op, UniformRegisterOperand):
+            raise SassParseError(f"descriptor must be a uniform register in {token!r}")
+        descriptor = desc_op
+        rest = rest[end + 1 :]
+    if not (rest.startswith("[") and rest.endswith("]")):
+        raise SassParseError(f"cannot parse memory operand {token!r}")
+    inner = rest[1:-1].strip()
+    base: RegisterOperand | None = None
+    uniform_base: UniformRegisterOperand | None = None
+    offset = 0
+    if inner:
+        pieces = _split_address(inner)
+        for piece in pieces:
+            piece = piece.strip()
+            if not piece:
+                continue
+            if _looks_like_number(piece):
+                offset += int(piece, 0)
+            else:
+                op = parse_operand(piece)
+                if isinstance(op, RegisterOperand):
+                    base = op
+                elif isinstance(op, UniformRegisterOperand):
+                    uniform_base = op
+                else:
+                    raise SassParseError(f"unexpected address component {piece!r} in {token!r}")
+    return MemoryOperand(base=base, uniform_base=uniform_base, descriptor=descriptor, offset=offset)
+
+
+def _split_address(inner: str) -> list[str]:
+    """Split ``R4+UR8+0x10`` into components, keeping the sign on numbers."""
+    parts: list[str] = []
+    current = ""
+    for ch in inner:
+        if ch == "+":
+            if current:
+                parts.append(current)
+            current = ""
+        elif ch == "-":
+            if current:
+                parts.append(current)
+            current = "-"
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    return parts
+
+
+def _parse_immediate(token: str, *, negated: bool = False) -> ImmediateOperand:
+    text = token
+    is_float = False
+    if any(ch in text for ch in (".", "e", "E")) and not text.lower().startswith("0x"):
+        try:
+            value = float(text)
+            is_float = True
+        except ValueError as exc:
+            raise SassParseError(f"cannot parse immediate {token!r}") from exc
+    else:
+        try:
+            value = int(text, 0)
+        except ValueError as exc:
+            raise SassParseError(f"cannot parse immediate {token!r}") from exc
+    if negated:
+        value = -value
+    hex_rendered = text.lower().startswith("0x") or text.lower().startswith("-0x")
+    return ImmediateOperand(value, is_float=is_float, hex_rendered=hex_rendered)
+
+
+def _digits(text: str) -> bool:
+    return bool(text) and text.isdigit()
+
+
+def _looks_like_number(text: str) -> bool:
+    stripped = text.strip()
+    if stripped.startswith("-") or stripped.startswith("+"):
+        stripped = stripped[1:]
+    if not stripped:
+        return False
+    if stripped.lower().startswith("0x"):
+        return all(c in "0123456789abcdefABCDEF" for c in stripped[2:]) and len(stripped) > 2
+    return stripped[0].isdigit()

@@ -1,0 +1,130 @@
+"""SASS text parser.
+
+Decodes a CuAssembler-style SASS listing into :class:`Instruction` /
+:class:`Label` objects.  A listing line looks like::
+
+    [B------:R-:W2:Y:S02] @!P4 LDG.E R0, [R2.64] ;   // optional comment
+    .L_x_12:
+
+The parser is the reproduction of the paper's "pre-game" decoder (§3.2): it
+separates the control code, guard predicate, opcode and operands, and expands
+``.64`` register pairs (which :mod:`repro.sass.operands` handles).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SassParseError
+from repro.sass.control import DEFAULT_CONTROL, ControlCode
+from repro.sass.instruction import Instruction, Label
+from repro.sass.operands import PredicateOperand, parse_operand
+
+_LABEL_RE = re.compile(r"^(?P<name>[.\w$]+):$")
+_CONTROL_PREFIX_RE = re.compile(r"^(\[[^\]]+\])\s*(.*)$")
+_PREDICATE_RE = re.compile(r"^@(?P<neg>!?)(?P<name>PT|P\d+)\s+(?P<rest>.*)$")
+
+
+def parse_line(text: str, lineno: int | None = None) -> Instruction | Label | None:
+    """Parse a single listing line.
+
+    Returns ``None`` for blank lines and pure comments.
+    """
+    line = text.strip()
+    if not line:
+        return None
+    comment = ""
+    if "//" in line:
+        line, comment = line.split("//", 1)
+        line = line.strip()
+        comment = comment.strip()
+        if not line:
+            return None
+
+    label_match = _LABEL_RE.match(line)
+    if label_match is not None:
+        return Label(label_match.group("name"))
+
+    control = DEFAULT_CONTROL
+    control_match = _CONTROL_PREFIX_RE.match(line)
+    if control_match is not None and control_match.group(1).startswith("[B"):
+        try:
+            control = ControlCode.parse(control_match.group(1))
+        except SassParseError as exc:
+            raise SassParseError(str(exc), line=text, lineno=lineno) from exc
+        line = control_match.group(2).strip()
+
+    predicate: PredicateOperand | None = None
+    pred_match = _PREDICATE_RE.match(line)
+    if pred_match is not None:
+        pred_name = pred_match.group("name")
+        negated = pred_match.group("neg") == "!"
+        index = 7 if pred_name == "PT" else int(pred_name[1:])
+        predicate = PredicateOperand(index, negated=negated)
+        line = pred_match.group("rest").strip()
+
+    if line.endswith(";"):
+        line = line[:-1].strip()
+    if not line:
+        raise SassParseError("empty instruction body", line=text, lineno=lineno)
+
+    opcode, operand_text = _split_opcode(line)
+    operands = []
+    if operand_text:
+        for token in _split_operands(operand_text):
+            try:
+                operands.append(parse_operand(token))
+            except SassParseError as exc:
+                raise SassParseError(
+                    f"bad operand {token!r}: {exc}", line=text, lineno=lineno
+                ) from exc
+    return Instruction(
+        opcode=opcode,
+        operands=tuple(operands),
+        control=control,
+        predicate=predicate,
+        comment=comment,
+    )
+
+
+def parse_listing(text: str) -> list[Instruction | Label]:
+    """Parse a multi-line SASS listing, skipping blanks and comments."""
+    lines: list[Instruction | Label] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        parsed = parse_line(raw, lineno=lineno)
+        if parsed is not None:
+            lines.append(parsed)
+    return lines
+
+
+def _split_opcode(line: str) -> tuple[str, str]:
+    """Split ``"LDG.E R0, [R2.64]"`` into opcode and operand text."""
+    if " " not in line:
+        return line, ""
+    opcode, rest = line.split(" ", 1)
+    return opcode, rest.strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split operand text on commas that are not inside brackets.
+
+    Memory operands such as ``desc[UR16][R10.64]`` and constants such as
+    ``c[0x0][0x160]`` contain no commas, but splitting defensively on bracket
+    depth keeps the parser robust to future operand forms.
+    """
+    tokens: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            tokens.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        tokens.append(current.strip())
+    return [t for t in tokens if t]

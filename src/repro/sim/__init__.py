@@ -1,0 +1,54 @@
+"""GPU simulator substrate: functional SASS execution, SM timing model and profiling.
+
+Replaces the NVIDIA A100 in the paper's loop: kernel runtimes measured here
+are the reward signal of the assembly game, and the functional interpreter
+backs probabilistic testing.
+"""
+
+from repro.sim.executor import RegisterFile, StepOutcome, WarpExecutor, WarpState, access_bytes
+from repro.sim.functional import (
+    ProbabilisticTester,
+    ProbabilisticTestResult,
+    compare_outputs,
+)
+from repro.sim.gpu import GPUSimulator, KernelRun, KernelTiming, MeasurementConfig
+from repro.sim.launch import GridConfig, LaunchContext, bind_tensors
+from repro.sim.memory import (
+    GlobalMemory,
+    MemoryRequest,
+    MemoryTimingModel,
+    MemoryTimingStats,
+    SharedMemory,
+    TensorAllocation,
+)
+from repro.sim.profiler import ProfileReport, build_profile
+from repro.sim.sm import FunctionalRunner, TimingResult, TimingSimulator
+
+__all__ = [
+    "GPUSimulator",
+    "KernelRun",
+    "KernelTiming",
+    "MeasurementConfig",
+    "GridConfig",
+    "LaunchContext",
+    "bind_tensors",
+    "GlobalMemory",
+    "SharedMemory",
+    "TensorAllocation",
+    "MemoryRequest",
+    "MemoryTimingModel",
+    "MemoryTimingStats",
+    "WarpExecutor",
+    "WarpState",
+    "RegisterFile",
+    "StepOutcome",
+    "access_bytes",
+    "FunctionalRunner",
+    "TimingSimulator",
+    "TimingResult",
+    "ProfileReport",
+    "build_profile",
+    "ProbabilisticTester",
+    "ProbabilisticTestResult",
+    "compare_outputs",
+]

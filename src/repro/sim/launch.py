@@ -1,0 +1,131 @@
+"""Kernel launch context: grid, kernel parameters and constant bank layout.
+
+The simulated ABI mirrors the real Ampere convention the paper's listings
+show: kernel parameters live in constant bank 0 starting at offset ``0x160``
+(8 bytes per slot), and launch dimensions are readable from the low offsets
+of bank 0.  Thread-block and warp identifiers come from the special registers
+``SR_CTAID.*`` / ``SR_TID.*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.sim.memory import GlobalMemory, SharedMemory
+
+#: Constant-bank offset of the first kernel parameter (Ampere ABI).
+PARAM_BASE_OFFSET = 0x160
+#: Bytes per parameter slot.
+PARAM_SLOT_BYTES = 8
+
+# Launch-dimension offsets in constant bank 0.
+GRID_DIM_X_OFFSET = 0x0
+GRID_DIM_Y_OFFSET = 0x4
+GRID_DIM_Z_OFFSET = 0x8
+BLOCK_DIM_X_OFFSET = 0xC
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Grid and block shape of a launch."""
+
+    grid: tuple[int, int, int] = (1, 1, 1)
+    num_warps: int = 4
+
+    @property
+    def num_blocks(self) -> int:
+        gx, gy, gz = self.grid
+        return gx * gy * gz
+
+    def block_ids(self):
+        """Iterate over every (x, y, z) thread-block id in launch order."""
+        gx, gy, gz = self.grid
+        for z in range(gz):
+            for y in range(gy):
+                for x in range(gx):
+                    yield (x, y, z)
+
+
+@dataclass
+class LaunchContext:
+    """Everything a kernel execution needs besides the SASS itself."""
+
+    grid_config: GridConfig
+    params: list[int] = field(default_factory=list)
+    global_memory: GlobalMemory = field(default_factory=GlobalMemory)
+    shared_memory_bytes: int = 0
+
+    def constant(self, bank: int, offset: int) -> int:
+        """Read a 32/64-bit value from the simulated constant bank."""
+        if bank != 0:
+            raise LaunchError(f"constant bank {bank} is not modelled")
+        if offset >= PARAM_BASE_OFFSET:
+            slot, rem = divmod(offset - PARAM_BASE_OFFSET, PARAM_SLOT_BYTES)
+            if slot >= len(self.params):
+                raise LaunchError(
+                    f"constant read past the parameter area: offset=0x{offset:x} "
+                    f"(only {len(self.params)} parameters bound)"
+                )
+            value = int(self.params[slot])
+            if rem == 4:
+                return (value >> 32) & 0xFFFFFFFF
+            return value
+        gx, gy, gz = self.grid_config.grid
+        if offset == GRID_DIM_X_OFFSET:
+            return gx
+        if offset == GRID_DIM_Y_OFFSET:
+            return gy
+        if offset == GRID_DIM_Z_OFFSET:
+            return gz
+        if offset == BLOCK_DIM_X_OFFSET:
+            return self.grid_config.num_warps * 32
+        raise LaunchError(f"unmodelled constant bank offset 0x{offset:x}")
+
+    def new_shared_memory(self) -> SharedMemory:
+        """A fresh shared-memory scratchpad for one thread block."""
+        return SharedMemory(max(self.shared_memory_bytes, 1))
+
+
+def bind_tensors(
+    memory: GlobalMemory,
+    tensors: dict[str, np.ndarray],
+    order: list[str],
+    scalars: dict[str, int] | None = None,
+) -> tuple[list[int], dict[str, "object"]]:
+    """Allocate/upload host tensors and build the kernel parameter list.
+
+    Parameters
+    ----------
+    memory:
+        The device global memory to allocate in.
+    tensors:
+        Host arrays keyed by parameter name.
+    order:
+        Parameter order expected by the kernel; names not present in
+        ``tensors`` are looked up in ``scalars``.
+    scalars:
+        Integer scalar parameters (sizes, strides...).
+
+    Returns
+    -------
+    (params, allocations):
+        The 64-bit parameter values and the allocation record per tensor name.
+    """
+    scalars = scalars or {}
+    params: list[int] = []
+    allocations: dict[str, object] = {}
+    for name in order:
+        if name in tensors:
+            array = tensors[name]
+            alloc = memory.allocate(name, array.shape, array.dtype)
+            memory.upload(alloc, array)
+            allocations[name] = alloc
+            params.append(alloc.address)
+        elif name in scalars:
+            params.append(int(scalars[name]))
+        else:
+            raise LaunchError(f"kernel parameter {name!r} was not bound")
+    return params, allocations

@@ -1,0 +1,112 @@
+"""Nsight-Compute-like profiling report.
+
+Table 3 and the memory charts (Figures 10/11) of the paper come from Nsight
+Compute hardware counters.  The simulator exposes the equivalent counters so
+the experiment harness can regenerate the same rows: executed IPC (active and
+elapsed), SM busy %, memory throughput, memory busy % and the global→shared
+traffic breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.ampere import A100, AmpereConfig
+from repro.sim.sm import TimingResult
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Per-kernel profiling counters (one SM / one thread block scope)."""
+
+    kernel_name: str
+    cycles: int
+    instructions_issued: int
+    executed_ipc_active: float
+    executed_ipc_elapsed: float
+    sm_busy_pct: float
+    memory_throughput_gbps: float
+    mem_busy_pct: float
+    max_bandwidth_pct: float
+    global_load_bytes: int
+    global_store_bytes: int
+    async_copy_bytes: int
+    shared_load_bytes: int
+    shared_store_bytes: int
+    l1_hits: int
+    l2_hits: int
+    dram_accesses: int
+    bank_conflict_stalls: int
+    tensor_instructions: int
+
+    def workload_analysis_rows(self) -> dict[str, float]:
+        """Rows matching the paper's Table 3 layout."""
+        return {
+            "Executed Ipc Active (inst/cycle)": round(self.executed_ipc_active, 2),
+            "Executed Ipc Elapsed (inst/cycle)": round(self.executed_ipc_elapsed, 2),
+            "SM Busy (%)": round(self.sm_busy_pct, 2),
+            "Memory Throughput (GB/s)": round(self.memory_throughput_gbps, 2),
+            "Mem Busy (%)": round(self.mem_busy_pct, 2),
+            "Max Bandwidth (%)": round(self.max_bandwidth_pct, 2),
+        }
+
+    def memory_chart(self) -> dict[str, float]:
+        """Global→shared / global→register traffic, as in Figures 10/11."""
+        return {
+            "global_to_shared_bytes": float(self.async_copy_bytes),
+            "global_to_register_bytes": float(self.global_load_bytes),
+            "register_to_global_bytes": float(self.global_store_bytes),
+            "shared_to_register_bytes": float(self.shared_load_bytes),
+            "register_to_shared_bytes": float(self.shared_store_bytes),
+            "l1_hit_transactions": float(self.l1_hits),
+            "l2_hit_transactions": float(self.l2_hits),
+            "dram_transactions": float(self.dram_accesses),
+        }
+
+
+def build_profile(
+    kernel_name: str,
+    timing: TimingResult,
+    *,
+    config: AmpereConfig = A100,
+) -> ProfileReport:
+    """Convert a :class:`TimingResult` into an Nsight-like report."""
+    cycles = max(timing.cycles, 1)
+    stats = timing.memory_stats
+
+    # Issue slots: one per partition per cycle.
+    total_issue_slots = cycles * max(timing.partitions, 1)
+    executed_ipc_active = timing.instructions_issued / max(timing.issue_active_cycles, 1)
+    executed_ipc_elapsed = timing.instructions_issued / cycles
+    sm_busy_pct = 100.0 * timing.instructions_issued / total_issue_slots
+
+    total_device_bytes = (
+        stats.global_load_bytes + stats.global_store_bytes + stats.async_copy_bytes
+    )
+    seconds = cycles / (config.clock_mhz * 1e6)
+    memory_throughput_gbps = (total_device_bytes / max(seconds, 1e-12)) / 1e9
+    mem_busy_pct = min(100.0, 100.0 * stats.busy_cycles / max(cycles * config.memory.mshr_per_sm, 1))
+    peak_bytes = config.memory.dram_bytes_per_cycle_per_sm * cycles
+    max_bandwidth_pct = min(100.0, 100.0 * total_device_bytes / max(peak_bytes, 1e-9))
+
+    return ProfileReport(
+        kernel_name=kernel_name,
+        cycles=cycles,
+        instructions_issued=timing.instructions_issued,
+        executed_ipc_active=executed_ipc_active,
+        executed_ipc_elapsed=executed_ipc_elapsed,
+        sm_busy_pct=sm_busy_pct,
+        memory_throughput_gbps=memory_throughput_gbps,
+        mem_busy_pct=mem_busy_pct,
+        max_bandwidth_pct=max_bandwidth_pct,
+        global_load_bytes=stats.global_load_bytes,
+        global_store_bytes=stats.global_store_bytes,
+        async_copy_bytes=stats.async_copy_bytes,
+        shared_load_bytes=stats.shared_load_bytes,
+        shared_store_bytes=stats.shared_store_bytes,
+        l1_hits=stats.l1_hits,
+        l2_hits=stats.l2_hits,
+        dram_accesses=stats.dram_accesses,
+        bank_conflict_stalls=timing.bank_conflict_stalls,
+        tensor_instructions=timing.tensor_instructions,
+    )

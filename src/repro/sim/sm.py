@@ -1,0 +1,272 @@
+"""Streaming-multiprocessor model: warp scheduling, scoreboards and timing.
+
+Two drivers share the :class:`repro.sim.executor.WarpExecutor` semantics:
+
+* :class:`FunctionalRunner` executes every warp of a thread block in lockstep
+  phases between block barriers.  It is used to produce kernel *outputs*
+  (probabilistic testing, examples) and is still timing-aware within a warp,
+  so schedules with broken stall counts produce wrong values.
+* :class:`TimingSimulator` models one SM executing one thread block: four
+  sub-partitions each issue at most one instruction per cycle from an
+  eligible warp, variable-latency results are tracked through scoreboard
+  barriers, load/store and tensor-core units have limited issue throughput,
+  and the operand-reuse cache is invalidated whenever the scheduler switches
+  warps.  Its cycle count is the reward signal of the assembly game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.ampere import A100, AmpereConfig
+from repro.arch.registers import RegisterBankModel
+from repro.errors import SimulatorError
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import SassKernel
+from repro.sass.operands import RegisterOperand
+from repro.sim.executor import StepOutcome, WarpExecutor, WarpState
+from repro.sim.launch import LaunchContext
+from repro.sim.memory import MemoryTimingModel, MemoryTimingStats
+
+#: Safety valve against runaway schedules (branches that never exit, etc.).
+MAX_DYNAMIC_INSTRUCTIONS_PER_WARP = 2_000_000
+
+
+def _label_positions(kernel: SassKernel) -> dict[str, int]:
+    return {line.name: i for i, line in enumerate(kernel.lines) if isinstance(line, Label)}
+
+
+# ---------------------------------------------------------------------------
+# Functional (lockstep) runner
+# ---------------------------------------------------------------------------
+class FunctionalRunner:
+    """Run one thread block functionally, warp phases separated by barriers."""
+
+    def __init__(self, kernel: SassKernel, launch: LaunchContext):
+        self.kernel = kernel
+        self.launch = launch
+
+    def run_block(self, ctaid: tuple[int, int, int]) -> int:
+        """Execute one thread block; returns total dynamic instructions."""
+        shared = self.launch.new_shared_memory()
+        executor = WarpExecutor(
+            self.kernel.lines,
+            self.launch,
+            shared,
+            label_positions=_label_positions(self.kernel),
+        )
+        warps = [
+            WarpState(warp_id=w, ctaid=ctaid)
+            for w in range(self.kernel.metadata.num_warps)
+        ]
+        total = 0
+        # Phase execution: every warp runs until it reaches a block barrier or
+        # exits; then the next phase starts.  This matches how cooperative
+        # tile loads (LDGSTS ... BAR.SYNC ... LDS) synchronize.
+        guard = 0
+        while any(not w.finished for w in warps):
+            guard += 1
+            if guard > 10_000:
+                raise SimulatorError("functional runner exceeded the phase limit (missing EXIT?)")
+            progressed = False
+            for warp in warps:
+                if warp.finished:
+                    continue
+                while True:
+                    if warp.issued > MAX_DYNAMIC_INSTRUCTIONS_PER_WARP:
+                        raise SimulatorError("warp exceeded the dynamic instruction limit")
+                    outcome = executor.step(warp, warp.next_issue)
+                    total += 1
+                    progressed = True
+                    if outcome.exited or warp.finished:
+                        break
+                    if outcome.hit_block_barrier:
+                        break
+            if not progressed:
+                raise SimulatorError("functional runner made no progress (deadlocked barrier?)")
+            # Align warps at the barrier.
+            sync_point = max(w.next_issue for w in warps)
+            for warp in warps:
+                if not warp.finished:
+                    warp.next_issue = max(warp.next_issue, sync_point)
+        return total
+
+    def run_grid(self) -> int:
+        """Execute every thread block of the launch grid; returns instruction count."""
+        total = 0
+        for ctaid in self.launch.grid_config.block_ids():
+            total += self.run_block(ctaid)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Timing simulator
+# ---------------------------------------------------------------------------
+@dataclass
+class TimingResult:
+    """Result of simulating one thread block on one SM."""
+
+    cycles: int
+    instructions_issued: int
+    issue_active_cycles: int
+    memory_instructions: int
+    tensor_instructions: int
+    bank_conflict_stalls: int
+    predicated_off: int
+    memory_stats: MemoryTimingStats
+    partitions: int
+    warps: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions_issued / max(self.cycles, 1)
+
+
+class TimingSimulator:
+    """Cycle-approximate model of one SM executing one thread block."""
+
+    def __init__(self, kernel: SassKernel, launch: LaunchContext, config: AmpereConfig = A100):
+        self.kernel = kernel
+        self.launch = launch
+        self.config = config
+
+    def run_block(self, ctaid: tuple[int, int, int] = (0, 0, 0)) -> TimingResult:
+        config = self.config
+        shared = self.launch.new_shared_memory()
+        memory_model = MemoryTimingModel(config)
+        executor = WarpExecutor(
+            self.kernel.lines,
+            self.launch,
+            shared,
+            label_positions=_label_positions(self.kernel),
+            memory_latency=memory_model.request_latency,
+        )
+        num_warps = self.kernel.metadata.num_warps
+        warps = [WarpState(warp_id=w, ctaid=ctaid) for w in range(num_warps)]
+        partitions = config.partitions_per_sm
+        partition_of = {w.warp_id: w.warp_id % partitions for w in warps}
+
+        partition_free = [0] * partitions
+        partition_mem_ok = [0] * partitions
+        partition_tensor_ok = [0] * partitions
+        partition_last_warp: list[int | None] = [None] * partitions
+        bank_models = [
+            RegisterBankModel(num_banks=config.register_banks, reuse_slots=config.reuse_cache_slots)
+            for _ in range(partitions)
+        ]
+
+        issued = 0
+        issue_cycles: set[int] = set()
+        memory_instructions = 0
+        tensor_instructions = 0
+        bank_conflict_stalls = 0
+        predicated_off = 0
+        last_completion = 0
+        guard = 0
+
+        while any(not w.finished for w in warps):
+            guard += 1
+            if guard > MAX_DYNAMIC_INSTRUCTIONS_PER_WARP:
+                raise SimulatorError("timing simulator exceeded the issue limit")
+
+            # Barrier release: if every unfinished warp is parked at the block
+            # barrier, release them all at the latest arrival time.
+            active = [w for w in warps if not w.finished]
+            if active and all(w.waiting_at_barrier for w in active):
+                release = max(w.next_issue for w in active) + 2
+                for w in active:
+                    w.waiting_at_barrier = False
+                    w.next_issue = release
+                # Barrier invalidates the operand reuse caches.
+                for model in bank_models:
+                    model.invalidate()
+
+            # Pick the (warp) with the earliest possible issue cycle.
+            best_warp: WarpState | None = None
+            best_cycle = None
+            best_instr: Instruction | None = None
+            for warp in warps:
+                if warp.finished or warp.waiting_at_barrier:
+                    continue
+                instr = self._peek(warp)
+                if instr is None:
+                    warp.finished = True
+                    continue
+                partition = partition_of[warp.warp_id]
+                candidate = max(warp.next_issue, partition_free[partition])
+                if instr.control.wait_mask:
+                    candidate = max(candidate, warp.barrier_clear_cycle(instr.control.wait_mask))
+                if instr.is_memory:
+                    candidate = max(candidate, partition_mem_ok[partition])
+                if instr.base_opcode in {"HMMA", "IMMA"}:
+                    candidate = max(candidate, partition_tensor_ok[partition])
+                if best_cycle is None or candidate < best_cycle or (
+                    candidate == best_cycle and best_warp is not None and warp.warp_id < best_warp.warp_id
+                ):
+                    best_cycle = candidate
+                    best_warp = warp
+                    best_instr = instr
+            if best_warp is None:
+                break
+
+            partition = partition_of[best_warp.warp_id]
+            bank_model = bank_models[partition]
+            # A warp switch on the scheduler invalidates the operand reuse
+            # cache (the §5.7.1 hypothesis for why the reordering wins).
+            if partition_last_warp[partition] != best_warp.warp_id:
+                bank_model.invalidate()
+                partition_last_warp[partition] = best_warp.warp_id
+
+            # Operand fetch: bank conflicts / reuse cache.
+            read_regs = sorted(best_instr.read_registers())
+            reuse_regs = sorted(
+                op.index
+                for op in best_instr.operands
+                if isinstance(op, RegisterOperand) and op.reuse and not op.is_rz
+            )
+            conflict_stall = bank_model.operand_fetch_stalls(read_regs, reuse_regs)
+            bank_conflict_stalls += conflict_stall
+            issue_at = best_cycle + conflict_stall
+
+            outcome: StepOutcome = executor.step(best_warp, issue_at)
+            bank_model.notify_write(best_instr.written_registers())
+
+            issued += 1
+            issue_cycles.add(outcome.issue_cycle)
+            last_completion = max(last_completion, outcome.completion_cycle, best_warp.next_issue)
+            if outcome.predicated_off:
+                predicated_off += 1
+            if outcome.is_memory:
+                memory_instructions += 1
+                partition_mem_ok[partition] = outcome.issue_cycle + config.memory.lsu_issue_interval
+            if best_instr.base_opcode in {"HMMA", "IMMA"}:
+                tensor_instructions += 1
+                partition_tensor_ok[partition] = outcome.issue_cycle + config.hmma_issue_interval
+            if outcome.hit_block_barrier:
+                best_warp.waiting_at_barrier = True
+            partition_free[partition] = outcome.issue_cycle + 1
+
+        cycles = max(last_completion, 1)
+        return TimingResult(
+            cycles=int(cycles),
+            instructions_issued=issued,
+            issue_active_cycles=len(issue_cycles),
+            memory_instructions=memory_instructions,
+            tensor_instructions=tensor_instructions,
+            bank_conflict_stalls=bank_conflict_stalls,
+            predicated_off=predicated_off,
+            memory_stats=memory_model.stats,
+            partitions=partitions,
+            warps=num_warps,
+        )
+
+    def _peek(self, warp: WarpState) -> Instruction | None:
+        lines = self.kernel.lines
+        pc = warp.pc
+        while pc < len(lines) and isinstance(lines[pc], Label):
+            pc += 1
+        if pc >= len(lines):
+            return None
+        warp.pc = pc
+        line = lines[pc]
+        return line if isinstance(line, Instruction) else None

@@ -1,0 +1,116 @@
+"""End-to-end compilation pipeline (Figure 2 of the paper, left half).
+
+``compile_spec`` runs kernel source (tile program) -> lowering -> ptxas-like
+backend -> cubin, and wraps everything a caller needs to launch, verify or
+measure the kernel into a :class:`CompiledKernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sass.assembler import assemble
+from repro.sass.cubin import Cubin
+from repro.sass.kernel import SassKernel
+from repro.sim.gpu import GPUSimulator, KernelRun, KernelTiming
+from repro.sim.launch import GridConfig
+from repro.triton.ir import TileProgram
+from repro.triton.lowering import lower_program
+from repro.triton.ptxas import compile_lowered
+from repro.triton.spec import KernelSpec
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class CompiledKernel:
+    """A compiled workload: SASS, cubin and launch description."""
+
+    spec: KernelSpec
+    shapes: dict
+    config: dict
+    program: TileProgram
+    kernel: SassKernel
+    cubin: Cubin
+    grid: GridConfig
+    param_order: list[str]
+
+    # ------------------------------------------------------------------
+    def make_inputs(self, seed_or_rng=0) -> dict[str, np.ndarray]:
+        return self.spec.make_inputs(as_rng(seed_or_rng), self.shapes)
+
+    def reference(self, inputs: dict) -> dict[str, np.ndarray]:
+        return self.spec.reference(inputs, self.shapes)
+
+    def run(self, simulator: GPUSimulator, inputs: dict | None = None, seed: int = 0) -> KernelRun:
+        """Functional execution of the whole grid."""
+        inputs = inputs if inputs is not None else self.make_inputs(seed)
+        return simulator.run(
+            self.kernel,
+            self.grid,
+            inputs,
+            self.param_order,
+            output_names=list(self.spec.output_names),
+        )
+
+    def measure(
+        self,
+        simulator: GPUSimulator,
+        inputs: dict | None = None,
+        seed: int = 0,
+        measurement=None,
+    ) -> KernelTiming:
+        """Timing measurement (one representative block scaled by waves)."""
+        inputs = inputs if inputs is not None else self.make_inputs(seed)
+        return simulator.measure(
+            self.kernel, self.grid, inputs, self.param_order, measurement=measurement
+        )
+
+    def profile(self, simulator: GPUSimulator, inputs: dict | None = None, seed: int = 0):
+        inputs = inputs if inputs is not None else self.make_inputs(seed)
+        return simulator.profile(self.kernel, self.grid, inputs, self.param_order)
+
+    def with_kernel(self, kernel: SassKernel) -> "CompiledKernel":
+        """A copy of this compiled kernel with a different SASS schedule.
+
+        Used by the assembly game and the deploy path: the optimized schedule
+        is spliced in while grid/params/reference stay identical.
+        """
+        return CompiledKernel(
+            spec=self.spec,
+            shapes=self.shapes,
+            config=self.config,
+            program=self.program,
+            kernel=kernel,
+            cubin=assemble(kernel, arch_sm=80),
+            grid=self.grid,
+            param_order=self.param_order,
+        )
+
+
+def compile_spec(
+    spec: KernelSpec,
+    *,
+    shapes: dict | None = None,
+    config: dict | None = None,
+    scale: str = "bench",
+) -> CompiledKernel:
+    """Compile one workload at the given shapes and configuration."""
+    shapes = dict(shapes) if shapes is not None else dict(spec.shapes(scale))
+    config = dict(config) if config is not None else dict(spec.default_config)
+    program = spec.build(shapes, config)
+    lowered = lower_program(program)
+    grid = spec.grid(shapes, config)
+    kernel = compile_lowered(lowered, num_warps=grid.num_warps)
+    cubin = assemble(kernel, arch_sm=80)
+    return CompiledKernel(
+        spec=spec,
+        shapes=shapes,
+        config=config,
+        program=program,
+        kernel=kernel,
+        cubin=cubin,
+        grid=grid,
+        param_order=list(lowered.param_names),
+    )

@@ -1,0 +1,23 @@
+"""Workload kernel library (Table 2 of the paper).
+
+Importing this package registers every evaluated kernel spec:
+``fused_ff``, ``mmLeakyReLu``, ``bmm``, ``flash-attention`` (compute-bound)
+and ``softmax``, ``rmsnorm`` (memory-bound).
+"""
+
+from repro.triton.kernels.flash_attention import FLASH_ATTENTION
+from repro.triton.kernels.gemm import BMM, FUSED_FF, MM_LEAKY_RELU, build_gemm_program
+from repro.triton.kernels.rmsnorm import RMSNORM, build_rmsnorm_program
+from repro.triton.kernels.softmax import SOFTMAX, build_softmax_program
+
+__all__ = [
+    "FUSED_FF",
+    "MM_LEAKY_RELU",
+    "BMM",
+    "FLASH_ATTENTION",
+    "SOFTMAX",
+    "RMSNORM",
+    "build_gemm_program",
+    "build_softmax_program",
+    "build_rmsnorm_program",
+]

@@ -1,0 +1,155 @@
+"""Flash-attention style fused self-attention (compute-bound workload of Table 2).
+
+Each thread block owns a tile of query rows for one head and streams key /
+value tiles, maintaining the online-softmax running maximum, normaliser and
+output accumulator — the algorithmic structure of FlashAttention-2, at the
+warp-tile granularity the simulator models.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.sim.launch import GridConfig
+from repro.triton.ir import TileProgram
+from repro.triton.spec import KernelSpec, register_spec
+
+_LOG2E = 1.4426950408889634
+_TQ = 16  # query rows per warp
+_TK = 32  # key/value rows per tile
+_NC = 8  # key rows per HMMA (n dimension)
+
+
+def build_flash_attention_program(shapes: dict, config: dict) -> TileProgram:
+    seq = shapes["seq_len"]
+    d = shapes["d_head"]
+    num_warps = config.get("num_warps", 2)
+    if d != 32:
+        raise CompilerError("the flash-attention builder supports d_head=32")
+    if seq % _TK:
+        raise CompilerError(f"seq_len={seq} must be a multiple of {_TK}")
+    block_q = _TQ * num_warps
+    if seq % block_q:
+        raise CompilerError(f"seq_len={seq} must be a multiple of the query block {block_q}")
+
+    scale = (1.0 / math.sqrt(d)) * _LOG2E
+    n_chunks = _TK // _NC
+    d_halves = d // 16
+
+    p = TileProgram("flash_attention")
+    q_ptr = p.param_ptr("q")
+    k_ptr = p.param_ptr("k")
+    v_ptr = p.param_ptr("v")
+    o_ptr = p.param_ptr("out")
+
+    pid_q = p.program_id(0)
+    pid_h = p.program_id(1)
+    warp = p.warp_id()
+
+    head_off = p.mul_int(pid_h, seq * d)
+    row0 = p.add_int(p.mul_int(pid_q, block_q), p.mul_int(warp, _TQ))
+    q_off = p.add_int(p.mul_int(row0, d), head_off)
+    q_tile = p.ptr_offset(q_ptr, q_off, 2)
+    o_tile = p.ptr_offset(o_ptr, q_off, 2)
+    k_tile = p.ptr_offset(k_ptr, head_off, 2)
+    v_tile = p.ptr_offset(v_ptr, head_off, 2)
+
+    # Load and pre-scale the two 16-column halves of the Q tile (16 x 32).
+    q_halves = []
+    for dh in range(d_halves):
+        q_half_ptr = p.ptr_offset(q_tile, dh * 16, 2)
+        frag = p.load_global(q_half_ptr, _TQ * 16 * 2, row_bytes=16 * 2, row_stride=d * 2)
+        q_halves.append(p.ewise("mul", frag, scale))
+
+    # Online-softmax state.
+    running_max = p.const_float(-1e30)
+    normaliser = p.const_float(0.0)
+    output = p.alloc_accumulator("o_acc")
+
+    loop = p.loop_begin(seq // _TK, name="kv")
+    scores = []
+    for nc in range(n_chunks):
+        s_chunk = p.alloc_accumulator(f"s{nc}")
+        for dh in range(d_halves):
+            k_chunk_ptr = p.ptr_offset(k_tile, nc * _NC * d + dh * 16, 2)
+            k_frag = p.load_global(k_chunk_ptr, _NC * 16 * 2, row_bytes=16 * 2, row_stride=d * 2)
+            p.mma_inplace(s_chunk, q_halves[dh], k_frag, shape=(_TQ, _NC, 16), transpose_b=True)
+        scores.append(s_chunk)
+
+    # Running row maximum over all score chunks.
+    tile_max = p.redux(scores[0], op="max", row_length=_NC)
+    for s_chunk in scores[1:]:
+        tile_max = p.ewise("max", tile_max, p.redux(s_chunk, op="max", row_length=_NC))
+    new_max = p.ewise("max", running_max, tile_max)
+    alpha = p.ewise("exp2", p.ewise("sub", running_max, new_max))
+
+    # Rescale the accumulator and normaliser by alpha.
+    p.assign(output, p.bcast(output, alpha, op="mul", row_length=d))
+    scaled_norm = p.ewise("mul", normaliser, alpha)
+
+    row_sum = None
+    for nc, s_chunk in enumerate(scores):
+        prob = p.ewise("exp2", p.bcast(s_chunk, new_max, op="sub", row_length=_NC))
+        chunk_sum = p.redux(prob, op="add", row_length=_NC)
+        row_sum = chunk_sum if row_sum is None else p.ewise("add", row_sum, chunk_sum)
+        v_chunk_ptr = p.ptr_offset(v_tile, nc * _NC * d, 2)
+        v_frag = p.load_global(v_chunk_ptr, _NC * d * 2)
+        p.mma_inplace(output, prob, v_frag, shape=(_TQ, d, _NC))
+    p.assign(normaliser, p.ewise("add", scaled_norm, row_sum))
+    p.assign(running_max, new_max)
+
+    p.advance_ptr(k_tile, _TK * d * 2)
+    p.advance_ptr(v_tile, _TK * d * 2)
+    p.loop_end(loop)
+
+    final = p.bcast(output, normaliser, op="div", row_length=d)
+    p.store_global(o_tile, final, _TQ * d * 2)
+    return p
+
+
+def _flash_grid(shapes: dict, config: dict) -> GridConfig:
+    num_warps = config.get("num_warps", 2)
+    block_q = _TQ * num_warps
+    return GridConfig(grid=(shapes["seq_len"] // block_q, shapes["n_head"], 1), num_warps=num_warps)
+
+
+def _flash_inputs(rng: np.random.Generator, shapes: dict) -> dict:
+    h, s, d = shapes["n_head"], shapes["seq_len"], shapes["d_head"]
+    q = rng.normal(0, 1.0, size=(h, s, d)).astype(np.float16)
+    k = rng.normal(0, 1.0, size=(h, s, d)).astype(np.float16)
+    v = rng.normal(0, 1.0, size=(h, s, d)).astype(np.float16)
+    return {"q": q, "k": k, "v": v, "out": np.zeros_like(q)}
+
+
+def _flash_reference(inputs: dict, shapes: dict) -> dict:
+    q = inputs["q"].astype(np.float32)
+    k = inputs["k"].astype(np.float32)
+    v = inputs["v"].astype(np.float32)
+    scale = 1.0 / math.sqrt(shapes["d_head"])
+    scores = np.matmul(q, np.swapaxes(k, -1, -2)) * scale
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores)
+    probs = probs / probs.sum(axis=-1, keepdims=True)
+    return {"out": np.matmul(probs, v).astype(np.float16)}
+
+
+FLASH_ATTENTION = register_spec(
+    KernelSpec(
+        name="flash-attention",
+        build=build_flash_attention_program,
+        grid=_flash_grid,
+        make_inputs=_flash_inputs,
+        reference=_flash_reference,
+        output_names=("out",),
+        default_config={"num_warps": 2},
+        config_space=({"num_warps": 2}, {"num_warps": 1}),
+        paper_shapes={"B": 1, "n_head": 4, "seq_len": 4096, "d_head": 32},
+        bench_shapes={"B": 1, "n_head": 4, "seq_len": 512, "d_head": 32},
+        test_shapes={"B": 1, "n_head": 2, "seq_len": 128, "d_head": 32},
+        compute_bound=True,
+        description="fused self-attention with online softmax (flash-attention)",
+    )
+)

@@ -1,0 +1,318 @@
+"""GEMM-family workloads: matmul with LeakyReLU, batched matmul, fused feed-forward.
+
+All three share one tile program builder implementing the canonical Ampere
+GEMM pipeline: cooperative, double-buffered cp.async (LDGSTS) tile loads into
+shared memory, per-warp LDS of 16x16 sub-tiles and HMMA accumulation, with a
+fused epilogue (LeakyReLU or SiLU-gate) before the STG of the output tile —
+the structure the paper's evaluation kernels (taken from the Triton and Kernl
+repositories) have.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.sim.launch import GridConfig
+from repro.triton.ir import TileProgram
+from repro.triton.spec import KernelSpec, register_spec
+
+_MMA = 16  # HMMA tile edge used by the builder
+
+
+def _check_config(shapes: dict, config: dict) -> tuple[int, int, int, int]:
+    block_m = config["BLOCK_M"]
+    block_n = config["BLOCK_N"]
+    block_k = config["BLOCK_K"]
+    num_warps = config["num_warps"]
+    m, n, k = shapes["M"], shapes["N"], shapes["K"]
+    warp_m = block_m // num_warps
+    if block_m % num_warps or warp_m % _MMA:
+        raise CompilerError(f"BLOCK_M={block_m} must split into 16-row warp tiles over {num_warps} warps")
+    if block_n % _MMA or block_k % _MMA:
+        raise CompilerError("BLOCK_N and BLOCK_K must be multiples of 16")
+    if block_k % num_warps:
+        raise CompilerError("BLOCK_K must be divisible by num_warps for cooperative loads")
+    if m % block_m or n % block_n or k % block_k:
+        raise CompilerError(f"shape {(m, n, k)} not divisible by blocks {(block_m, block_n, block_k)}")
+    if (k // block_k) % 2:
+        raise CompilerError("K / BLOCK_K must be even (double-buffered pipeline)")
+    return block_m, block_n, block_k, num_warps
+
+
+def build_gemm_program(
+    shapes: dict,
+    config: dict,
+    *,
+    name: str,
+    epilogue: str | None = None,
+    gate: bool = False,
+    batched: bool = False,
+) -> TileProgram:
+    """Build the tile program for one GEMM-family workload.
+
+    Parameters
+    ----------
+    epilogue:
+        ``None`` or ``"leaky_relu"``.
+    gate:
+        Fused feed-forward: compute ``silu(x @ w) * (x @ w2)``.
+    batched:
+        Batched matmul: the z grid axis indexes the batch.
+    """
+    block_m, block_n, block_k, num_warps = _check_config(shapes, config)
+    m, n, k = shapes["M"], shapes["N"], shapes["K"]
+    warp_m = block_m // num_warps
+    w_rows = block_k // num_warps  # rows of the B tile each warp copies
+    n_chunks = block_n // _MMA
+    k_chunks = block_k // _MMA
+    num_tiles = k // block_k
+
+    p = TileProgram(name)
+    a_ptr = p.param_ptr("a")
+    w_ptr = p.param_ptr("w")
+    w2_ptr = p.param_ptr("w2") if gate else None
+    out_ptr = p.param_ptr("out")
+
+    pid_m = p.program_id(0)
+    pid_n = p.program_id(1)
+    pid_b = p.program_id(2) if batched else None
+    warp = p.warp_id()
+
+    # ------------------------------------------------------------------
+    # Global tile pointers (per warp)
+    # ------------------------------------------------------------------
+    row0 = p.add_int(p.mul_int(pid_m, block_m), p.mul_int(warp, warp_m))
+    a_tile = p.ptr_offset(a_ptr, p.mul_int(row0, k), 2)
+    if batched:
+        a_tile = p.ptr_offset(a_tile, pid_b, m * k * 2)
+
+    w_row0 = p.mul_int(warp, w_rows)
+    w_off = p.add_int(p.mul_int(w_row0, n), p.mul_int(pid_n, block_n))
+    w_tile = p.ptr_offset(w_ptr, w_off, 2)
+    if batched:
+        w_tile = p.ptr_offset(w_tile, pid_b, k * n * 2)
+    w2_tile = None
+    if gate:
+        w2_tile = p.ptr_offset(w2_ptr, w_off, 2)
+
+    # ------------------------------------------------------------------
+    # Shared memory: double-buffered A and B (and B2) tiles
+    # ------------------------------------------------------------------
+    a_smem = [p.alloc_shared(block_m * block_k * 2) for _ in range(2)]
+    w_smem = [p.alloc_shared(block_k * block_n * 2) for _ in range(2)]
+    w2_smem = [p.alloc_shared(block_k * block_n * 2) for _ in range(2)] if gate else None
+
+    a_write = [p.add_int(p.mul_int(warp, warp_m * block_k * 2), a_smem[buf]) for buf in range(2)]
+    w_write = [p.add_int(p.mul_int(warp, w_rows * block_n * 2), w_smem[buf]) for buf in range(2)]
+    w2_write = (
+        [p.add_int(p.mul_int(warp, w_rows * block_n * 2), w2_smem[buf]) for buf in range(2)]
+        if gate
+        else None
+    )
+
+    def copy_tile(buf: int, predicate=None) -> None:
+        p.async_copy(
+            a_write[buf], a_tile, warp_m * block_k * 2,
+            row_bytes=block_k * 2, row_stride=k * 2, predicate=predicate,
+        )
+        p.async_copy(
+            w_write[buf], w_tile, w_rows * block_n * 2,
+            row_bytes=block_n * 2, row_stride=n * 2, predicate=predicate,
+        )
+        if gate:
+            p.async_copy(
+                w2_write[buf], w2_tile, w_rows * block_n * 2,
+                row_bytes=block_n * 2, row_stride=n * 2, predicate=predicate,
+            )
+        p.async_commit()
+
+    def advance_tiles() -> None:
+        p.advance_ptr(a_tile, block_k * 2)
+        p.advance_ptr(w_tile, block_k * n * 2)
+        if gate:
+            p.advance_ptr(w2_tile, block_k * n * 2)
+
+    # ------------------------------------------------------------------
+    # Accumulators
+    # ------------------------------------------------------------------
+    accs = [p.alloc_accumulator(f"acc{j}") for j in range(n_chunks)]
+    accs2 = [p.alloc_accumulator(f"acc2_{j}") for j in range(n_chunks)] if gate else None
+    remaining = p.const_int(num_tiles)
+
+    # Prologue: first tile into buffer 0.
+    copy_tile(0)
+
+    loop = p.loop_begin(num_tiles // 2, name=f"{name}_k")
+    for half in range(2):
+        current, prefetch = (0, 1) if half == 0 else (1, 0)
+        p.barrier()
+        more = p.compare_gt(remaining, 1)
+        advance_tiles()
+        copy_tile(prefetch, predicate=more)
+        for kc in range(k_chunks):
+            a_read = p.add_int(a_write[current], kc * _MMA * 2)
+            a_frag = p.load_shared(
+                a_read, warp_m * _MMA * 2, row_bytes=_MMA * 2, row_stride=block_k * 2
+            )
+            for nc in range(n_chunks):
+                w_read = w_smem[current] + (kc * _MMA * block_n + nc * _MMA) * 2
+                w_frag = p.load_shared(
+                    w_read, _MMA * _MMA * 2, row_bytes=_MMA * 2, row_stride=block_n * 2
+                )
+                p.mma_inplace(accs[nc], a_frag, w_frag, shape=(warp_m, _MMA, _MMA))
+                if gate:
+                    w2_read = w2_smem[current] + (kc * _MMA * block_n + nc * _MMA) * 2
+                    w2_frag = p.load_shared(
+                        w2_read, _MMA * _MMA * 2, row_bytes=_MMA * 2, row_stride=block_n * 2
+                    )
+                    p.mma_inplace(accs2[nc], a_frag, w2_frag, shape=(warp_m, _MMA, _MMA))
+        decremented = p.add_int(remaining, -1)
+        p.assign(remaining, decremented)
+    p.loop_end(loop)
+
+    # ------------------------------------------------------------------
+    # Epilogue and store
+    # ------------------------------------------------------------------
+    for nc in range(n_chunks):
+        value = accs[nc]
+        if gate:
+            value = p.ewise("mul", p.silu(accs[nc]), accs2[nc])
+        elif epilogue == "leaky_relu":
+            value = p.leaky_relu(accs[nc], slope=0.01)
+        col0 = p.add_int(p.mul_int(pid_n, block_n), nc * _MMA)
+        out_off = p.add_int(p.mul_int(row0, n), col0)
+        out_tile = p.ptr_offset(out_ptr, out_off, 2)
+        if batched:
+            out_tile = p.ptr_offset(out_tile, pid_b, m * n * 2)
+        p.store_global(
+            out_tile, value, warp_m * _MMA * 2, row_bytes=_MMA * 2, row_stride=n * 2
+        )
+    return p
+
+
+# ---------------------------------------------------------------------------
+# Shared spec helpers
+# ---------------------------------------------------------------------------
+def _gemm_grid(shapes: dict, config: dict) -> GridConfig:
+    grid = (
+        shapes["M"] // config["BLOCK_M"],
+        shapes["N"] // config["BLOCK_N"],
+        shapes.get("B", 1),
+    )
+    return GridConfig(grid=grid, num_warps=config["num_warps"])
+
+
+def _gemm_inputs(rng: np.random.Generator, shapes: dict, *, gate: bool = False, batched: bool = False) -> dict:
+    m, n, k = shapes["M"], shapes["N"], shapes["K"]
+    batch = shapes.get("B", 1)
+    scale = 1.0 / math.sqrt(k)
+    if batched:
+        a = rng.normal(0, scale, size=(batch, m, k)).astype(np.float16)
+        w = rng.normal(0, scale, size=(batch, k, n)).astype(np.float16)
+        out = np.zeros((batch, m, n), dtype=np.float16)
+    else:
+        a = rng.normal(0, scale, size=(m, k)).astype(np.float16)
+        w = rng.normal(0, scale, size=(k, n)).astype(np.float16)
+        out = np.zeros((m, n), dtype=np.float16)
+    inputs = {"a": a, "w": w, "out": out}
+    if gate:
+        inputs["w2"] = rng.normal(0, scale, size=(k, n)).astype(np.float16)
+        inputs = {"a": a, "w": w, "w2": inputs["w2"], "out": out}
+    return inputs
+
+
+def _matmul_f32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.float32) @ b.astype(np.float32)
+
+
+def _leaky_relu_reference(inputs: dict, shapes: dict) -> dict:
+    c = _matmul_f32(inputs["a"], inputs["w"])
+    out = np.where(c >= 0, c, 0.01 * c)
+    return {"out": out.astype(np.float16)}
+
+
+def _bmm_reference(inputs: dict, shapes: dict) -> dict:
+    a = inputs["a"].astype(np.float32)
+    w = inputs["w"].astype(np.float32)
+    return {"out": np.matmul(a, w).astype(np.float16)}
+
+
+def _fused_ff_reference(inputs: dict, shapes: dict) -> dict:
+    x1 = _matmul_f32(inputs["a"], inputs["w"])
+    x2 = _matmul_f32(inputs["a"], inputs["w2"])
+    silu = x1 / (1.0 + np.exp(-x1))
+    return {"out": (silu * x2).astype(np.float16)}
+
+
+_GEMM_CONFIG_SPACE = (
+    {"BLOCK_M": 64, "BLOCK_N": 32, "BLOCK_K": 32, "num_warps": 4},
+    {"BLOCK_M": 64, "BLOCK_N": 64, "BLOCK_K": 32, "num_warps": 4},
+    {"BLOCK_M": 32, "BLOCK_N": 32, "BLOCK_K": 32, "num_warps": 2},
+    {"BLOCK_M": 64, "BLOCK_N": 32, "BLOCK_K": 64, "num_warps": 4},
+)
+
+_GEMM_DEFAULT = {"BLOCK_M": 64, "BLOCK_N": 32, "BLOCK_K": 32, "num_warps": 4}
+
+
+MM_LEAKY_RELU = register_spec(
+    KernelSpec(
+        name="mmLeakyReLu",
+        build=lambda shapes, config: build_gemm_program(
+            shapes, config, name="mmLeakyReLu", epilogue="leaky_relu"
+        ),
+        grid=_gemm_grid,
+        make_inputs=lambda rng, shapes: _gemm_inputs(rng, shapes),
+        reference=_leaky_relu_reference,
+        output_names=("out",),
+        default_config=_GEMM_DEFAULT,
+        config_space=_GEMM_CONFIG_SPACE,
+        paper_shapes={"B": 1, "M": 512, "N": 512, "K": 2048},
+        bench_shapes={"B": 1, "M": 128, "N": 64, "K": 512},
+        test_shapes={"B": 1, "M": 64, "N": 32, "K": 128},
+        compute_bound=True,
+        description="fused GEMM with a LeakyReLU epilogue",
+    )
+)
+
+BMM = register_spec(
+    KernelSpec(
+        name="bmm",
+        build=lambda shapes, config: build_gemm_program(
+            shapes, config, name="bmm", batched=True
+        ),
+        grid=_gemm_grid,
+        make_inputs=lambda rng, shapes: _gemm_inputs(rng, shapes, batched=True),
+        reference=_bmm_reference,
+        output_names=("out",),
+        default_config=_GEMM_DEFAULT,
+        config_space=_GEMM_CONFIG_SPACE,
+        paper_shapes={"B": 4, "M": 512, "N": 512, "K": 2048},
+        bench_shapes={"B": 4, "M": 128, "N": 64, "K": 512},
+        test_shapes={"B": 2, "M": 64, "N": 32, "K": 128},
+        compute_bound=True,
+        description="batched matrix multiplication",
+    )
+)
+
+FUSED_FF = register_spec(
+    KernelSpec(
+        name="fused_ff",
+        build=lambda shapes, config: build_gemm_program(
+            shapes, config, name="fused_ff", gate=True
+        ),
+        grid=_gemm_grid,
+        make_inputs=lambda rng, shapes: _gemm_inputs(rng, shapes, gate=True),
+        reference=_fused_ff_reference,
+        output_names=("out",),
+        default_config=_GEMM_DEFAULT,
+        config_space=_GEMM_CONFIG_SPACE,
+        paper_shapes={"B": 1, "M": 512, "N": 512, "K": 2048},
+        bench_shapes={"B": 1, "M": 128, "N": 64, "K": 512},
+        test_shapes={"B": 1, "M": 64, "N": 32, "K": 128},
+        compute_bound=True,
+        description="fused SiLU-gated feed-forward (LLaMA MLP)",
+    )
+)

@@ -1,0 +1,98 @@
+"""Root-mean-square layer normalization (memory-bound workload of Table 2).
+
+``out = x / sqrt(mean(x^2) + eps) * weight`` applied row-wise; one thread
+block normalises one token's hidden vector, streaming it from global memory
+twice (once fused with the reduction, once for the scale) as the Kernl
+implementation does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.sim.launch import GridConfig
+from repro.triton.ir import TileProgram
+from repro.triton.spec import KernelSpec, register_spec
+
+_CHUNK_BYTES = 512
+_EPS = 1e-5
+
+
+def build_rmsnorm_program(shapes: dict, config: dict) -> TileProgram:
+    hidden = shapes["hidden"]
+    chunk_elems = _CHUNK_BYTES // 2
+    if hidden % chunk_elems:
+        raise CompilerError(f"hidden={hidden} must be a multiple of {chunk_elems}")
+    num_chunks = hidden // chunk_elems
+
+    p = TileProgram("rmsnorm")
+    x_ptr = p.param_ptr("x")
+    weight_ptr = p.param_ptr("weight")
+    out_ptr = p.param_ptr("out")
+    pid = p.program_id(0)
+
+    row_off = p.mul_int(pid, hidden)
+    row_ptr = p.ptr_offset(x_ptr, row_off, 2)
+    out_row_ptr = p.ptr_offset(out_ptr, row_off, 2)
+
+    # Pass 1: sum of squares.
+    fragments = []
+    sum_sq = p.const_float(0.0)
+    for i in range(num_chunks):
+        chunk_ptr = p.ptr_offset(row_ptr, i * chunk_elems, 2)
+        frag = p.load_global(chunk_ptr, _CHUNK_BYTES)
+        fragments.append(frag)
+        squared = p.ewise("mul", frag, frag)
+        sum_sq = p.ewise("add", sum_sq, p.redux(squared, op="add"))
+
+    mean_sq = p.ewise("mul", sum_sq, 1.0 / hidden)
+    shifted = p.ewise("add", mean_sq, _EPS)
+    inv_rms = p.ewise("rsqrt", shifted)
+
+    # Pass 2: scale by the weight vector and store.
+    for i, frag in enumerate(fragments):
+        w_ptr_chunk = p.ptr_offset(weight_ptr, i * chunk_elems, 2)
+        w_frag = p.load_global(w_ptr_chunk, _CHUNK_BYTES)
+        normalised = p.ewise("mul", frag, inv_rms)
+        scaled = p.ewise("mul", normalised, w_frag)
+        chunk_ptr = p.ptr_offset(out_row_ptr, i * chunk_elems, 2)
+        p.store_global(chunk_ptr, scaled, _CHUNK_BYTES)
+    return p
+
+
+def _rmsnorm_grid(shapes: dict, config: dict) -> GridConfig:
+    return GridConfig(grid=(shapes["n_rows"], 1, 1), num_warps=config.get("num_warps", 1))
+
+
+def _rmsnorm_inputs(rng: np.random.Generator, shapes: dict) -> dict:
+    x = rng.normal(0, 1.0, size=(shapes["n_rows"], shapes["hidden"])).astype(np.float16)
+    weight = rng.normal(1.0, 0.1, size=(shapes["hidden"],)).astype(np.float16)
+    return {"x": x, "weight": weight, "out": np.zeros_like(x)}
+
+
+def _rmsnorm_reference(inputs: dict, shapes: dict) -> dict:
+    x = inputs["x"].astype(np.float32)
+    weight = inputs["weight"].astype(np.float32)
+    rms = np.sqrt(np.mean(x * x, axis=1, keepdims=True) + _EPS)
+    return {"out": (x / rms * weight).astype(np.float16)}
+
+
+RMSNORM = register_spec(
+    KernelSpec(
+        name="rmsnorm",
+        build=build_rmsnorm_program,
+        grid=_rmsnorm_grid,
+        make_inputs=_rmsnorm_inputs,
+        reference=_rmsnorm_reference,
+        output_names=("out",),
+        default_config={"num_warps": 1},
+        config_space=({"num_warps": 1},),
+        # Paper: B=1, n_head=32, seq_len=4096, d_head=64 -> 4096 tokens x 2048 hidden.
+        paper_shapes={"n_rows": 4096, "hidden": 2048},
+        bench_shapes={"n_rows": 256, "hidden": 2048},
+        test_shapes={"n_rows": 8, "hidden": 512},
+        compute_bound=False,
+        description="root-mean-square layer normalization",
+    )
+)

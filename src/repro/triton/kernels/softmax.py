@@ -1,0 +1,99 @@
+"""Row-wise softmax (memory-bound workload of Table 2).
+
+One thread block normalises one row: the row is streamed from global memory
+into register fragments, reduced to the row maximum, exponentiated, summed
+and scaled by the reciprocal — the classic numerically-stable softmax that
+the Triton tutorial kernel implements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.sim.launch import GridConfig
+from repro.triton.ir import TileProgram
+from repro.triton.spec import KernelSpec, register_spec
+
+_CHUNK_BYTES = 512  # fp16 elements per load fragment = 256
+_LOG2E = 1.4426950408889634
+
+
+def build_softmax_program(shapes: dict, config: dict) -> TileProgram:
+    n_cols = shapes["n_cols"]
+    chunk_elems = _CHUNK_BYTES // 2
+    if n_cols % chunk_elems:
+        raise CompilerError(f"n_cols={n_cols} must be a multiple of {chunk_elems}")
+    num_chunks = n_cols // chunk_elems
+
+    p = TileProgram("softmax")
+    x_ptr = p.param_ptr("x")
+    out_ptr = p.param_ptr("out")
+    pid = p.program_id(0)
+
+    row_off = p.mul_int(pid, n_cols)
+    row_ptr = p.ptr_offset(x_ptr, row_off, 2)
+    out_row_ptr = p.ptr_offset(out_ptr, row_off, 2)
+
+    # Stream the row in, tracking the running maximum.
+    fragments = []
+    for i in range(num_chunks):
+        chunk_ptr = p.ptr_offset(row_ptr, i * chunk_elems, 2)
+        fragments.append(p.load_global(chunk_ptr, _CHUNK_BYTES))
+    running_max = p.const_float(-1e30)
+    for frag in fragments:
+        chunk_max = p.redux(frag, op="max")
+        running_max = p.ewise("max", running_max, chunk_max)
+
+    # exp2((x - max) * log2(e)) and the running sum.
+    exps = []
+    running_sum = p.const_float(0.0)
+    for frag in fragments:
+        shifted = p.ewise("sub", frag, running_max)
+        scaled = p.ewise("mul", shifted, _LOG2E)
+        e = p.ewise("exp2", scaled)
+        exps.append(e)
+        chunk_sum = p.redux(e, op="add")
+        running_sum = p.ewise("add", running_sum, chunk_sum)
+    inv_sum = p.ewise("rcp", running_sum)
+
+    for i, e in enumerate(exps):
+        scaled = p.ewise("mul", e, inv_sum)
+        chunk_ptr = p.ptr_offset(out_row_ptr, i * chunk_elems, 2)
+        p.store_global(chunk_ptr, scaled, _CHUNK_BYTES)
+    return p
+
+
+def _softmax_grid(shapes: dict, config: dict) -> GridConfig:
+    return GridConfig(grid=(shapes["n_rows"], 1, 1), num_warps=config.get("num_warps", 1))
+
+
+def _softmax_inputs(rng: np.random.Generator, shapes: dict) -> dict:
+    x = rng.normal(0, 1.0, size=(shapes["n_rows"], shapes["n_cols"])).astype(np.float16)
+    return {"x": x, "out": np.zeros_like(x)}
+
+
+def _softmax_reference(inputs: dict, shapes: dict) -> dict:
+    x = inputs["x"].astype(np.float32)
+    x = x - x.max(axis=1, keepdims=True)
+    e = np.exp(x)
+    return {"out": (e / e.sum(axis=1, keepdims=True)).astype(np.float16)}
+
+
+SOFTMAX = register_spec(
+    KernelSpec(
+        name="softmax",
+        build=build_softmax_program,
+        grid=_softmax_grid,
+        make_inputs=_softmax_inputs,
+        reference=_softmax_reference,
+        output_names=("out",),
+        default_config={"num_warps": 1},
+        config_space=({"num_warps": 1},),
+        paper_shapes={"n_rows": 512, "n_cols": 4096},
+        bench_shapes={"n_rows": 128, "n_cols": 2048},
+        test_shapes={"n_rows": 8, "n_cols": 512},
+        compute_bound=False,
+        description="row-wise numerically stable softmax",
+    )
+)

@@ -1,0 +1,494 @@
+"""Lowering: tile IR -> SASS proto-instructions.
+
+The lowering walks a :class:`repro.triton.ir.TileProgram`, allocates physical
+registers for every SSA value, and emits :class:`repro.sass.Instruction`
+objects *without* control codes.  Scheduling concerns — scoreboard barriers,
+stall counts, reuse flags — are the job of :mod:`repro.triton.ptxas`, exactly
+as in the real pipeline where ``ptxas -O3`` owns those decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoweringError
+from repro.sass.control import DEFAULT_CONTROL
+from repro.sass.instruction import Instruction, Label
+from repro.sass.operands import (
+    ConstantMemoryOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    PredicateOperand,
+    RegisterOperand,
+    UniformRegisterOperand,
+)
+from repro.sim.launch import PARAM_BASE_OFFSET, PARAM_SLOT_BYTES
+from repro.triton.ir import Op, TileProgram, Value, ValueKind
+
+#: Memory access widths supported per instruction (bytes per warp).
+_WIDTH_MODS = {1024: "256", 512: "128", 256: "64", 128: "32", 64: "16"}
+
+
+class RegisterAllocator:
+    """Simple bump allocator for general-purpose and predicate registers."""
+
+    def __init__(self, first_reg: int = 4, max_reg: int = 240):
+        self._next = first_reg
+        self._max = max_reg
+        self._next_pred = 0
+        self.high_watermark = first_reg
+
+    def alloc(self, count: int = 1, align: int = 1) -> int:
+        start = self._next
+        if align > 1 and start % align:
+            start += align - (start % align)
+        if start + count > self._max:
+            raise LoweringError(
+                f"out of registers: need {count} at R{start} (max R{self._max})"
+            )
+        self._next = start + count
+        self.high_watermark = max(self.high_watermark, self._next)
+        return start
+
+    def alloc_pred(self) -> int:
+        if self._next_pred > 5:
+            raise LoweringError("out of predicate registers")
+        pred = self._next_pred
+        self._next_pred += 1
+        return pred
+
+
+@dataclass
+class LoweredKernel:
+    """Result of lowering: proto instructions plus resource usage."""
+
+    name: str
+    lines: list
+    num_registers: int
+    shared_bytes: int
+    num_params: int
+    param_names: list[str] = field(default_factory=list)
+
+
+def _reg(index: int, *, is64: bool = False) -> RegisterOperand:
+    return RegisterOperand(index, is64=is64)
+
+
+def _imm(value, *, is_float: bool = False) -> ImmediateOperand:
+    return ImmediateOperand(value, is_float=is_float, hex_rendered=not is_float)
+
+
+def _width_mod(nbytes: int) -> str:
+    if nbytes not in _WIDTH_MODS:
+        raise LoweringError(
+            f"memory access of {nbytes} bytes per warp is not encodable; "
+            f"supported sizes: {sorted(_WIDTH_MODS)}"
+        )
+    return _WIDTH_MODS[nbytes]
+
+
+class Lowerer:
+    """Walks the IR and emits proto SASS."""
+
+    def __init__(self, program: TileProgram):
+        self.program = program
+        self.regs = RegisterAllocator()
+        self.lines: list = []
+        #: Value.id -> physical register index.
+        self.location: dict[int, int] = {}
+        #: open loops: list of (label_name, counter_reg, predicate)
+        self._loop_stack: list[tuple[str, int, int]] = []
+        self._label_counter = 0
+        # A uniform register used as the (never-read) TMA-style descriptor of
+        # global accesses, matching the look of real Ampere listings.
+        self._desc = UniformRegisterOperand(4)
+
+    # ------------------------------------------------------------------
+    def emit(self, opcode: str, *operands, predicate=None, comment: str = "") -> None:
+        self.lines.append(
+            Instruction(
+                opcode=opcode,
+                operands=tuple(operands),
+                control=DEFAULT_CONTROL,
+                predicate=predicate,
+                comment=comment,
+            )
+        )
+
+    def reg_of(self, value: Value) -> int:
+        try:
+            return self.location[value.id]
+        except KeyError as exc:
+            raise LoweringError(f"value {value!r} was never materialised") from exc
+
+    def define(self, value: Value, *, pair: bool = False) -> int:
+        if value.id in self.location:
+            return self.location[value.id]
+        index = self.regs.alloc(2 if pair else 1, align=2 if pair else 1)
+        self.location[value.id] = index
+        return index
+
+    def _operand_of(self, item, *, is_float: bool = False):
+        """Convert an IR operand (Value or literal) to a SASS operand."""
+        if isinstance(item, Value):
+            return _reg(self.reg_of(item))
+        if isinstance(item, bool):
+            raise LoweringError("boolean literals are not valid SASS operands")
+        if isinstance(item, float) or is_float:
+            return _imm(float(item), is_float=True)
+        return _imm(int(item))
+
+    # ------------------------------------------------------------------
+    def lower(self) -> LoweredKernel:
+        for op in self.program.ops:
+            handler = getattr(self, f"_lower_{op.opcode}", None)
+            if handler is None:
+                raise LoweringError(f"no lowering for IR op {op.opcode!r}")
+            handler(op)
+        if self._loop_stack:
+            raise LoweringError("unterminated loop in tile program")
+        self.emit("EXIT")
+        return LoweredKernel(
+            name=self.program.name,
+            lines=self.lines,
+            num_registers=self.regs.high_watermark + 2,
+            shared_bytes=self.program.shared_bytes,
+            num_params=len(self.program.params),
+            param_names=[name for name, _ in self.program.params],
+        )
+
+    # ------------------------------------------------------------------
+    # Parameters / ids / constants
+    # ------------------------------------------------------------------
+    def _lower_param(self, op: Op) -> None:
+        index = op.operands[0]
+        offset = PARAM_BASE_OFFSET + PARAM_SLOT_BYTES * index
+        pair = op.result.kind is ValueKind.PTR
+        dest = self.define(op.result, pair=pair)
+        # Pointer parameters occupy an aligned register pair; the ``.64``
+        # modifier marks the full pair as written for dependence analysis.
+        opcode = "MOV.64" if pair else "MOV"
+        self.emit(opcode, _reg(dest), ConstantMemoryOperand(0, offset), comment=f"param {op.attrs.get('name', index)}")
+
+    def _lower_program_id(self, op: Op) -> None:
+        axis = {0: "X", 1: "Y", 2: "Z"}[op.operands[0]]
+        dest = self.define(op.result)
+        from repro.sass.operands import SpecialRegisterOperand
+
+        self.emit("S2R", _reg(dest), SpecialRegisterOperand(f"SR_CTAID.{axis}"))
+
+    def _lower_thread_id(self, op: Op) -> None:
+        dest = self.define(op.result)
+        from repro.sass.operands import SpecialRegisterOperand
+
+        self.emit("S2R", _reg(dest), SpecialRegisterOperand("SR_TID.X"))
+
+    def _lower_shr_int(self, op: Op) -> None:
+        a, amount = op.operands
+        dest = self.define(op.result)
+        self.emit("SHF.R.U32", _reg(dest), self._operand_of(a), _imm(amount), RegisterOperand(255))
+
+    def _lower_compare_gt(self, op: Op) -> None:
+        a, b = op.operands
+        pred = self.regs.alloc_pred()
+        self.location[op.result.id] = pred
+        self.emit(
+            "ISETP.GT.AND",
+            PredicateOperand(pred),
+            PredicateOperand(7),
+            self._operand_of(a),
+            self._operand_of(b),
+            PredicateOperand(7),
+        )
+
+    def _lower_assign(self, op: Op) -> None:
+        target, source = op.operands
+        self.emit("MOV", _reg(self.reg_of(target)), _reg(self.reg_of(source)))
+
+    def _lower_const_int(self, op: Op) -> None:
+        dest = self.define(op.result)
+        self.emit("MOV", _reg(dest), _imm(op.operands[0]))
+
+    def _lower_const_float(self, op: Op) -> None:
+        dest = self.define(op.result)
+        self.emit("MOV", _reg(dest), _imm(op.operands[0], is_float=True))
+
+    # ------------------------------------------------------------------
+    # Integer / pointer arithmetic
+    # ------------------------------------------------------------------
+    def _lower_mul_int(self, op: Op) -> None:
+        a, b = op.operands
+        dest = self.define(op.result)
+        self.emit("IMAD", _reg(dest), self._operand_of(a), self._operand_of(b), RegisterOperand(255))
+
+    def _lower_add_int(self, op: Op) -> None:
+        a, b = op.operands
+        dest = self.define(op.result)
+        self.emit("IADD3", _reg(dest), self._operand_of(a), self._operand_of(b), RegisterOperand(255))
+
+    def _lower_shl_int(self, op: Op) -> None:
+        a, amount = op.operands
+        dest = self.define(op.result)
+        self.emit("SHF.L.U32", _reg(dest), self._operand_of(a), _imm(amount), RegisterOperand(255))
+
+    def _lower_ptr_offset(self, op: Op) -> None:
+        ptr, offset, scale = op.operands
+        dest = self.define(op.result, pair=True)
+        if isinstance(offset, Value):
+            self.emit(
+                "IMAD.WIDE",
+                _reg(dest),
+                _reg(self.reg_of(offset)),
+                _imm(scale),
+                _reg(self.reg_of(ptr)),
+            )
+        else:
+            self.emit(
+                "IADD3.64",
+                _reg(dest),
+                _reg(self.reg_of(ptr)),
+                _imm(int(offset) * int(scale)),
+                RegisterOperand(255),
+            )
+
+    def _lower_advance_ptr(self, op: Op) -> None:
+        ptr, delta = op.operands
+        reg = self.reg_of(ptr)
+        self.emit("IADD3.64", _reg(reg), _reg(reg), _imm(delta), RegisterOperand(255))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _shared_operand(self, shared_offset, extra_offset: int = 0) -> MemoryOperand:
+        if isinstance(shared_offset, Value):
+            return MemoryOperand(base=RegisterOperand(self.reg_of(shared_offset)), offset=extra_offset)
+        return MemoryOperand(offset=int(shared_offset) + extra_offset)
+
+    def _stride_operands(self, op: Op, chunk: int):
+        """Optional (row_bytes, row_stride) immediates for strided accesses."""
+        row_bytes = op.attrs.get("row_bytes", 0)
+        row_stride = op.attrs.get("row_stride", 0)
+        if row_bytes and row_stride and row_bytes != chunk:
+            return (_imm(row_bytes), _imm(row_stride))
+        return ()
+
+    def _lower_async_copy(self, op: Op) -> None:
+        shared_offset, ptr, nbytes = op.operands
+        base = self.reg_of(ptr)
+        predicate_value = op.attrs.get("predicate")
+        predicate = None
+        if predicate_value is not None:
+            predicate = PredicateOperand(self.location[predicate_value.id])
+        row_bytes = op.attrs.get("row_bytes", 0) or int(nbytes)
+        row_stride = op.attrs.get("row_stride", 0) or row_bytes
+        remaining = int(nbytes)
+        chunk_offset_bytes = 0  # offset within shared memory (packed rows)
+        global_row = 0
+        while remaining > 0:
+            chunk = 512 if remaining >= 512 else remaining
+            rows_in_chunk = max(1, chunk // row_bytes) if row_bytes else 1
+            mod = _width_mod(chunk)
+            shared_op = self._shared_operand(shared_offset, chunk_offset_bytes)
+            global_op = MemoryOperand(
+                base=RegisterOperand(base, is64=True),
+                descriptor=self._desc,
+                offset=global_row * row_stride,
+            )
+            operands = [shared_op, global_op]
+            operands.extend(self._stride_operands(op, chunk))
+            self.emit(f"LDGSTS.E.BYPASS.{mod}", *operands, predicate=predicate)
+            remaining -= chunk
+            chunk_offset_bytes += chunk
+            global_row += rows_in_chunk
+
+    def _lower_async_commit(self, op: Op) -> None:
+        self.emit("LDGDEPBAR")
+
+    def _lower_barrier(self, op: Op) -> None:
+        self.emit("BAR.SYNC", _imm(0))
+
+    def _lower_load_shared(self, op: Op) -> None:
+        shared_offset, nbytes = op.operands
+        mod = _width_mod(nbytes)
+        dest = self.define(op.result)
+        operands = [_reg(dest), self._shared_operand(shared_offset)]
+        operands.extend(self._stride_operands(op, nbytes))
+        self.emit(f"LDS.{mod}", *operands)
+
+    def _lower_load_global(self, op: Op) -> None:
+        ptr, nbytes = op.operands
+        mod = _width_mod(nbytes)
+        dest = self.define(op.result)
+        operands = [
+            _reg(dest),
+            MemoryOperand(base=RegisterOperand(self.reg_of(ptr), is64=True), descriptor=self._desc),
+        ]
+        operands.extend(self._stride_operands(op, nbytes))
+        self.emit(f"LDG.E.{mod}", *operands)
+
+    def _lower_store_global(self, op: Op) -> None:
+        ptr, fragment, nbytes = op.operands
+        mod = _width_mod(nbytes)
+        operands = [
+            MemoryOperand(base=RegisterOperand(self.reg_of(ptr), is64=True), descriptor=self._desc),
+            _reg(self.reg_of(fragment)),
+        ]
+        operands.extend(self._stride_operands(op, nbytes))
+        self.emit(f"STG.E.{mod}", *operands)
+
+    # ------------------------------------------------------------------
+    # Tile compute
+    # ------------------------------------------------------------------
+    def _lower_alloc_accumulator(self, op: Op) -> None:
+        dest = self.define(op.result)
+        self.emit("MOV", _reg(dest), _imm(0), comment="zero accumulator")
+
+    def _lower_mma(self, op: Op) -> None:
+        acc, a, b = op.operands
+        m, n, k = op.attrs.get("shape", (16, 8, 16))
+        shape_mod = f"{m}_{n}_{k}"
+        layout = ".TB" if op.attrs.get("transpose_b") else ""
+        acc_reg = self.reg_of(acc)
+        self.emit(
+            f"HMMA.{shape_mod}.F32{layout}",
+            _reg(acc_reg),
+            _reg(self.reg_of(a)),
+            _reg(self.reg_of(b)),
+            _reg(acc_reg),
+        )
+
+    _EWISE_MAP = {
+        "add": ("FADD", False),
+        "sub": ("FADD", True),
+        "mul": ("FMUL", False),
+        "max": ("FMNMX", False),
+        "min": ("FMNMX", False),
+        "exp2": ("MUFU.EX2", False),
+        "rcp": ("MUFU.RCP", False),
+        "rsqrt": ("MUFU.RSQ", False),
+        "scale": ("FMUL", False),
+    }
+
+    def _emit_ewise(self, opname: str, dest: int, a, b) -> None:
+        if opname not in self._EWISE_MAP:
+            raise LoweringError(f"unsupported elementwise op {opname!r}")
+        opcode, negate_b = self._EWISE_MAP[opname]
+        operands = [_reg(dest), self._operand_of(a, is_float=True)]
+        if opname in {"exp2", "rcp", "rsqrt"}:
+            self.emit(opcode, *operands)
+            return
+        if b is None:
+            raise LoweringError(f"elementwise op {opname!r} needs two operands")
+        b_operand = self._operand_of(b, is_float=True)
+        if negate_b and isinstance(b_operand, RegisterOperand):
+            b_operand = RegisterOperand(b_operand.index, negated=True)
+        elif negate_b and isinstance(b_operand, ImmediateOperand):
+            b_operand = _imm(-float(b_operand.value), is_float=True)
+        operands.append(b_operand)
+        if opname == "max":
+            operands.append(PredicateOperand(7, negated=True))
+        elif opname == "min":
+            operands.append(PredicateOperand(7))
+        self.emit(opcode, *operands)
+
+    def _lower_ewise(self, op: Op) -> None:
+        dest = self.define(op.result)
+        a = op.operands[0]
+        b = op.operands[1] if len(op.operands) > 1 else None
+        self._emit_ewise(op.attrs["op"], dest, a, b)
+
+    def _lower_ewise_inplace(self, op: Op) -> None:
+        target = op.operands[0]
+        other = op.operands[1] if len(op.operands) > 1 else None
+        self._emit_ewise(op.attrs["op"], self.reg_of(target), target, other)
+
+    def _lower_fma(self, op: Op) -> None:
+        a, b, c = op.operands
+        dest = self.define(op.result)
+        self.emit(
+            "FFMA",
+            _reg(dest),
+            self._operand_of(a, is_float=True),
+            self._operand_of(b, is_float=True),
+            self._operand_of(c, is_float=True),
+        )
+
+    def _lower_redux(self, op: Op) -> None:
+        fragment, row_length = op.operands
+        dest = self.define(op.result)
+        mod = {"max": "MAX", "min": "MIN", "add": "ADD", "sum": "ADD"}[op.attrs.get("op", "max")]
+        self.emit(f"REDUX.{mod}", _reg(dest), _reg(self.reg_of(fragment)), _imm(row_length))
+
+    def _lower_bcast(self, op: Op) -> None:
+        fragment, rowvec, row_length = op.operands
+        dest = self.define(op.result)
+        mod = {"add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV"}[op.attrs.get("op", "sub")]
+        self.emit(
+            f"FBCAST.{mod}",
+            _reg(dest),
+            _reg(self.reg_of(fragment)),
+            _reg(self.reg_of(rowvec)),
+            _imm(row_length),
+        )
+
+    def _lower_leaky_relu(self, op: Op) -> None:
+        fragment, slope = op.operands
+        scaled = self.regs.alloc()
+        self.emit("FMUL", _reg(scaled), _reg(self.reg_of(fragment)), _imm(slope, is_float=True))
+        dest = self.define(op.result)
+        self.emit(
+            "FMNMX",
+            _reg(dest),
+            _reg(self.reg_of(fragment)),
+            _reg(scaled),
+            PredicateOperand(7, negated=True),
+        )
+
+    def _lower_silu(self, op: Op) -> None:
+        fragment = op.operands[0]
+        src = self.reg_of(fragment)
+        t_scaled = self.regs.alloc()
+        t_exp = self.regs.alloc()
+        t_sum = self.regs.alloc()
+        t_rcp = self.regs.alloc()
+        dest = self.define(op.result)
+        # silu(x) = x / (1 + 2^(-x * log2(e)))
+        self.emit("FMUL", _reg(t_scaled), _reg(src), _imm(-1.4426950408889634, is_float=True))
+        self.emit("MUFU.EX2", _reg(t_exp), _reg(t_scaled))
+        self.emit("FADD", _reg(t_sum), _reg(t_exp), _imm(1.0, is_float=True))
+        self.emit("MUFU.RCP", _reg(t_rcp), _reg(t_sum))
+        self.emit("FMUL", _reg(dest), _reg(src), _reg(t_rcp))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _lower_loop_begin(self, op: Op) -> None:
+        trip = op.operands[0]
+        counter = self.regs.alloc()
+        self.emit("MOV", _reg(counter), self._operand_of(trip), comment="loop counter")
+        self._label_counter += 1
+        label = f".L_{op.attrs.get('name', 'loop')}_{self._label_counter}"
+        predicate = self.regs.alloc_pred()
+        self.lines.append(Label(label))
+        self._loop_stack.append((label, counter, predicate))
+
+    def _lower_loop_end(self, op: Op) -> None:
+        if not self._loop_stack:
+            raise LoweringError("loop_end without a matching loop_begin")
+        label, counter, predicate = self._loop_stack.pop()
+        self.emit("IADD3", _reg(counter), _reg(counter), _imm(-1), RegisterOperand(255))
+        self.emit(
+            "ISETP.NE.AND",
+            PredicateOperand(predicate),
+            PredicateOperand(7),
+            _reg(counter),
+            _imm(0),
+            PredicateOperand(7),
+        )
+        self.emit("BRA", LabelOperand(label), predicate=PredicateOperand(predicate))
+
+
+def lower_program(program: TileProgram) -> LoweredKernel:
+    """Lower a tile program to proto SASS instructions."""
+    return Lowerer(program).lower()

@@ -1,0 +1,78 @@
+"""PTX-like rendering of a tile program.
+
+§5.6 of the paper motivates SASS-level optimization by contrasting the PTX a
+kernel author can see (``cp.async``, ``add.s32`` ...) with the SASS the
+proprietary ``ptxas`` actually schedules (LDGSTS interleaved with IMAD.WIDE).
+This module renders the same tile program at the PTX abstraction level so the
+comparison (and the example reproducing Listing 8 vs Listing 9) is possible.
+"""
+
+from __future__ import annotations
+
+from repro.triton.ir import Op, TileProgram, Value
+
+
+def _fmt(value) -> str:
+    if isinstance(value, Value):
+        prefix = {"int": "%r", "ptr": "%rd", "float": "%f", "fragment": "%frag", "pred": "%p"}[
+            value.kind.value
+        ]
+        return f"{prefix}{value.id}"
+    return str(value)
+
+
+_TEMPLATES = {
+    "param": "ld.param.u64 {res}, [param_{0}];",
+    "program_id": "mov.u32 {res}, %ctaid.{axis};",
+    "thread_id": "mov.u32 {res}, %tid.x;",
+    "const_int": "mov.s32 {res}, {0};",
+    "const_float": "mov.f32 {res}, {0};",
+    "mul_int": "mul.lo.s32 {res}, {0}, {1};",
+    "add_int": "add.s32 {res}, {0}, {1};",
+    "shl_int": "shl.b32 {res}, {0}, {1};",
+    "shr_int": "shr.u32 {res}, {0}, {1};",
+    "compare_gt": "setp.gt.s32 {res}, {0}, {1};",
+    "ptr_offset": "mad.wide.s32 {res}, {1}, {2}, {0};",
+    "advance_ptr": "add.s64 {0}, {0}, {1};",
+    "async_copy": "cp.async.cg.shared.global [{0}], [{1}], {2};",
+    "async_commit": "cp.async.commit_group;",
+    "barrier": "bar.sync 0;",
+    "load_shared": "ld.shared.v4.b32 {res}, [{0}];",
+    "load_global": "ld.global.v4.b32 {res}, [{0}];",
+    "store_global": "st.global.v4.b32 [{0}], {1};",
+    "alloc_accumulator": "mov.f32 {res}, 0f00000000;",
+    "mma": "mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {0}, {1}, {2}, {0};",
+    "assign": "mov.b32 {0}, {1};",
+    "ewise": "{op}.f32 {res}, {0};",
+    "ewise_inplace": "{op}.f32 {0}, {0};",
+    "fma": "fma.rn.f32 {res}, {0}, {1}, {2};",
+    "redux": "redux.sync.{op}.f32 {res}, {0};",
+    "bcast": "shfl.sync.bfly.b32 {res}, {0}, {1};",
+    "leaky_relu": "max.f32 {res}, {0}, 0f00000000;  // leaky relu",
+    "silu": "// silu expansion: ex2 / rcp / mul",
+    "loop_begin": "$L_{0}: // loop over {0}",
+    "loop_end": "bra $L_{0};",
+}
+
+
+def render_ptx(program: TileProgram) -> str:
+    """Render a PTX-like listing of the program."""
+    lines = [f".visible .entry {program.name}("]
+    lines.extend(f"    .param .u64 param_{name}," for name, _ in program.params)
+    lines.append(")")
+    lines.append("{")
+    for op in program.ops:
+        template = _TEMPLATES.get(op.opcode)
+        operands = [_fmt(o) for o in op.operands]
+        if template is None:
+            lines.append(f"    // {op.opcode} {operands}")
+            continue
+        text = template
+        for index, operand in enumerate(operands):
+            text = text.replace("{" + str(index) + "}", operand)
+        text = text.replace("{res}", _fmt(op.result) if op.result is not None else "_")
+        text = text.replace("{op}", str(op.attrs.get("op", "")))
+        text = text.replace("{axis}", "xyz"[op.operands[0]] if op.opcode == "program_id" else "")
+        lines.append("    " + text)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

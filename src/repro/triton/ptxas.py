@@ -1,0 +1,248 @@
+"""The ptxas-like backend: scheduling and control-code assignment.
+
+Real ``ptxas -O3`` owns three decisions this module reproduces:
+
+* **interleaving** — address arithmetic is spread between memory instructions
+  (the paper's Listing 9 shows IMAD.WIDE interleaved with LDGSTS);
+* **scoreboard allocation** — every variable-latency instruction gets a write
+  barrier, and its consumers wait on it;
+* **stall counts** — consumers of fixed-latency instructions are separated by
+  enough issue-stall cycles that the result is architecturally visible.
+
+The output of :func:`compile_lowered` is the "-O3 SASS schedule" that the
+assembly game starts from (§3 of the paper).  It is deliberately a *good but
+not optimal* schedule: it preserves the program order of memory instructions
+relative to compute, leaving exactly the latency-hiding headroom that manual
+experts — and the RL agent — exploit by reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.latency_table import execution_latency
+from repro.errors import PtxasError
+from repro.sass.control import MAX_STALL, NUM_BARRIERS, ControlCode
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import KernelMetadata, SassKernel
+from repro.sass.operands import RegisterOperand
+from repro.triton.lowering import LoweredKernel
+
+#: Stall counts used for control-flow / synchronization instructions.  These
+#: are generous enough to also cover loop-carried fixed-latency dependences
+#: (the branch redirection itself costs several cycles on real hardware).
+_SYNC_STALLS = {"BRA": 6, "EXIT": 5, "BAR": 5, "RET": 5, "LDGDEPBAR": 2, "DEPBAR": 2}
+
+
+def _base_stall(instr: Instruction) -> int:
+    base = instr.base_opcode
+    if base in _SYNC_STALLS:
+        return _SYNC_STALLS[base]
+    if instr.is_memory:
+        return 2
+    return 1
+
+
+@dataclass
+class _PendingFixed:
+    """A fixed-latency producer whose result is not yet guaranteed visible."""
+
+    index: int
+    issue_at: int
+    latency: int
+
+
+class ControlCodeAssigner:
+    """Assigns wait/read/write barriers and stall counts to a proto listing."""
+
+    def __init__(self, lines):
+        self.lines = list(lines)
+        self.stalls: list[int] = []
+        self.waits: list[set[int]] = []
+        self.write_barriers: list[int | None] = []
+        self.read_barriers: list[int | None] = []
+        self._next_slot = 0
+        self._overflow: dict[int, int] = {}
+
+    def _alloc_slot(self) -> int:
+        slot = self._next_slot % NUM_BARRIERS
+        self._next_slot += 1
+        return slot
+
+    def run(self) -> list:
+        lines = self.lines
+        # Per-register / per-predicate producer bookkeeping.
+        fixed_reg: dict[int, _PendingFixed] = {}
+        fixed_pred: dict[int, _PendingFixed] = {}
+        var_reg_slot: dict[int, int] = {}
+        outstanding_async: set[int] = set()
+        acc = 0  # accumulated issue offset (sum of stall counts so far)
+
+        instruction_positions = [i for i, ln in enumerate(lines) if isinstance(ln, Instruction)]
+        self.stalls = [0] * len(lines)
+        self.waits = [set() for _ in lines]
+        self.write_barriers = [None] * len(lines)
+        self.read_barriers = [None] * len(lines)
+
+        prev_instr_pos: int | None = None
+        for pos in instruction_positions:
+            instr: Instruction = lines[pos]
+            reads = instr.read_registers()
+            read_preds = instr.read_predicates()
+
+            # ---- wait barriers for variable-latency producers -------------
+            for reg in reads:
+                slot = var_reg_slot.pop(reg, None)
+                if slot is not None:
+                    self.waits[pos].add(slot)
+            # Barriers / commits wait for every outstanding async copy so the
+            # data is resident in shared memory before anyone reads it.
+            if instr.base_opcode in {"BAR", "LDGDEPBAR", "DEPBAR", "EXIT"} and outstanding_async:
+                self.waits[pos] |= outstanding_async
+                outstanding_async.clear()
+
+            # ---- stall counts for fixed-latency producers ------------------
+            deficit = 0
+            for reg in reads:
+                pending = fixed_reg.get(reg)
+                if pending is not None:
+                    ready = pending.issue_at + pending.latency
+                    deficit = max(deficit, ready - acc)
+            for pred in read_preds:
+                pending = fixed_pred.get(pred)
+                if pending is not None:
+                    ready = pending.issue_at + pending.latency
+                    deficit = max(deficit, ready - acc)
+            if deficit > 0:
+                if prev_instr_pos is None:
+                    raise PtxasError("first instruction cannot have a fixed-latency dependence")
+                self._add_stall(prev_instr_pos, deficit)
+                acc += deficit
+
+            # ---- record this instruction's own production -------------------
+            base_stall = _base_stall(instr)
+            self.stalls[pos] = base_stall
+
+            writes = instr.written_registers()
+            write_preds = instr.written_predicates()
+            if instr.is_fixed_latency:
+                latency = execution_latency(instr.opcode)
+                for reg in writes:
+                    fixed_reg[reg] = _PendingFixed(pos, acc, latency)
+                for pred in write_preds:
+                    fixed_pred[pred] = _PendingFixed(pos, acc, latency)
+            else:
+                # Variable latency: allocate a write barrier when the result
+                # lands in a register, or track the async copy group.
+                if writes:
+                    slot = self._alloc_slot()
+                    self.write_barriers[pos] = slot
+                    for reg in writes:
+                        var_reg_slot[reg] = slot
+                elif instr.base_opcode == "LDGSTS":
+                    slot = self._alloc_slot()
+                    self.write_barriers[pos] = slot
+                    outstanding_async.add(slot)
+                elif instr.info.writes_memory:
+                    # Stores consume their sources; give them a read barrier.
+                    self.read_barriers[pos] = self._alloc_slot()
+            # Registers overwritten by any instruction stop being "pending".
+            for reg in writes:
+                if not instr.is_fixed_latency:
+                    fixed_reg.pop(reg, None)
+
+            acc += self.stalls[pos]
+            prev_instr_pos = pos
+
+        return self._rebuild()
+
+    def _add_stall(self, pos: int, amount: int) -> None:
+        """Increase the stall of the instruction at ``pos`` (splitting into NOPs
+        if it would exceed the encodable maximum)."""
+        self.stalls[pos] += amount
+        if self.stalls[pos] > MAX_STALL:
+            # Clamp; the remainder is carried by an explicit NOP inserted at
+            # rebuild time.
+            self._overflow.setdefault(pos, 0)
+            self._overflow[pos] += self.stalls[pos] - MAX_STALL
+            self.stalls[pos] = MAX_STALL
+
+    def _rebuild(self) -> list:
+        out: list = []
+        for pos, line in enumerate(self.lines):
+            if isinstance(line, Label):
+                out.append(line)
+                continue
+            control = ControlCode(
+                wait_mask=frozenset(self.waits[pos]),
+                read_barrier=self.read_barriers[pos],
+                write_barrier=self.write_barriers[pos],
+                yield_flag=False,
+                stall=max(1, min(self.stalls[pos], MAX_STALL)),
+            )
+            out.append(line.with_control(control))
+            overflow = self._overflow.get(pos, 0)
+            while overflow > 0:
+                chunk = min(overflow, MAX_STALL)
+                out.append(Instruction("NOP", control=ControlCode(stall=chunk)))
+                overflow -= chunk
+        self._overflow = {}
+        return out
+
+
+def insert_reuse_flags(lines) -> list:
+    """Set ``.reuse`` on source registers shared by back-to-back ALU/HMMA
+    instructions, as ``ptxas`` does to relieve register-bank pressure."""
+    out = list(lines)
+    for i in range(len(out) - 1):
+        cur, nxt = out[i], out[i + 1]
+        if not isinstance(cur, Instruction) or not isinstance(nxt, Instruction):
+            continue
+        if not cur.is_fixed_latency or not nxt.is_fixed_latency:
+            continue
+        cur_sources = {
+            op.index
+            for op in cur.source_operands()
+            if isinstance(op, RegisterOperand) and not op.is_rz
+        }
+        next_sources = {
+            op.index
+            for op in nxt.source_operands()
+            if isinstance(op, RegisterOperand) and not op.is_rz
+        }
+        shared = (cur_sources & next_sources) - cur.written_registers()
+        if not shared:
+            continue
+        new_ops = []
+        for op in cur.operands:
+            if (
+                isinstance(op, RegisterOperand)
+                and not op.is_rz
+                and op.index in shared
+                and op not in cur.dest_operands()
+            ):
+                new_ops.append(op.with_reuse())
+            else:
+                new_ops.append(op)
+        out[i] = cur.with_operands(new_ops)
+    return out
+
+
+def compile_lowered(
+    lowered: LoweredKernel,
+    *,
+    num_warps: int = 4,
+    arch: str = "sm_80",
+) -> SassKernel:
+    """Produce the ``-O3`` SASS schedule for a lowered kernel."""
+    lines = insert_reuse_flags(lowered.lines)
+    lines = ControlCodeAssigner(lines).run()
+    metadata = KernelMetadata(
+        name=lowered.name,
+        num_registers=lowered.num_registers,
+        shared_memory_bytes=lowered.shared_bytes,
+        num_warps=num_warps,
+        arch=arch,
+        num_params=lowered.num_params,
+    )
+    return SassKernel(lines, metadata=metadata)

@@ -1,0 +1,13 @@
+"""Shared utilities: logging, RNG handling and light-weight serialization."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeededRNG, as_rng
+from repro.utils.serialization import from_json_file, to_json_file
+
+__all__ = [
+    "get_logger",
+    "SeededRNG",
+    "as_rng",
+    "from_json_file",
+    "to_json_file",
+]

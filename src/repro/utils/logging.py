@@ -1,0 +1,43 @@
+"""Logging helpers.
+
+The library never configures the root logger; it only creates namespaced
+loggers under ``repro.*`` so applications keep control of handlers and
+levels.  :func:`get_logger` adds a ``NullHandler`` to avoid "no handler"
+warnings when the host application does not configure logging.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a library logger.
+
+    Parameters
+    ----------
+    name:
+        Dotted sub-name, e.g. ``"core.trainer"``.  ``None`` returns the
+        package root logger.
+    """
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    logger = logging.getLogger(full)
+    if not logger.handlers:
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Convenience helper used by the examples to print progress."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in logger.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,47 @@
+"""Tiny JSON (de)serialization helpers used for caches and checkpoints.
+
+The cubin deploy-cache (§4.2 of the paper), autotuner cache and training
+statistics are stored as JSON so they are human-inspectable.  Numpy scalars
+and arrays are converted to plain Python types on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, (np.bool_,)):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def to_json_file(path: str | Path, obj: Any, *, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf8") as fh:
+        json.dump(obj, fh, cls=_NumpyJSONEncoder, indent=indent, sort_keys=True)
+    return path
+
+
+def from_json_file(path: str | Path) -> Any:
+    """Load a JSON file written by :func:`to_json_file`."""
+    with Path(path).open("r", encoding="utf8") as fh:
+        return json.load(fh)
+
+
+def to_json_str(obj: Any) -> str:
+    """Serialize ``obj`` to a compact JSON string (used for cache keys)."""
+    return json.dumps(obj, cls=_NumpyJSONEncoder, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,113 @@
+"""Property-based tests on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import build_cfg, infer_stall_counts
+from repro.core import StateEmbedder
+from repro.sass import ControlCode, Instruction, KernelMetadata, SassKernel, parse_line
+from repro.sass.operands import ImmediateOperand, RegisterOperand
+
+
+# ---------------------------------------------------------------------------
+# Random (but structurally valid) straight-line kernels
+# ---------------------------------------------------------------------------
+_OPCODES = ["MOV", "IADD3", "IMAD", "FADD", "FFMA", "LDG.E", "STG.E", "LDS.32", "STS.32"]
+
+
+@st.composite
+def straight_line_kernels(draw):
+    length = draw(st.integers(min_value=3, max_value=20))
+    lines = []
+    for i in range(length):
+        opcode = draw(st.sampled_from(_OPCODES))
+        dest = RegisterOperand(draw(st.integers(min_value=4, max_value=60)))
+        src = RegisterOperand(draw(st.integers(min_value=4, max_value=60)))
+        stall = draw(st.integers(min_value=1, max_value=8))
+        control = ControlCode(stall=stall)
+        if opcode.startswith(("LDG", "LDS")):
+            from repro.sass.operands import MemoryOperand
+
+            operands = (dest, MemoryOperand(base=RegisterOperand(src.index, is64=True)))
+        elif opcode.startswith(("STG", "STS")):
+            from repro.sass.operands import MemoryOperand
+
+            operands = (MemoryOperand(base=RegisterOperand(dest.index, is64=True)), src)
+        else:
+            operands = (dest, src, ImmediateOperand(draw(st.integers(0, 64))))
+        lines.append(Instruction(opcode=opcode, operands=operands, control=control))
+    lines.append(Instruction("EXIT", control=ControlCode(stall=5)))
+    return SassKernel(lines, KernelMetadata(name="prop", num_warps=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(straight_line_kernels())
+def test_render_parse_round_trip(kernel):
+    """Rendering then re-parsing preserves every instruction."""
+    reparsed = SassKernel.from_text(kernel.render(), kernel.metadata)
+    assert [l.render() for l in reparsed.lines] == [l.render() for l in kernel.lines]
+
+
+@settings(max_examples=30, deadline=None)
+@given(straight_line_kernels())
+def test_basic_blocks_partition_the_listing(kernel):
+    """Basic blocks are disjoint, ordered and cover every instruction line."""
+    blocks = kernel.basic_blocks()
+    covered = set()
+    previous_end = 0
+    for start, end in blocks:
+        assert start >= previous_end
+        previous_end = end
+        covered.update(range(start, end))
+    instruction_indices = set(kernel.instruction_indices())
+    assert instruction_indices <= covered
+
+
+@settings(max_examples=30, deadline=None)
+@given(straight_line_kernels(), st.data())
+def test_swap_is_an_involution_and_preserves_multiset(kernel, data):
+    """Swapping the same pair twice restores the kernel, and a swap never
+    adds or removes instructions."""
+    indices = kernel.instruction_indices()
+    if len(indices) < 2:
+        return
+    i = data.draw(st.sampled_from(indices[:-1]))
+    j = i + 1
+    if j not in indices:
+        return
+    swapped = kernel.swap(i, j)
+    assert sorted(l.render() for l in swapped.lines) == sorted(l.render() for l in kernel.lines)
+    assert swapped.swap(i, j).render() == kernel.render()
+
+
+@settings(max_examples=20, deadline=None)
+@given(straight_line_kernels())
+def test_stall_inference_is_deterministic_and_fractions_sum_to_one(kernel):
+    first = infer_stall_counts(kernel)
+    second = infer_stall_counts(kernel)
+    assert first.resolution_counts() == second.resolution_counts()
+    fractions = first.resolution_fractions()
+    total = sum(fractions.values())
+    assert total == 0.0 or abs(total - 1.0) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(straight_line_kernels())
+def test_embedding_shape_is_invariant_under_swaps(kernel):
+    embedder = StateEmbedder(kernel)
+    matrix = embedder.embed(kernel)
+    indices = kernel.instruction_indices()
+    if len(indices) >= 2:
+        swapped = kernel.swap(indices[0], indices[1])
+        assert embedder.embed(swapped).shape == matrix.shape
+    assert matrix.shape == embedder.shape
+    assert np.isfinite(matrix).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(straight_line_kernels())
+def test_cfg_block_lookup_consistency(kernel):
+    cfg = build_cfg(kernel)
+    for index in kernel.instruction_indices():
+        block = cfg.block_of(index)
+        assert block is not None and index in block

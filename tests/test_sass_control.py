@@ -1,0 +1,82 @@
+"""Tests for SASS control codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SassParseError
+from repro.sass import ControlCode, MAX_STALL, NUM_BARRIERS
+
+
+def test_parse_basic_control_code():
+    code = ControlCode.parse("[B------:R-:W2:Y:S02]")
+    assert code.wait_mask == frozenset()
+    assert code.read_barrier is None
+    assert code.write_barrier == 2
+    assert code.yield_flag is True
+    assert code.stall == 2
+
+
+def test_parse_wait_mask_positions():
+    code = ControlCode.parse("[B0-2--5:R1:W-:-:S04]")
+    assert code.wait_mask == frozenset({0, 2, 5})
+    assert code.read_barrier == 1
+    assert code.write_barrier is None
+    assert not code.yield_flag
+    assert code.stall == 4
+
+
+def test_render_round_trips():
+    text = "[B-1--4-:R0:W3:Y:S11]"
+    assert ControlCode.parse(text).render() == text
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "[B------:R-:W2:Y:S99]",  # stall too large
+        "[B1-----:R-:W-:-:S01]",  # digit in the wrong wait position
+        "B------:R-:W-:-:S01",  # missing brackets
+        "[B------:R-:W9:-:S01]",  # barrier out of range
+    ],
+)
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(SassParseError):
+        ControlCode.parse(bad)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ControlCode(stall=MAX_STALL + 1)
+    with pytest.raises(ValueError):
+        ControlCode(write_barrier=NUM_BARRIERS)
+    with pytest.raises(ValueError):
+        ControlCode(wait_mask=frozenset({9}))
+
+
+def test_queries_and_updates():
+    code = ControlCode(wait_mask=frozenset({1}), read_barrier=0, write_barrier=3, stall=4)
+    assert code.waits_on(1) and not code.waits_on(2)
+    assert code.sets_barrier(0) and code.sets_barrier(3)
+    assert code.set_barriers == frozenset({0, 3})
+    assert code.with_stall(7).stall == 7
+    assert code.with_wait([2, 4]).wait_mask == frozenset({2, 4})
+    assert code.with_write_barrier(None).write_barrier is None
+    assert code.with_read_barrier(5).read_barrier == 5
+
+
+@given(
+    wait=st.sets(st.integers(min_value=0, max_value=5)),
+    read=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    write=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    yield_flag=st.booleans(),
+    stall=st.integers(min_value=0, max_value=MAX_STALL),
+)
+def test_control_code_roundtrip_property(wait, read, write, yield_flag, stall):
+    code = ControlCode(
+        wait_mask=frozenset(wait),
+        read_barrier=read,
+        write_barrier=write,
+        yield_flag=yield_flag,
+        stall=stall,
+    )
+    assert ControlCode.parse(code.render()) == code

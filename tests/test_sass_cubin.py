@@ -1,0 +1,88 @@
+"""Tests for the cubin container, assembler and disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError, CubinError, DisassemblerError
+from repro.sass import (
+    Cubin,
+    KernelMetadata,
+    SassKernel,
+    Section,
+    assemble,
+    disassemble,
+    disassemble_all,
+    splice_kernel,
+)
+
+KERNEL_TEXT = """
+[B------:R-:W2:-:S02] LDG.E R0, [R2.64] ;
+[B0-----:R-:W-:-:S04] IADD3 R4, R0, 0x1, RZ ;
+[B------:R0:W-:-:S02] STG.E [R6.64], R4 ;
+[B------:R-:W-:-:S05] EXIT ;
+"""
+
+
+def _kernel(name="k"):
+    return SassKernel.from_text(
+        KERNEL_TEXT, KernelMetadata(name=name, num_registers=16, shared_memory_bytes=1024, num_warps=2)
+    )
+
+
+def test_cubin_pack_unpack_round_trip():
+    cubin = assemble(_kernel("matmul"))
+    packed = cubin.pack()
+    again = Cubin.unpack(packed)
+    assert again.kernel_names() == ["matmul"]
+    assert again.pack() == packed
+    assert again.fingerprint() == cubin.fingerprint()
+
+
+def test_unpack_rejects_corruption():
+    cubin = assemble(_kernel())
+    blob = bytearray(cubin.pack())
+    blob[-5] ^= 0xFF  # corrupt the symbol table area
+    with pytest.raises(CubinError):
+        Cubin.unpack(bytes(blob[: len(blob) // 2]))
+    with pytest.raises(CubinError):
+        Cubin.unpack(b"not a cubin at all")
+
+
+def test_assemble_disassemble_round_trip():
+    kernel = _kernel("softmax")
+    cubin = assemble(kernel)
+    decoded = disassemble(cubin)
+    assert decoded.metadata.name == "softmax"
+    assert decoded.metadata.num_warps == 2
+    assert decoded.metadata.shared_memory_bytes == 1024
+    assert [l.render() for l in decoded.lines] == [l.render() for l in kernel.lines]
+
+
+def test_disassemble_all_and_named_lookup():
+    cubin = assemble(_kernel("a"))
+    kernels = disassemble_all(cubin)
+    assert set(kernels) == {"a"}
+    with pytest.raises(DisassemblerError):
+        disassemble(cubin, kernel_name="missing")
+
+
+def test_splice_preserves_other_sections():
+    kernel = _kernel("k")
+    cubin = assemble(kernel)
+    cubin.add_section(Section(name=".nv.extra", data=b"opaque-metadata", flags=0))
+    mutated = kernel.swap(0, 1)
+    spliced = splice_kernel(cubin, mutated)
+    # The unrelated section is byte-for-byte identical.
+    assert spliced.get_section(".nv.extra").data == b"opaque-metadata"
+    assert [s.name for s in spliced.sections] == [s.name for s in cubin.sections]
+    decoded = disassemble(spliced)
+    assert decoded.lines[0].render() == mutated.lines[0].render()
+    # Splicing an unknown kernel fails loudly.
+    with pytest.raises(AssemblerError):
+        splice_kernel(cubin, mutated.with_metadata(name="other"))
+
+
+def test_duplicate_section_rejected():
+    cubin = Cubin()
+    cubin.add_section(Section(name=".text.k", data=b"x"))
+    with pytest.raises(CubinError):
+        cubin.add_section(Section(name=".text.k", data=b"y"))

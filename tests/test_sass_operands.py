@@ -1,0 +1,98 @@
+"""Tests for SASS operand parsing and register expansion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SassParseError
+from repro.sass import (
+    ConstantMemoryOperand,
+    ImmediateOperand,
+    MemoryOperand,
+    PredicateOperand,
+    RegisterOperand,
+    SpecialRegisterOperand,
+    UniformRegisterOperand,
+    adjacent_register,
+    parse_operand,
+)
+
+
+def test_parse_plain_register():
+    op = parse_operand("R12")
+    assert isinstance(op, RegisterOperand)
+    assert op.index == 12 and not op.is64 and not op.reuse
+    assert op.registers() == frozenset({12})
+
+
+def test_parse_register_suffixes():
+    op = parse_operand("R8.64")
+    assert op.is64 and op.registers() == frozenset({8, 9})
+    op = parse_operand("R6.reuse")
+    assert op.reuse and op.registers() == frozenset({6})
+    op = parse_operand("-R4")
+    assert op.negated
+    op = parse_operand("|R4|")
+    assert op.absolute
+
+
+def test_rz_has_no_dependencies():
+    op = parse_operand("RZ")
+    assert op.is_rz and op.registers() == frozenset()
+
+
+def test_parse_predicates_and_uniform():
+    assert parse_operand("P3") == PredicateOperand(3)
+    assert parse_operand("!P0") == PredicateOperand(0, negated=True)
+    assert parse_operand("PT").is_pt
+    assert parse_operand("UR16") == UniformRegisterOperand(16)
+    assert parse_operand("URZ").is_urz
+
+
+def test_parse_constant_and_immediates():
+    const = parse_operand("c[0x0][0x160]")
+    assert const == ConstantMemoryOperand(0, 0x160)
+    imm = parse_operand("0x200")
+    assert isinstance(imm, ImmediateOperand) and imm.value == 0x200
+    neg = parse_operand("-0x10")
+    assert neg.value == -0x10
+    flt = parse_operand("2.5")
+    assert flt.is_float and flt.value == 2.5
+
+
+def test_parse_memory_operands():
+    mem = parse_operand("[R2.64+0x10]")
+    assert isinstance(mem, MemoryOperand)
+    assert mem.offset == 0x10 and mem.registers() == frozenset({2, 3})
+    desc = parse_operand("desc[UR18][R18.64]")
+    assert desc.descriptor == UniformRegisterOperand(18)
+    assert desc.registers() == frozenset({18, 19})
+    assert desc.uniform_registers() == frozenset({18})
+
+
+def test_parse_special_register_and_label():
+    assert parse_operand("SR_CLOCKLO") == SpecialRegisterOperand("SR_CLOCKLO")
+    label = parse_operand("`(.L_x_12)")
+    assert label.render() == "`(.L_x_12)"
+
+
+def test_render_round_trip():
+    for text in ["R4", "R8.64", "R6.reuse", "-R2", "PT", "!P4", "UR16", "c[0x0][0x168]",
+                 "[R2.64+0x4000]", "desc[UR18][R18.64]", "SR_TID.X", "0x10"]:
+        op = parse_operand(text)
+        assert parse_operand(op.render()).render() == op.render()
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(SassParseError):
+        parse_operand("???")
+    with pytest.raises(SassParseError):
+        parse_operand("")
+
+
+@given(st.integers(min_value=0, max_value=252))
+def test_adjacent_register_pairs(index):
+    adj = adjacent_register(index)
+    # Eq. (2): registers pair up as (even, odd) aligned couples.
+    assert abs(adj - index) == 1
+    assert adjacent_register(adj) == index
+    assert {index, adj} == {(index // 2) * 2, (index // 2) * 2 + 1}

@@ -1,0 +1,153 @@
+"""Tests for the GPU simulator: memory, execution semantics, timing and profiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sass import KernelMetadata, SassKernel
+from repro.sim import (
+    GPUSimulator,
+    GlobalMemory,
+    GridConfig,
+    MemoryRequest,
+    MemoryTimingModel,
+    SharedMemory,
+    compare_outputs,
+)
+from repro.arch.ampere import A100
+
+
+# ---------------------------------------------------------------------------
+# Memory subsystem
+# ---------------------------------------------------------------------------
+def test_global_memory_alloc_upload_download():
+    memory = GlobalMemory()
+    alloc = memory.allocate("x", (4, 8), np.float16)
+    data = np.arange(32, dtype=np.float16).reshape(4, 8)
+    memory.upload(alloc, data)
+    assert np.array_equal(memory.download(alloc), data)
+    # Byte-level access sees the same values.
+    values = memory.read_values(alloc.address, 8, np.float16)
+    assert np.array_equal(values, data[0])
+
+
+def test_global_memory_out_of_bounds():
+    memory = GlobalMemory()
+    alloc = memory.allocate("x", (4,), np.float16)
+    with pytest.raises(ExecutionError):
+        memory.read_bytes(alloc.address + alloc.nbytes, 16)
+
+
+def test_shared_memory_bounds_and_round_trip():
+    shared = SharedMemory(256)
+    shared.write_values(0, np.arange(16, dtype=np.float16))
+    assert np.array_equal(shared.read_values(0, 16, np.float16), np.arange(16, dtype=np.float16))
+    with pytest.raises(ExecutionError):
+        shared.read_bytes(250, 16)
+
+
+def test_memory_timing_model_locality_and_bandwidth():
+    model = MemoryTimingModel(A100)
+    first = model.request_latency(MemoryRequest("global", 0x1000, 128), issue_cycle=0)
+    repeat = model.request_latency(MemoryRequest("global", 0x1000, 128), issue_cycle=1000)
+    assert repeat < first  # second access hits in the cache
+    shared = model.request_latency(MemoryRequest("shared", 0x0, 128), issue_cycle=0)
+    assert shared == A100.memory.shared_latency
+    # A burst of large requests queues behind the DRAM bandwidth.
+    model.reset()
+    latencies = [
+        model.request_latency(MemoryRequest("global", 0x100000 + i * 4096, 512), issue_cycle=0)
+        for i in range(16)
+    ]
+    assert latencies[-1] > latencies[0]
+
+
+# ---------------------------------------------------------------------------
+# Execution semantics
+# ---------------------------------------------------------------------------
+ADD_ONE = """
+[B------:R-:W1:-:S01] S2R R0, SR_CTAID.X ;
+[B------:R-:W-:-:S04] MOV R1, 0x200 ;
+[B-1----:R-:W-:-:S05] IMAD R2, R0, R1, RZ ;
+[B------:R-:W-:-:S04] MOV R4, c[0x0][0x160] ;
+[B------:R-:W-:-:S04] MOV R6, c[0x0][0x168] ;
+[B------:R-:W-:-:S05] IADD3 R8, R4, R2, RZ ;
+[B------:R-:W-:-:S05] IADD3 R10, R6, R2, RZ ;
+[B------:R-:W0:-:S02] LDG.E.128 R12, [R8.64] ;
+[B------:R-:W2:-:S01] I2F R22, RZ ;
+[B0-2---:R-:W-:-:S04] FADD R16, R12, 1.0 ;
+[B------:R0:W-:-:S02] STG.E.128 [R10.64], R16 ;
+[B------:R-:W-:-:S05] EXIT ;
+"""
+
+
+def _add_one_kernel():
+    return SassKernel.from_text(ADD_ONE, KernelMetadata(name="addone", num_warps=1))
+
+
+def test_functional_execution_matches_reference():
+    sim = GPUSimulator()
+    kernel = _add_one_kernel()
+    x = np.arange(512, dtype=np.float16).reshape(2, 256)
+    y = np.zeros_like(x)
+    run = sim.run(kernel, GridConfig((2, 1, 1), 1), {"x": x, "y": y}, ["x", "y"], output_names=["y"])
+    ok, max_err, _ = compare_outputs(run.outputs["y"], x.astype(np.float32) + 1)
+    assert ok, max_err
+    assert run.dynamic_instructions == 2 * len(kernel.instructions)
+
+
+def test_under_stalled_schedule_reads_stale_value():
+    # Remove the wait on the LDG's scoreboard barrier: the FADD now reads a
+    # stale register and the output is wrong — the data-hazard behaviour the
+    # dependency-based microbenchmarks (and probabilistic testing) rely on.
+    broken_text = ADD_ONE.replace("[B0-2---:R-:W-:-:S04] FADD", "[B--2---:R-:W-:-:S04] FADD")
+    kernel = SassKernel.from_text(broken_text, KernelMetadata(name="broken", num_warps=1))
+    sim = GPUSimulator()
+    x = np.arange(512, dtype=np.float16).reshape(2, 256)
+    y = np.zeros_like(x)
+    run = sim.run(kernel, GridConfig((2, 1, 1), 1), {"x": x, "y": y}, ["x", "y"], output_names=["y"])
+    ok, _, _ = compare_outputs(run.outputs["y"], x.astype(np.float32) + 1)
+    assert not ok
+
+
+def test_measure_and_profile():
+    sim = GPUSimulator()
+    kernel = _add_one_kernel()
+    x = np.arange(512, dtype=np.float16).reshape(2, 256)
+    y = np.zeros_like(x)
+    timing = sim.measure(kernel, GridConfig((2, 1, 1), 1), {"x": x, "y": y}, ["x", "y"])
+    assert timing.block_cycles > 0 and timing.time_ms > 0
+    assert timing.waves == 1
+    profile = sim.profile(kernel, GridConfig((2, 1, 1), 1), {"x": x, "y": y}, ["x", "y"])
+    rows = profile.workload_analysis_rows()
+    assert rows["SM Busy (%)"] > 0
+    assert profile.global_load_bytes == 512
+    assert profile.global_store_bytes == 512
+    chart = profile.memory_chart()
+    assert chart["global_to_register_bytes"] == 512
+
+
+def test_unknown_opcode_raises():
+    text = "[B------:R-:W-:-:S04] FROBNICATE R0, R1 ;\n[B------:R-:W-:-:S05] EXIT ;"
+    kernel = SassKernel.from_text(text, KernelMetadata(num_warps=1))
+    sim = GPUSimulator()
+    with pytest.raises(ExecutionError):
+        sim.run(kernel, GridConfig((1, 1, 1), 1), {"x": np.zeros(8, np.float16)}, ["x"], output_names=["x"])
+
+
+def test_measurement_noise_is_optional_and_bounded():
+    from repro.sim import MeasurementConfig
+
+    sim = GPUSimulator()
+    kernel = _add_one_kernel()
+    x = np.zeros((2, 256), dtype=np.float16)
+    y = np.zeros_like(x)
+    clean = sim.measure(kernel, GridConfig((2, 1, 1), 1), {"x": x, "y": y}, ["x", "y"])
+    noisy = sim.measure(
+        kernel,
+        GridConfig((2, 1, 1), 1),
+        {"x": x, "y": y},
+        ["x", "y"],
+        measurement=MeasurementConfig(noise_std=0.01, seed=1),
+    )
+    assert abs(noisy.time_ms - clean.time_ms) / clean.time_ms < 0.05

@@ -1,0 +1,63 @@
+"""Tests for the utilities and the experiment-harness helpers."""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.experiments import format_table, table2_workloads
+from repro.utils import SeededRNG, as_rng, from_json_file, get_logger, to_json_file
+from repro.utils.serialization import to_json_str
+
+
+def test_get_logger_is_namespaced_and_quiet():
+    logger = get_logger("core.trainer")
+    assert logger.name == "repro.core.trainer"
+    assert any(isinstance(h, logging.NullHandler) for h in logger.handlers) or logger.handlers == []
+
+
+def test_as_rng_accepts_many_inputs():
+    assert isinstance(as_rng(None), np.random.Generator)
+    assert isinstance(as_rng(3), np.random.Generator)
+    generator = np.random.default_rng(0)
+    assert as_rng(generator) is generator
+    seeded = SeededRNG(5)
+    assert isinstance(as_rng(seeded), np.random.Generator)
+    with pytest.raises(TypeError):
+        as_rng("nope")
+
+
+def test_seeded_rng_spawn_is_deterministic_and_independent():
+    a1 = SeededRNG(7).spawn("autotuner").random(4)
+    a2 = SeededRNG(7).spawn("autotuner").random(4)
+    b = SeededRNG(7).spawn("ppo").random(4)
+    assert np.allclose(a1, a2)
+    assert not np.allclose(a1, b)
+
+
+def test_json_round_trip_with_numpy(tmp_path):
+    payload = {"a": np.int64(3), "b": np.float32(2.5), "c": np.arange(3), "d": [1, 2]}
+    path = to_json_file(tmp_path / "sub" / "data.json", payload)
+    loaded = from_json_file(path)
+    assert loaded == {"a": 3, "b": 2.5, "c": [0, 1, 2], "d": [1, 2]}
+    assert to_json_str({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_format_table_alignment_and_missing_values():
+    rows = [{"kernel": "softmax", "speedup": 1.251, "note": None}]
+    text = format_table(rows)
+    assert "kernel" in text and "softmax" in text and "1.251" in text and "-" in text
+    assert format_table([]) == "(empty)"
+
+
+def test_table2_covers_all_six_kernels():
+    rows = table2_workloads()
+    assert len(rows) == 6
+    assert {row["bound"] for row in rows} == {"compute", "memory"}
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=10))
+def test_json_str_is_deterministic(values):
+    payload = {"values": values}
+    assert to_json_str(payload) == to_json_str({"values": list(values)})
