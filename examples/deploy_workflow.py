@@ -1,57 +1,54 @@
 #!/usr/bin/env python
 """Offline-search / deploy-time-lookup workflow (§4.2 of the paper).
 
-First invocation: ``kernel.optimize()`` runs the hierarchical search and
+First invocation: ``session.optimize`` runs the hierarchical search and
 caches the optimized cubin keyed by GPU type, workload and shapes.
-Deployment: ``kernel(...)`` (or ``kernel.load()``) looks the cubin up and runs
-it with zero training overhead — the one-line ``@cuasmrl.jit`` change of
-Listing 4/5.
+Deployment: ``session.deploy`` / ``session.run`` look the cubin up and run it
+with zero training overhead — the one-line ``@cuasmrl.jit`` change of
+Listing 4/5, expressed through the ``repro.api`` facade.
 
 Run with:  python examples/deploy_workflow.py
 """
 
 import tempfile
 
-import numpy as np
-
-from repro.core import CuAsmRLOptimizer, jit
-from repro.sim import GPUSimulator, compare_outputs
-from repro.triton import get_spec
+from repro.api import OptimizationConfig, Session
+from repro.sim import compare_outputs
 from repro.utils.logging import enable_console_logging
 
 
 def main() -> None:
     enable_console_logging()
-    simulator = GPUSimulator()
-    spec = get_spec("softmax")
 
     with tempfile.TemporaryDirectory() as cache_dir:
-        # The Listing-4 analogue: wrap the kernel once with CuAsmRL's jit.
-        kernel = jit(
-            spec,
-            ret_ptr=1,
+        session = Session(
+            gpu="A100-sim",
             cache_dir=cache_dir,
-            simulator=simulator,
-            optimizer=CuAsmRLOptimizer(simulator, train_timesteps=64, episode_length=8, autotune=False),
-            scale="test",
+            config=OptimizationConfig(
+                scale="test",
+                episode_length=8,
+                train_timesteps=64,
+                autotune=False,
+            ),
         )
 
         # 1. Invoke optimization (offline, one-time cost).
-        optimized = kernel.optimize(verify=True)
-        print(f"optimized {spec.name}: speedup {optimized.speedup:.3f}x, "
-              f"cubin cached under {cache_dir}")
+        report = session.optimize("softmax")
+        print(f"optimized softmax: speedup {report.speedup:.3f}x, "
+              f"cubin cached as {report.cache_key}")
 
         # 2. Deploy: look up the cached cubin and execute it.
-        deployed = kernel.load()
+        deployed = session.deploy("softmax")
         inputs = deployed.make_inputs(seed_or_rng=42)
-        run = kernel(inputs)
+        run = session.run("softmax", inputs)
         reference = deployed.reference(inputs)["out"]
         ok, max_err, _ = compare_outputs(run.outputs["out"], reference)
         print(f"deployed run matches the numpy reference: {ok} (max abs err {max_err:.2e})")
 
         # 3. The deployed schedule is at least as fast as the -O3 build.
-        baseline_ms = deployed.with_kernel(optimized.compiled.kernel).measure(simulator).time_ms
-        deployed_ms = deployed.measure(simulator).time_ms
+        baseline = report.artifact.compiled
+        baseline_ms = session.measure(baseline).time_ms
+        deployed_ms = session.measure(deployed).time_ms
         print(f"deployed: {deployed_ms*1e3:.2f} us   -O3 baseline: {baseline_ms*1e3:.2f} us")
 
 

@@ -10,11 +10,16 @@ Run with:  python examples/inspect_sass_pipeline.py
 """
 
 from repro.analysis import run_pre_game_analysis
-from repro.triton import compile_spec, get_spec, render_ptx
+from repro.api import CacheConfig, OptimizationConfig, Session
+from repro.triton import render_ptx
 
 
 def main() -> None:
-    compiled = compile_spec(get_spec("mmLeakyReLu"), scale="test")
+    session = Session(
+        cache=CacheConfig(enabled=False),
+        config=OptimizationConfig(scale="test", autotune=False),
+    )
+    compiled = session.compile("mmLeakyReLu")
 
     print("=" * 70)
     print("Tile IR (what the kernel author writes against)")

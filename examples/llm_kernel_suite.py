@@ -1,45 +1,42 @@
 #!/usr/bin/env python
 """Optimize the full LLM kernel suite (the paper's Table 2 / Figure 6 workloads).
 
-For every evaluated kernel this example runs the hierarchical search of §3.1:
-grid-search autotuning of the kernel configuration followed by RL
-optimization of the SASS schedule, then prints a Figure-6-style table of
-normalized throughput against the Triton (-O3) baseline.
+``session.optimize_many`` fans the hierarchical search of §3.1 out over every
+evaluated kernel — grid-search autotuning of the kernel configuration followed
+by RL optimization of the SASS schedule — and returns one structured
+``RunReport`` per workload, printed as a Figure-6-style table of normalized
+throughput against the Triton (-O3) baseline.
 
 Run with:  python examples/llm_kernel_suite.py
 """
 
 from statistics import geometric_mean
 
+from repro.api import CacheConfig, OptimizationConfig, Session
 from repro.bench.experiments import EVALUATED_KERNELS
-from repro.core import CuAsmRLOptimizer
-from repro.rl import PPOConfig
-from repro.sim import GPUSimulator
-from repro.triton import get_spec
 from repro.utils.logging import enable_console_logging
 
 
 def main() -> None:
     enable_console_logging()
-    simulator = GPUSimulator()
-    optimizer = CuAsmRLOptimizer(
-        simulator,
-        ppo_config=PPOConfig(num_steps=16, seed=0),
-        episode_length=16,
-        train_timesteps=96,
+    session = Session(
+        gpu="A100-sim",
+        cache=CacheConfig(enabled=False),
+        config=OptimizationConfig(
+            strategy="ppo",
+            scale="test",
+            episode_length=16,
+            train_timesteps=96,
+        ),
     )
 
-    rows = []
-    for name in EVALUATED_KERNELS:
-        spec = get_spec(name)
-        optimized = optimizer.optimize(spec, scale="test", verify=True)
-        result = optimized.result
-        rows.append((name, result.baseline_time_ms, result.best_time_ms, result.speedup))
-        print(f"{name:16s}  Triton {result.baseline_time_ms*1e3:9.2f} us   "
-              f"CuAsmRL {result.best_time_ms*1e3:9.2f} us   speedup {result.speedup:.3f}x")
+    reports = session.optimize_many(EVALUATED_KERNELS, jobs=2)
+    for report in reports:
+        print(f"{report.kernel:16s}  Triton {report.baseline_time_ms*1e3:9.2f} us   "
+              f"CuAsmRL {report.best_time_ms*1e3:9.2f} us   speedup {report.speedup:.3f}x")
 
-    geomean = geometric_mean([speedup for *_, speedup in rows])
-    best = max(speedup for *_, speedup in rows)
+    geomean = geometric_mean([report.speedup for report in reports])
+    best = max(report.speedup for report in reports)
     print(f"\ngeometric-mean speedup over Triton: {geomean:.3f}x (paper: 1.09x)")
     print(f"largest per-kernel speedup:        {best:.3f}x (paper: up to 1.26x)")
 

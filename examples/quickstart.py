@@ -1,47 +1,49 @@
 #!/usr/bin/env python
-"""Quickstart: optimize one kernel's SASS schedule with CuAsmRL.
+"""Quickstart: optimize one kernel's SASS schedule through the ``repro.api`` facade.
 
-Compiles the fused GEMM + LeakyReLU workload with the mini-Triton pipeline,
-plays the assembly game with a PPO agent for a small budget, verifies the
-best schedule with probabilistic testing and prints the speedup plus the
-moves the agent discovered.
+A :class:`Session` owns the simulated A100, the deploy cache and the
+measurement policy.  ``session.optimize`` runs the paper's full pipeline —
+compile the fused GEMM + LeakyReLU workload to its ``-O3`` schedule, play the
+assembly game with a PPO agent, probabilistically verify the best schedule —
+and returns a structured ``RunReport``.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import CuAsmRLTrainer
-from repro.rl import PPOConfig
-from repro.sim import GPUSimulator
-from repro.triton import compile_spec, get_spec
+from repro.api import CacheConfig, OptimizationConfig, Session
 from repro.utils.logging import enable_console_logging
 
 
 def main() -> None:
     enable_console_logging()
-    simulator = GPUSimulator()
+    session = Session(
+        gpu="A100-sim",
+        cache=CacheConfig(enabled=False),  # this demo never deploys
+        config=OptimizationConfig(
+            strategy="ppo",
+            scale="test",
+            episode_length=16,
+            train_timesteps=160,
+            autotune=False,
+            trace=True,  # replay one deterministic episode to reveal the moves
+        ),
+    )
 
     # 1. Compile the workload to its -O3 SASS schedule (Triton + ptxas stage).
-    spec = get_spec("mmLeakyReLu")
-    compiled = compile_spec(spec, scale="test")
-    print(f"compiled {spec.name}: {len(compiled.kernel.instructions)} SASS instructions, "
+    compiled = session.compile("mmLeakyReLu")
+    print(f"compiled mmLeakyReLu: {len(compiled.kernel.instructions)} SASS instructions, "
           f"{compiled.kernel.metadata.num_registers} registers, "
           f"{compiled.kernel.metadata.shared_memory_bytes} B shared memory")
 
-    # 2. Train the RL agent to play the assembly game.
-    trainer = CuAsmRLTrainer(
-        compiled,
-        simulator,
-        ppo_config=PPOConfig(num_steps=16, seed=0),
-        episode_length=16,
-    )
-    result = trainer.train(total_timesteps=160, verify=True)
-    print(f"baseline (Triton -O3): {result.baseline_time_ms * 1e3:.2f} us")
-    print(f"CuAsmRL best schedule: {result.best_time_ms * 1e3:.2f} us")
-    print(f"speedup: {result.speedup:.3f}x  (verified: {result.verification.passed})")
+    # 2. One call runs RL training, verification and the deploy-cache store.
+    report = session.optimize_compiled(compiled)
+    print(f"baseline (Triton -O3): {report.baseline_time_ms * 1e3:.2f} us")
+    print(f"CuAsmRL best schedule: {report.best_time_ms * 1e3:.2f} us")
+    print(f"speedup: {report.speedup:.3f}x  (verified: {report.verified})")
 
-    # 3. Trace the optimization moves the trained agent applies (§5.7).
+    # 3. The optimization moves the trained agent applies (§5.7).
     print("\ndiscovered optimization moves:")
-    for move in trainer.trace_inference(seed=0)[:8]:
+    for move in report.details["moves"][:8]:
         moved = move.moved_instruction.split(";")[0].strip()
         other = move.swapped_with.split(";")[0].strip()
         print(f"  [{move.direction:>4s}] reward {move.reward:+6.3f}  {moved}   <->   {other}")

@@ -1,0 +1,56 @@
+"""Public API of the CuAsmRL reproduction: the Session facade and registries.
+
+This package is the single supported entry point for the paper's
+optimize-once / deploy-from-cache workflow (§4):
+
+* :class:`Session` — owns the GPU backend, cubin cache and measurement
+  policy; ``compile`` / ``optimize`` / ``deploy`` / ``optimize_many``.
+* Strategy registry — ``strategy="ppo"`` (§3) and the §7 baselines
+  (``"greedy"``, ``"random"``, ``"evolutionary"``) behind one interface;
+  extend with :func:`register_strategy`.
+* Backend registry — simulated GPU targets keyed by name; extend with
+  :func:`register_backend`.
+
+The older ``repro.core.jit`` / ``CuAsmRLOptimizer`` / ``baselines.search``
+entry points remain as thin deprecated shims over this facade.
+"""
+
+from repro.api.backends import (
+    BackendSpec,
+    available_backends,
+    backend_spec,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig
+from repro.api.report import RunReport
+from repro.api.session import Session
+from repro.api.strategies import (
+    SearchStrategy,
+    StrategyContext,
+    StrategyOutcome,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "Session",
+    "RunReport",
+    "OptimizationConfig",
+    "MeasurementPolicy",
+    "CacheConfig",
+    "SearchStrategy",
+    "StrategyContext",
+    "StrategyOutcome",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "BackendSpec",
+    "register_backend",
+    "backend_spec",
+    "create_backend",
+    "resolve_backend",
+    "available_backends",
+]

@@ -1,0 +1,131 @@
+"""Backend registry: named GPU targets a :class:`~repro.api.session.Session` can own.
+
+The paper evaluates on one physical A100; the reproduction simulates it.  The
+registry generalizes that to a family of simulated Ampere parts keyed by GPU
+name, so ``Session(gpu="A30-sim")`` is the only change needed to retarget an
+optimization run — and so the §4.2 cache keys (which embed the GPU name)
+naturally separate per-target cubins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.ampere import A100, AmpereConfig
+from repro.sim.gpu import GPUSimulator
+
+BackendFactory = Callable[[], GPUSimulator]
+
+
+@dataclass(frozen=True, slots=True)
+class BackendSpec:
+    """One registered simulator target."""
+
+    name: str
+    description: str
+    factory: BackendFactory
+    aliases: tuple[str, ...] = ()
+
+
+_BACKENDS: dict[str, BackendSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(name: str, *, aliases: tuple[str, ...] = (), description: str = ""):
+    """Decorator registering a ``() -> GPUSimulator`` factory under ``name``."""
+
+    def decorator(factory: BackendFactory) -> BackendFactory:
+        spec = BackendSpec(name=name, description=description, factory=factory, aliases=tuple(aliases))
+        _BACKENDS[name] = spec
+        _ALIASES[name.lower()] = name
+        for alias in spec.aliases:
+            _ALIASES[alias.lower()] = name
+        return factory
+
+    return decorator
+
+
+def available_backends() -> tuple[str, ...]:
+    """Canonical names of every registered backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Look a backend up by canonical name or alias (case-insensitive)."""
+    try:
+        return _BACKENDS[_ALIASES[name.lower()]]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown GPU backend {name!r}; available: {list(available_backends())}"
+        ) from exc
+
+
+def create_backend(name: str) -> GPUSimulator:
+    """Instantiate a fresh simulator for the named backend."""
+    return backend_spec(name).factory()
+
+
+def resolve_backend(gpu: "str | GPUSimulator | AmpereConfig | None") -> GPUSimulator:
+    """Coerce any accepted ``gpu=`` argument into a :class:`GPUSimulator`.
+
+    Accepts a registered backend name (or alias), an already-constructed
+    simulator (used as-is), a raw :class:`AmpereConfig`, or ``None`` for the
+    default A100 target.
+    """
+    if gpu is None:
+        return GPUSimulator()
+    if isinstance(gpu, GPUSimulator):
+        return gpu
+    if isinstance(gpu, AmpereConfig):
+        return GPUSimulator(gpu)
+    return create_backend(gpu)
+
+
+# ---------------------------------------------------------------------------
+# Built-in simulated Ampere targets
+# ---------------------------------------------------------------------------
+@register_backend(
+    "A100-80GB-PCIe",
+    aliases=("A100", "A100-sim", "A100-80GB"),
+    description="Simulated A100 (GA100, 108 SMs @ 1410 MHz) — the paper's §5.1 target.",
+)
+def _a100() -> GPUSimulator:
+    return GPUSimulator(A100)
+
+
+@register_backend(
+    "A100-40GB-PCIe",
+    aliases=("A100-40GB",),
+    description="Simulated 40 GB A100; same GA100 SM array, distinct cache-key namespace.",
+)
+def _a100_40gb() -> GPUSimulator:
+    return GPUSimulator(dataclasses.replace(A100, name="A100-40GB-PCIe"))
+
+
+@register_backend(
+    "A30-24GB-PCIe",
+    aliases=("A30", "A30-sim"),
+    description="Simulated A30 (GA100 derivative: 56 SMs @ 1440 MHz).",
+)
+def _a30() -> GPUSimulator:
+    config = dataclasses.replace(A100, name="A30-24GB-PCIe", num_sms=56, clock_mhz=1440.0)
+    return GPUSimulator(config)
+
+
+@register_backend(
+    "RTX3090-24GB",
+    aliases=("RTX3090", "GA102"),
+    description="Simulated GA102 consumer part (82 SMs @ 1695 MHz, 128 KB shared/SM, sm_86).",
+)
+def _ga102() -> GPUSimulator:
+    config = dataclasses.replace(
+        A100,
+        name="RTX3090-24GB",
+        compute_capability=86,
+        num_sms=82,
+        clock_mhz=1695.0,
+        shared_memory_per_sm=128 * 1024,
+    )
+    return GPUSimulator(config)

@@ -1,0 +1,105 @@
+"""Typed, frozen configuration objects for the :mod:`repro.api` facade.
+
+These replace the ad-hoc keyword arguments that used to be scattered across
+``JitKernel`` (``scale=``, ``cache_dir=``), ``CuAsmRLOptimizer``
+(``episode_length=``, ``train_timesteps=``, ``autotune=``) and the
+``baselines.search`` functions (``budget=``, ``population=``, ...).  A
+:class:`~repro.api.session.Session` owns one of each; per-call overrides go
+through :meth:`OptimizationConfig.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.rl.ppo import PPOConfig
+from repro.sim.gpu import MeasurementConfig
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementPolicy:
+    """How kernel runtimes are measured (the §3.6 CUDA-events protocol)."""
+
+    #: Warm-up launches before timing starts.
+    warmup_iterations: int = 100
+    #: Timed launches averaged into the reported runtime.
+    measure_iterations: int = 100
+    #: Relative Gaussian measurement noise; the paper reports run-to-run
+    #: standard deviation within 1%, 0 keeps the simulator deterministic.
+    noise_std: float = 0.0
+    #: Seed of the synthetic measurement noise.
+    seed: int = 0
+
+    def to_measurement_config(self) -> MeasurementConfig:
+        """Lower to the :mod:`repro.sim` measurement record."""
+        return MeasurementConfig(
+            warmup_iterations=self.warmup_iterations,
+            measure_iterations=self.measure_iterations,
+            noise_std=self.noise_std,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Where (and whether) optimized cubins are cached (§4.2)."""
+
+    #: Directory of the deploy-time cubin cache.
+    directory: str | Path = ".cuasmrl_cache"
+    #: Disable to run a cache-less session (e.g. the benchmark harness).
+    enabled: bool = True
+    #: Deploy-only sessions: look up cached cubins but never write new ones.
+    readonly: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizationConfig:
+    """Everything that shapes one optimization run, for every strategy.
+
+    Strategy-specific fields are simply ignored by strategies that do not
+    use them (``train_timesteps`` by the training-free searches,
+    ``population`` by PPO, and so on), so one config drives any strategy.
+    """
+
+    #: Default search strategy; any name in the strategy registry.
+    strategy: str = "ppo"
+    #: Shape set used when none is passed explicitly: paper / bench / test.
+    scale: str = "bench"
+    #: Moves per assembly-game episode (§3.5).
+    episode_length: int = 32
+    #: Total environment steps for the RL strategy.
+    train_timesteps: int = 512
+    #: Evaluation budget for the training-free searches (§7).
+    search_budget: int = 64
+    #: Evolutionary strategy population size.
+    population: int = 8
+    #: Evolutionary strategy generations.
+    generations: int = 4
+    #: Evolutionary strategy genome length (moves per individual).
+    moves_per_individual: int = 8
+    #: Grid-search the kernel configuration space first (stage 1 of §3.1).
+    autotune: bool = True
+    #: Probabilistically test the best schedule and fall back to -O3 on
+    #: failure (§4.1).
+    verify: bool = True
+    #: Trials of the probabilistic tester.
+    verify_trials: int = 1
+    #: Seed for strategy randomness (PPO init, random/evolutionary search).
+    seed: int = 0
+    #: Replay one deterministic inference episode after PPO training and
+    #: attach the discovered moves to the report (§5.7).
+    trace: bool = False
+    #: Full PPO hyperparameter override; defaults are derived from
+    #: ``episode_length`` and ``seed`` when left unset.
+    ppo: PPOConfig | None = field(default=None, repr=False)
+
+    def replace(self, **overrides) -> "OptimizationConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def ppo_config(self) -> PPOConfig:
+        """The PPO hyperparameters this config implies."""
+        if self.ppo is not None:
+            return self.ppo
+        return PPOConfig(num_steps=self.episode_length, seed=self.seed)

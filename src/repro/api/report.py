@@ -1,0 +1,73 @@
+"""Structured result objects returned by the :mod:`repro.api` facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.utils.serialization import to_json_str
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.optimizer import OptimizedKernel
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one ``Session.optimize`` run, strategy-independent.
+
+    Every strategy (PPO and the §7 training-free searches) produces the same
+    report shape, so callers can sweep ``strategy=`` without branching.  The
+    deployable artifact (optimized SASS spliced into the cubin) rides along in
+    :attr:`artifact`; :meth:`summary` is the JSON-able projection.
+    """
+
+    #: Workload name (Table 2).
+    kernel: str
+    #: GPU backend name the run targeted.
+    gpu: str
+    #: Strategy that produced the schedule.
+    strategy: str
+    #: Shapes the kernel was compiled at.
+    shapes: dict
+    #: Kernel configuration chosen by autotuning (tile sizes, warps).
+    config: dict
+    #: Runtime of the ``-O3`` schedule (T0 of Eq. 3).
+    baseline_time_ms: float
+    #: Runtime of the best schedule found.
+    best_time_ms: float
+    #: Schedule evaluations spent (environment steps / measurements).
+    evaluations: int
+    #: Probabilistic-testing outcome; ``None`` when verification was skipped.
+    verified: bool | None = None
+    #: Deploy-cache key the artifact was stored under, if cached.
+    cache_key: str | None = None
+    #: Whether the artifact was written to the session cache.
+    cached: bool = False
+    #: Strategy-specific extras (PPO ``history``, traced ``moves``, ...).
+    details: dict = field(default_factory=dict, repr=False, compare=False)
+    #: The deployable :class:`OptimizedKernel`; not part of the summary.
+    artifact: "OptimizedKernel | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_time_ms / self.best_time_ms if self.best_time_ms else 1.0
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able projection of the report."""
+        return {
+            "kernel": self.kernel,
+            "gpu": self.gpu,
+            "strategy": self.strategy,
+            "shapes": dict(self.shapes),
+            "config": dict(self.config),
+            "baseline_time_ms": self.baseline_time_ms,
+            "best_time_ms": self.best_time_ms,
+            "speedup": self.speedup,
+            "evaluations": self.evaluations,
+            "verified": self.verified,
+            "cache_key": self.cache_key,
+            "cached": self.cached,
+        }
+
+    def to_json(self) -> str:
+        return to_json_str(self.summary())

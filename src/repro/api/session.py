@@ -1,0 +1,323 @@
+"""The :class:`Session` facade: one object that owns the whole §4 workflow.
+
+A session binds a GPU backend, a cubin cache and a measurement policy, and
+exposes the paper's lifecycle as four verbs::
+
+    session = Session(gpu="A100-sim", cache_dir="./cache",
+                      config=OptimizationConfig(scale="test"))
+    compiled = session.compile("softmax")            # stage 1: autotune + -O3
+    report   = session.optimize("softmax")           # stage 2: schedule search
+    deployed = session.deploy("softmax")             # §4.2: cached cubin lookup
+    reports  = session.optimize_many(["bmm", "softmax"], jobs=2)
+
+``strategy="ppo"`` (the paper's RL agent) and the §7 baselines
+(``"greedy"``, ``"random"``, ``"evolutionary"``) are interchangeable and all
+return the same :class:`~repro.api.report.RunReport` shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.api.backends import resolve_backend
+from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig
+from repro.api.report import RunReport
+from repro.api.strategies import StrategyContext, StrategyOutcome, get_strategy
+from repro.arch.ampere import AmpereConfig
+from repro.core.optimizer import OptimizedKernel
+from repro.core.trainer import OptimizationResult
+from repro.rl.ppo import TrainingHistory
+from repro.errors import OptimizationError
+from repro.sass.assembler import splice_kernel
+from repro.sass.disassembler import disassemble
+from repro.sim.functional import ProbabilisticTester, ProbabilisticTestResult
+from repro.sim.gpu import GPUSimulator, KernelRun, KernelTiming
+from repro.triton.autotuner import Autotuner
+from repro.triton.compiler import CompiledKernel, compile_spec
+from repro.triton.spec import KernelSpec, get_spec
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("api.session")
+
+
+class Session:
+    """Facade over compilation, schedule search, verification and deployment."""
+
+    def __init__(
+        self,
+        gpu: str | GPUSimulator | AmpereConfig | None = "A100-sim",
+        *,
+        cache_dir: str | Path | None = None,
+        config: OptimizationConfig | None = None,
+        measurement: MeasurementPolicy | None = None,
+        cache: CacheConfig | None = None,
+    ):
+        self.simulator = resolve_backend(gpu)
+        self.config = config or OptimizationConfig()
+        self.measurement = measurement or MeasurementPolicy()
+        cache_config = cache or CacheConfig()
+        if cache_dir is not None:
+            cache_config = dataclasses.replace(cache_config, directory=cache_dir)
+        self.cache_config = cache_config
+        self.cache = self._make_cache(cache_config)
+        self.autotuner = Autotuner(
+            self.simulator, measurement=self.measurement.to_measurement_config()
+        )
+
+    @staticmethod
+    def _make_cache(cache_config: CacheConfig):
+        from repro.core.jit import CubinCache
+
+        return CubinCache(cache_config.directory) if cache_config.enabled else None
+
+    # ------------------------------------------------------------------
+    # Derived sessions and small helpers
+    # ------------------------------------------------------------------
+    @property
+    def gpu_name(self) -> str:
+        return self.simulator.config.name
+
+    def with_config(self, config: OptimizationConfig) -> "Session":
+        """A sibling session sharing this session's backend and cache config."""
+        return Session(
+            gpu=self.simulator,
+            config=config,
+            measurement=self.measurement,
+            cache=self.cache_config,
+        )
+
+    def _resolve_spec(self, spec: str | KernelSpec) -> KernelSpec:
+        return get_spec(spec) if isinstance(spec, str) else spec
+
+    def _resolve_shapes(self, spec: KernelSpec, shapes: dict | None) -> dict:
+        return dict(shapes) if shapes is not None else dict(spec.shapes(self.config.scale))
+
+    def key_for(self, spec: str | KernelSpec, shapes: dict | None = None) -> str:
+        """The §4.2 cache key of a workload on this session's GPU."""
+        from repro.core.jit import cache_key
+
+        spec = self._resolve_spec(spec)
+        return cache_key(self.gpu_name, spec.name, self._resolve_shapes(spec, shapes))
+
+    # ------------------------------------------------------------------
+    # compile / optimize / deploy / run
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        spec: str | KernelSpec,
+        *,
+        shapes: dict | None = None,
+        config: dict | None = None,
+    ) -> CompiledKernel:
+        """Stage 1 of the hierarchical search (§3.1): kernel-config autotuning
+        plus compilation to the ``-O3`` SASS schedule.
+
+        An explicit kernel ``config`` skips autotuning.
+        """
+        spec = self._resolve_spec(spec)
+        shapes = self._resolve_shapes(spec, shapes)
+        if config is None and self.config.autotune:
+            return self.autotuner.compile_best(spec, shapes=shapes)
+        return compile_spec(spec, shapes=shapes, config=config)
+
+    def optimize(
+        self,
+        spec: str | KernelSpec,
+        *,
+        shapes: dict | None = None,
+        strategy: str | None = None,
+        verify: bool | None = None,
+        store: bool = True,
+    ) -> RunReport:
+        """Full hierarchical optimization of one workload, cached on success."""
+        spec = self._resolve_spec(spec)
+        shapes = self._resolve_shapes(spec, shapes)
+        compiled = self.compile(spec, shapes=shapes)
+        return self.optimize_compiled(compiled, strategy=strategy, verify=verify, store=store)
+
+    def optimize_compiled(
+        self,
+        compiled: CompiledKernel,
+        *,
+        strategy: str | None = None,
+        verify: bool | None = None,
+        store: bool = True,
+    ) -> RunReport:
+        """Stage 2 (§3): schedule search on an already-compiled kernel."""
+        strategy_name = strategy or self.config.strategy
+        verify = self.config.verify if verify is None else verify
+        outcome = get_strategy(strategy_name).run(
+            StrategyContext(
+                compiled=compiled,
+                simulator=self.simulator,
+                config=self.config,
+                measurement=self.measurement.to_measurement_config(),
+            )
+        )
+
+        verification: ProbabilisticTestResult | None = None
+        best_kernel = outcome.best_kernel
+        best_time_ms = outcome.best_time_ms
+        if verify:
+            verification = self.verify_kernel(compiled, best_kernel)
+            if not verification.passed:
+                _LOG.warning(
+                    "%s/%s: best schedule failed probabilistic testing (%s); falling back to -O3",
+                    compiled.kernel.metadata.name,
+                    strategy_name,
+                    verification.message,
+                )
+                best_kernel = compiled.kernel
+                best_time_ms = outcome.baseline_time_ms
+
+        artifact = self._make_artifact(compiled, outcome, best_kernel, best_time_ms, verification)
+        key = self.key_for(compiled.spec, compiled.shapes)
+        cached = False
+        if store and self.cache is not None and not self.cache_config.readonly:
+            self.cache.store(key, artifact)
+            cached = True
+        _LOG.info(
+            "%s [%s on %s]: %.4f ms -> %.4f ms (%.2fx)",
+            compiled.kernel.metadata.name,
+            strategy_name,
+            self.gpu_name,
+            outcome.baseline_time_ms,
+            best_time_ms,
+            outcome.baseline_time_ms / best_time_ms if best_time_ms else 1.0,
+        )
+        return RunReport(
+            kernel=compiled.spec.name,
+            gpu=self.gpu_name,
+            strategy=strategy_name,
+            shapes=dict(compiled.shapes),
+            config=dict(compiled.config),
+            baseline_time_ms=outcome.baseline_time_ms,
+            best_time_ms=best_time_ms,
+            evaluations=outcome.evaluations,
+            verified=None if verification is None else verification.passed,
+            cache_key=key,
+            cached=cached,
+            details=dict(outcome.details),
+            artifact=artifact,
+        )
+
+    def _make_artifact(
+        self,
+        compiled: CompiledKernel,
+        outcome: StrategyOutcome,
+        best_kernel,
+        best_time_ms: float,
+        verification: ProbabilisticTestResult | None,
+    ) -> OptimizedKernel:
+        history = outcome.details.get("history")
+        result = OptimizationResult(
+            kernel_name=compiled.kernel.metadata.name,
+            baseline_time_ms=outcome.baseline_time_ms,
+            best_time_ms=best_time_ms,
+            best_kernel=best_kernel,
+            history=history if isinstance(history, TrainingHistory) else None,
+            verification=verification,
+            episodes=list(outcome.details.get("episodes", [])),
+        )
+        return OptimizedKernel(
+            compiled=compiled,
+            optimized=compiled.with_kernel(best_kernel),
+            cubin=splice_kernel(compiled.cubin, best_kernel),
+            result=result,
+        )
+
+    def deploy(
+        self,
+        spec: str | KernelSpec,
+        *,
+        shapes: dict | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> CompiledKernel:
+        """Deploy-time lookup (§4.2): load the cached optimized schedule."""
+        from repro.core.jit import CubinCache
+
+        spec = self._resolve_spec(spec)
+        shapes = self._resolve_shapes(spec, shapes)
+        cache = CubinCache(cache_dir) if cache_dir is not None else self.cache
+        if cache is None:
+            raise OptimizationError(
+                "session has no cubin cache (CacheConfig.enabled=False) and no cache_dir was given"
+            )
+        entry = cache.load(self.key_for(spec, shapes))
+        meta = entry.load_meta()
+        compiled = compile_spec(spec, shapes=shapes, config=meta["config"])
+        kernel = disassemble(entry.load_cubin(), kernel_name=compiled.kernel.metadata.name)
+        return compiled.with_kernel(kernel)
+
+    def run(
+        self,
+        spec: str | KernelSpec,
+        inputs: dict | None = None,
+        *,
+        shapes: dict | None = None,
+    ) -> KernelRun:
+        """Execute a workload: from the cache when available, else the -O3 build."""
+        spec = self._resolve_spec(spec)
+        shapes = self._resolve_shapes(spec, shapes)
+        if self.cache is not None and self.cache.has(self.key_for(spec, shapes)):
+            compiled = self.deploy(spec, shapes=shapes)
+        else:
+            compiled = compile_spec(spec, shapes=shapes)
+        return compiled.run(self.simulator, inputs)
+
+    def measure(
+        self,
+        compiled: CompiledKernel,
+        inputs: dict | None = None,
+    ) -> KernelTiming:
+        """Measure a compiled kernel under this session's measurement policy."""
+        return compiled.measure(
+            self.simulator, inputs, measurement=self.measurement.to_measurement_config()
+        )
+
+    # ------------------------------------------------------------------
+    # Verification (§4.1)
+    # ------------------------------------------------------------------
+    def verify_kernel(self, compiled: CompiledKernel, kernel) -> ProbabilisticTestResult:
+        """Probabilistic testing of a schedule against the numpy reference."""
+        tester = ProbabilisticTester(
+            simulator=self.simulator,
+            input_factory=lambda rng: compiled.spec.make_inputs(rng, compiled.shapes),
+            reference=lambda inputs: compiled.reference(inputs),
+            grid=compiled.grid,
+            param_order=compiled.param_order,
+            output_names=list(compiled.spec.output_names),
+        )
+        return tester.run(kernel, trials=self.config.verify_trials, seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Batched optimization
+    # ------------------------------------------------------------------
+    def optimize_many(
+        self,
+        specs: Iterable[str | KernelSpec],
+        *,
+        jobs: int = 1,
+        strategy: str | None = None,
+        verify: bool | None = None,
+        store: bool = True,
+    ) -> list[RunReport]:
+        """Fan one optimization run out over many workloads.
+
+        Reports come back in input order.  ``jobs > 1`` runs workloads on a
+        thread pool; each workload compiles, searches and verifies
+        independently, and cache writes go to per-key files so concurrent
+        stores do not collide.
+        """
+        resolved: Sequence[KernelSpec] = [self._resolve_spec(spec) for spec in specs]
+
+        def one(spec: KernelSpec) -> RunReport:
+            return self.optimize(spec, strategy=strategy, verify=verify, store=store)
+
+        if jobs <= 1 or len(resolved) <= 1:
+            return [one(spec) for spec in resolved]
+        with ThreadPoolExecutor(max_workers=min(jobs, len(resolved))) as pool:
+            return list(pool.map(one, resolved))

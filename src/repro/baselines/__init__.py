@@ -5,6 +5,9 @@ from repro.baselines.search import (
     evolutionary_search,
     greedy_search,
     random_search,
+    run_evolutionary_search,
+    run_greedy_search,
+    run_random_search,
 )
 from repro.baselines.vendor import VendorBaselines, VendorTimings
 
@@ -13,6 +16,9 @@ __all__ = [
     "random_search",
     "greedy_search",
     "evolutionary_search",
+    "run_random_search",
+    "run_greedy_search",
+    "run_evolutionary_search",
     "VendorBaselines",
     "VendorTimings",
 ]

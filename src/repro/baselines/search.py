@@ -5,17 +5,23 @@ algorithms: random search, greedy hill-climbing and a simple evolutionary
 strategy.  They reuse the same action space, masking and reward machinery as
 the RL agent so the comparison is apples-to-apples — and they serve as
 ablation baselines for the RL choice.
+
+The ``run_*`` functions are the engine; the preferred entry point is the
+strategy registry behind ``repro.api.Session.optimize(spec, strategy=...)``.
+The original ``random_search`` / ``greedy_search`` / ``evolutionary_search``
+names remain as deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.env import AssemblyGame
 from repro.sass.kernel import SassKernel
-from repro.sim.gpu import GPUSimulator
+from repro.sim.gpu import GPUSimulator, MeasurementConfig
 from repro.triton.compiler import CompiledKernel
 from repro.utils.rng import as_rng
 
@@ -36,20 +42,31 @@ class ScheduleSearchResult:
         return self.baseline_time_ms / self.best_time_ms if self.best_time_ms else 1.0
 
 
-def _make_env(compiled: CompiledKernel, simulator: GPUSimulator | None, episode_length: int) -> AssemblyGame:
-    return AssemblyGame(compiled, simulator or GPUSimulator(), episode_length=episode_length)
+def _make_env(
+    compiled: CompiledKernel,
+    simulator: GPUSimulator | None,
+    episode_length: int,
+    measurement: MeasurementConfig | None = None,
+) -> AssemblyGame:
+    return AssemblyGame(
+        compiled,
+        simulator or GPUSimulator(),
+        episode_length=episode_length,
+        measurement=measurement,
+    )
 
 
-def random_search(
+def run_random_search(
     compiled: CompiledKernel,
     *,
     budget: int = 64,
     episode_length: int = 32,
     simulator: GPUSimulator | None = None,
     seed: int = 0,
+    measurement: MeasurementConfig | None = None,
 ) -> ScheduleSearchResult:
     """Uniform random valid moves until the evaluation budget is exhausted."""
-    env = _make_env(compiled, simulator, episode_length)
+    env = _make_env(compiled, simulator, episode_length, measurement)
     rng = as_rng(seed)
     env.reset()
     evaluations = 0
@@ -79,12 +96,13 @@ def random_search(
     )
 
 
-def greedy_search(
+def run_greedy_search(
     compiled: CompiledKernel,
     *,
     budget: int = 128,
     episode_length: int = 64,
     simulator: GPUSimulator | None = None,
+    measurement: MeasurementConfig | None = None,
 ) -> ScheduleSearchResult:
     """Greedy hill-climbing: at every step take the single move that improves
     the runtime the most; stop when no move improves or the budget runs out.
@@ -92,7 +110,7 @@ def greedy_search(
     This also serves as the stand-in for expert hand-scheduling (the vendor
     reference implementations) in the Figure 6 harness.
     """
-    env = _make_env(compiled, simulator, episode_length)
+    env = _make_env(compiled, simulator, episode_length, measurement)
     env.reset()
     evaluations = 0
     history = []
@@ -131,7 +149,7 @@ def greedy_search(
     )
 
 
-def evolutionary_search(
+def run_evolutionary_search(
     compiled: CompiledKernel,
     *,
     population: int = 8,
@@ -140,6 +158,7 @@ def evolutionary_search(
     episode_length: int = 64,
     simulator: GPUSimulator | None = None,
     seed: int = 0,
+    measurement: MeasurementConfig | None = None,
 ) -> ScheduleSearchResult:
     """(mu + lambda)-style evolutionary search over move sequences (§7).
 
@@ -147,7 +166,7 @@ def evolutionary_search(
     mutation appends/perturbs moves.  As the paper notes, the approach needs
     no training but is prone to local minima.
     """
-    env = _make_env(compiled, simulator, episode_length)
+    env = _make_env(compiled, simulator, episode_length, measurement)
     rng = as_rng(seed)
     evaluations = 0
     history: list[float] = []
@@ -200,3 +219,34 @@ def evolutionary_search(
         evaluations=evaluations,
         history=history,
     )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases (pre-Session public API)
+# ---------------------------------------------------------------------------
+def _deprecated(name: str, strategy: str) -> None:
+    warnings.warn(
+        f"repro.baselines.{name}() is deprecated; use "
+        f'repro.api.Session.optimize(spec, strategy="{strategy}") or '
+        f"repro.baselines.search.run_{name}()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def random_search(compiled: CompiledKernel, **kwargs) -> ScheduleSearchResult:
+    """Deprecated alias of :func:`run_random_search`."""
+    _deprecated("random_search", "random")
+    return run_random_search(compiled, **kwargs)
+
+
+def greedy_search(compiled: CompiledKernel, **kwargs) -> ScheduleSearchResult:
+    """Deprecated alias of :func:`run_greedy_search`."""
+    _deprecated("greedy_search", "greedy")
+    return run_greedy_search(compiled, **kwargs)
+
+
+def evolutionary_search(compiled: CompiledKernel, **kwargs) -> ScheduleSearchResult:
+    """Deprecated alias of :func:`run_evolutionary_search`."""
+    _deprecated("evolutionary_search", "evolutionary")
+    return run_evolutionary_search(compiled, **kwargs)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.search import greedy_search
+from repro.baselines.search import run_greedy_search
 from repro.errors import CompilerError
 from repro.sim.gpu import GPUSimulator
 from repro.triton.compiler import CompiledKernel, compile_spec
@@ -54,7 +54,7 @@ class VendorBaselines:
     # ------------------------------------------------------------------
     def expert_schedule_ms(self, compiled: CompiledKernel) -> float:
         """Expert hand-scheduled reference (CuBLAS / flash-attention analogue)."""
-        result = greedy_search(compiled, budget=self.search_budget, simulator=self.simulator)
+        result = run_greedy_search(compiled, budget=self.search_budget, simulator=self.simulator)
         return result.best_time_ms
 
     def unfused_ms(self, compiled: CompiledKernel) -> float:

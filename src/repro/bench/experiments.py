@@ -14,24 +14,50 @@ the paper's setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import geometric_mean
 
-import numpy as np
-
 from repro.analysis.stall_inference import infer_stall_counts
+from repro.api import CacheConfig, OptimizationConfig, Session
 from repro.arch.latency_table import default_stall_table
 from repro.baselines.vendor import VendorBaselines
-from repro.core.optimizer import CuAsmRLOptimizer
-from repro.core.trainer import CuAsmRLTrainer
 from repro.microbench.clockbased import clock_based_stall_estimate
 from repro.microbench.harness import available_opcodes, build_stall_table
 from repro.rl.ppo import PPOConfig
 from repro.sim.gpu import GPUSimulator
-from repro.sim.profiler import build_profile
-from repro.triton.autotuner import Autotuner
 from repro.triton.compiler import compile_spec
-from repro.triton.spec import all_specs, get_spec
+from repro.triton.spec import get_spec
+
+#: Experiment sessions never write the deploy cache.
+_NO_CACHE = CacheConfig(enabled=False)
+
+
+def _session(
+    simulator: GPUSimulator | None,
+    *,
+    scale: str = "test",
+    episode_length: int = 16,
+    train_timesteps: int = 96,
+    seed: int = 0,
+    autotune: bool = False,
+    verify: bool = False,
+    ppo: PPOConfig | None = None,
+    trace: bool = False,
+) -> Session:
+    """A cache-less Session configured for one experiment."""
+    config = OptimizationConfig(
+        strategy="ppo",
+        scale=scale,
+        episode_length=episode_length,
+        train_timesteps=train_timesteps,
+        seed=seed,
+        autotune=autotune,
+        verify=verify,
+        ppo=ppo,
+        trace=trace,
+    )
+    return Session(gpu=simulator, config=config, cache=_NO_CACHE)
+
 
 #: The six evaluated kernels in the paper's Figure 6 order.
 EVALUATED_KERNELS = ("bmm", "fused_ff", "flash-attention", "mmLeakyReLu", "softmax", "rmsnorm")
@@ -153,21 +179,24 @@ def figure6_throughput(
     Throughput is normalized to Triton (= the autotuned ``-O3`` schedule); a
     value above 1 means faster than Triton.
     """
-    simulator = simulator or GPUSimulator()
-    optimizer = CuAsmRLOptimizer(
+    session = _session(
         simulator,
-        ppo_config=PPOConfig(num_steps=episode_length, seed=seed),
+        scale=scale,
         episode_length=episode_length,
         train_timesteps=train_timesteps,
+        seed=seed,
+        autotune=True,
+        verify=True,
+        ppo=PPOConfig(num_steps=episode_length, seed=seed),
     )
-    vendor = VendorBaselines(simulator) if include_vendor else None
+    vendor = VendorBaselines(session.simulator) if include_vendor else None
     rows: list[Figure6Row] = []
     for name in kernels:
         spec = get_spec(name)
-        compiled = optimizer.compile(spec, scale=scale)
-        optimized = optimizer.optimize_compiled(compiled)
-        triton_ms = optimized.result.baseline_time_ms
-        cuasmrl_ms = optimized.result.best_time_ms
+        compiled = session.compile(spec)
+        report = session.optimize_compiled(compiled)
+        triton_ms = report.baseline_time_ms
+        cuasmrl_ms = report.best_time_ms
         row = Figure6Row(
             kernel=name,
             triton=1.0,
@@ -236,27 +265,27 @@ def figure8_hyperparameter_sweep(
     The first (learning-rate, batch-size) combination is the default setting;
     the paper's claim is that the default converges to the best return.
     """
-    simulator = simulator or GPUSimulator()
-    spec = get_spec(kernel)
-    compiled = compile_spec(spec, scale=scale)
+    session = _session(
+        simulator, scale=scale, episode_length=episode_length, train_timesteps=train_timesteps
+    )
+    compiled = session.compile(kernel)
     rows = []
     for lr in learning_rates:
         for batch in batch_sizes:
-            config = PPOConfig(learning_rate=lr, num_steps=batch, seed=0)
-            trainer = CuAsmRLTrainer(
-                compiled, simulator, ppo_config=config, episode_length=episode_length
-            )
-            result = trainer.train(train_timesteps, verify=False)
-            steps, returns = result.history.returns_series()
+            ppo = PPOConfig(learning_rate=lr, num_steps=batch, seed=0)
+            sweep = session.with_config(session.config.replace(ppo=ppo))
+            report = sweep.optimize_compiled(compiled)
+            history = report.details["history"]
+            steps, returns = history.returns_series()
             rows.append(
                 {
                     "learning_rate": lr,
                     "batch_size": batch,
                     "is_default": lr == 2.5e-4 and batch == batch_sizes[0],
-                    "best_return": result.history.best_return(),
-                    "final_return": result.history.final_return(),
+                    "best_return": history.best_return(),
+                    "final_return": history.final_return(),
                     "returns_series": list(zip(steps, returns)),
-                    "speedup": result.speedup,
+                    "speedup": report.speedup,
                 }
             )
     return rows
@@ -274,26 +303,23 @@ def table3_workload_analysis(
     simulator: GPUSimulator | None = None,
 ) -> dict:
     """Table 3: compute / memory workload analysis of CuAsmRL vs Triton."""
-    simulator = simulator or GPUSimulator()
-    spec = get_spec(kernel)
-    compiled = compile_spec(spec, scale=scale)
-    trainer = CuAsmRLTrainer(
-        compiled,
-        simulator,
-        ppo_config=PPOConfig(num_steps=episode_length),
-        episode_length=episode_length,
+    session = _session(
+        simulator, scale=scale, episode_length=episode_length, train_timesteps=train_timesteps
     )
-    result = trainer.train(train_timesteps, verify=False)
+    compiled = session.compile(kernel)
+    report = session.optimize_compiled(compiled)
+    best_kernel = report.artifact.result.best_kernel
     inputs = compiled.make_inputs(0)
-    triton_profile = simulator.profile(compiled.kernel, compiled.grid, inputs, compiled.param_order)
-    cuasmrl_profile = simulator.profile(result.best_kernel, compiled.grid, inputs, compiled.param_order)
+    gpu = session.simulator
+    triton_profile = gpu.profile(compiled.kernel, compiled.grid, inputs, compiled.param_order)
+    cuasmrl_profile = gpu.profile(best_kernel, compiled.grid, inputs, compiled.param_order)
     return {
         "kernel": kernel,
         "CuAsmRL": cuasmrl_profile.workload_analysis_rows(),
         "Triton": triton_profile.workload_analysis_rows(),
         "CuAsmRL_memory_chart": cuasmrl_profile.memory_chart(),
         "Triton_memory_chart": triton_profile.memory_chart(),
-        "speedup": result.speedup,
+        "speedup": report.speedup,
     }
 
 
@@ -318,18 +344,13 @@ def figure12_training_stats(
     simulator: GPUSimulator | None = None,
 ) -> dict:
     """Figure 12: approximate KL divergence and policy entropy over training."""
-    simulator = simulator or GPUSimulator()
-    spec = get_spec(kernel)
-    compiled = compile_spec(spec, scale=scale)
-    trainer = CuAsmRLTrainer(
-        compiled,
-        simulator,
-        ppo_config=PPOConfig(num_steps=episode_length),
-        episode_length=episode_length,
+    session = _session(
+        simulator, scale=scale, episode_length=episode_length, train_timesteps=train_timesteps
     )
-    result = trainer.train(train_timesteps, verify=False)
-    steps_kl, kl = result.history.kl_series()
-    steps_ent, entropy = result.history.entropy_series()
+    report = session.optimize_compiled(session.compile(kernel))
+    history = report.details["history"]
+    steps_kl, kl = history.kl_series()
+    steps_ent, entropy = history.entropy_series()
     return {
         "kernel": kernel,
         "kl": list(zip(steps_kl, kl)),
@@ -349,21 +370,19 @@ def figure9_13_optimization_moves(
     simulator: GPUSimulator | None = None,
 ) -> dict:
     """Figures 9/13: trace the reorderings the trained agent applies."""
-    simulator = simulator or GPUSimulator()
-    spec = get_spec(kernel)
-    compiled = compile_spec(spec, scale=scale)
-    trainer = CuAsmRLTrainer(
-        compiled,
+    session = _session(
         simulator,
-        ppo_config=PPOConfig(num_steps=episode_length),
+        scale=scale,
         episode_length=episode_length,
+        train_timesteps=train_timesteps,
+        trace=True,
     )
-    result = trainer.train(train_timesteps, verify=False)
-    moves = trainer.trace_inference(seed=0)
+    report = session.optimize_compiled(session.compile(kernel))
+    moves = report.details["moves"]
     significant = max(moves, key=lambda m: m.reward, default=None)
     return {
         "kernel": kernel,
-        "speedup": result.speedup,
+        "speedup": report.speedup,
         "num_moves": len(moves),
         "moves": [
             {

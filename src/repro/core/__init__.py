@@ -1,4 +1,9 @@
-"""CuAsmRL core: the assembly game, trainer, optimizer and jit integration."""
+"""CuAsmRL core: the assembly game, trainer, optimizer and jit integration.
+
+The supported public surface is :mod:`repro.api` (``Session`` plus the
+strategy/backend registries); ``jit``/``JitKernel``/``CuAsmRLOptimizer`` here
+are deprecated shims kept for backward compatibility.
+"""
 
 from repro.core.actions import ActionSpace, Direction, ReorderAction
 from repro.core.embedding import StateEmbedder

@@ -89,6 +89,7 @@ class AssemblyGame(Env):
         self._previous_time_ms = self.baseline_time_ms
         self._steps = 0
         self._record = EpisodeRecord()
+        self._record_open = True
 
     # ------------------------------------------------------------------
     def _measure(self, kernel: SassKernel) -> float:
@@ -109,8 +110,21 @@ class AssemblyGame(Env):
         self._previous_time_ms = self.baseline_time_ms
         self._steps = 0
         self._record = EpisodeRecord()
+        self._record_open = True
         observation = self.embedder.embed(self._kernel)
         return observation, {"baseline_time_ms": self.baseline_time_ms}
+
+    def _finish_episode(self) -> None:
+        """Append the current episode record exactly once per episode.
+
+        Both episode-end paths — the fixed move horizon (truncation) and
+        running out of valid actions (termination, §3.5) — close the record;
+        steps taken past the end of a closed episode are not recorded.
+        """
+        if self._record_open:
+            self.episodes.append(self._record)
+            self._record = EpisodeRecord()
+            self._record_open = False
 
     def action_masks(self) -> np.ndarray:
         return self.masker.mask(self._kernel)
@@ -120,6 +134,7 @@ class AssemblyGame(Env):
         if not mask.any():
             # No valid action: terminate immediately (§3.5).
             observation = self.embedder.embed(self._kernel)
+            self._finish_episode()
             return observation, 0.0, True, False, {"terminated_no_actions": True}
         if not mask[action]:
             # An invalid action should have been masked by the agent; treat it
@@ -127,6 +142,8 @@ class AssemblyGame(Env):
             observation = self.embedder.embed(self._kernel)
             self._steps += 1
             truncated = self._steps >= self.episode_length
+            if truncated:
+                self._finish_episode()
             return observation, 0.0, False, truncated, {"invalid_action": True}
 
         source, destination = self.action_space_map.target_indices(self._kernel, action)
@@ -149,7 +166,7 @@ class AssemblyGame(Env):
 
         truncated = self._steps >= self.episode_length
         if truncated:
-            self.episodes.append(self._record)
+            self._finish_episode()
         observation = self.embedder.embed(self._kernel)
         info = {
             "time_ms": time_ms,

@@ -1,38 +1,83 @@
-"""The ``@cuasmrl.jit`` integration and the offline-search / deploy-time cache (§4.1–4.2).
+"""Deprecated ``@cuasmrl.jit`` shims and the deploy-time cubin cache (§4.1–4.2).
 
 The paper's workflow is: change one line (``@triton.jit`` → ``@cuasmrl.jit``),
 invoke the kernel once to trigger the hierarchical optimization, and at
 deployment pass ``load_dir`` so the cached optimized cubin is looked up
-instead of retrained.  This module reproduces that workflow on top of the
-mini-Triton specs: the cache key is derived from the GPU type, workload name
-and shapes, and the cached artifact is the packed cubin plus a small JSON
-metadata record.
+instead of retrained.
+
+.. note::
+   The supported entry point for this workflow is now the
+   :class:`repro.api.Session` facade::
+
+       from repro.api import Session, OptimizationConfig
+
+       session = Session(gpu="A100-sim", cache_dir="./cache",
+                         config=OptimizationConfig(scale="test"))
+       session.optimize("softmax")          # offline, one-time cost
+       deployed = session.deploy("softmax")  # cached-cubin lookup
+
+   :func:`jit` and :class:`JitKernel` remain as thin deprecation shims over a
+   session.  :class:`CubinCache` (the filesystem cache itself) and
+   :func:`cache_key` are still first-class — the session owns one.
 """
 
 from __future__ import annotations
 
-import functools
+import hashlib
+import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.optimizer import CuAsmRLOptimizer, OptimizedKernel
 from repro.errors import OptimizationError
 from repro.sass.cubin import Cubin
-from repro.sass.disassembler import disassemble
 from repro.sim.gpu import GPUSimulator
-from repro.triton.compiler import CompiledKernel, compile_spec
+from repro.triton.compiler import CompiledKernel
 from repro.triton.spec import KernelSpec
 from repro.utils.logging import get_logger
 from repro.utils.serialization import from_json_file, to_json_file, to_json_str
 
 _LOG = get_logger("core.jit")
 
+#: Characters allowed verbatim in a cache-key token; everything else folds to "-".
+_UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._\-]+")
+#: Length cap of the human-readable part, keeping keys well under the common
+#: 255-byte filename limit (the hash suffix carries the full identity).
+_READABLE_KEY_LIMIT = 160
+
+
+def _sanitize_token(value) -> str:
+    """Fold an arbitrary key/value into a filesystem-safe token."""
+    token = _UNSAFE_CHARS.sub("-", str(value))
+    token = re.sub(r"\.{2,}", ".", token).strip("-.")
+    return token or "x"
+
 
 def cache_key(gpu_name: str, kernel_name: str, shapes: dict) -> str:
-    """Cache key: GPU type + workload + shapes, as §4.2 prescribes."""
-    shape_part = "_".join(f"{k}{v}" for k, v in sorted(shapes.items()))
-    gpu_part = gpu_name.replace(" ", "-").replace("/", "-")
-    return f"{gpu_part}__{kernel_name}__{shape_part}"
+    """Cache key: GPU type + workload + shapes, as §4.2 prescribes.
+
+    The readable prefix is sanitized (shape values may be tuples, nested
+    dicts or contain path separators) and a short digest of the canonical
+    ``(gpu, kernel, shapes)`` identity is appended, so distinct shape dicts
+    that sanitize to the same prefix still get distinct keys.
+    """
+    shape_part = "_".join(
+        f"{_sanitize_token(key)}{_sanitize_token(value)}" for key, value in sorted(shapes.items())
+    )
+    readable = (
+        f"{_sanitize_token(gpu_name)}__{_sanitize_token(kernel_name)}__{shape_part}"
+    )[:_READABLE_KEY_LIMIT].rstrip("_-")
+    canonical = to_json_str(
+        {
+            "gpu": str(gpu_name),
+            "kernel": str(kernel_name),
+            # str(), not repr(): keys must be insensitive to the value's exact
+            # numeric type (128 vs np.int64(128)) across optimize and deploy.
+            "shapes": {str(key): str(value) for key, value in sorted(shapes.items())},
+        }
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+    return f"{readable}__{digest}"
 
 
 @dataclass
@@ -68,7 +113,7 @@ class CubinCache:
         entry = self.entry(key)
         return entry.cubin_path.exists() and entry.meta_path.exists()
 
-    def store(self, key: str, optimized: OptimizedKernel) -> CacheEntry:
+    def store(self, key: str, optimized) -> CacheEntry:
         entry = self.entry(key)
         entry.cubin_path.write_bytes(optimized.cubin.pack())
         to_json_file(entry.meta_path, {
@@ -89,7 +134,7 @@ class CubinCache:
 
 
 class JitKernel:
-    """The object returned by :func:`jit`: optimize once, deploy from cache."""
+    """Deprecated: the object returned by :func:`jit`; now a Session shim."""
 
     def __init__(
         self,
@@ -98,47 +143,65 @@ class JitKernel:
         ret_ptr: int | None = None,
         cache_dir: str | Path = ".cuasmrl_cache",
         simulator: GPUSimulator | None = None,
-        optimizer: CuAsmRLOptimizer | None = None,
+        optimizer=None,
         scale: str = "bench",
     ):
+        warnings.warn(
+            "repro.core.jit.JitKernel is deprecated; use repro.api.Session "
+            "(session.optimize / session.deploy / session.run)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api import OptimizationConfig, Session
+
+        # The historical JitKernel default budget (train_timesteps=256).
+        config = OptimizationConfig(scale=scale, train_timesteps=256)
+        if optimizer is not None:
+            config = config.replace(
+                episode_length=optimizer.episode_length,
+                train_timesteps=optimizer.train_timesteps,
+                autotune=optimizer.autotune,
+                ppo=optimizer.ppo_config,
+            )
+            if simulator is None:
+                simulator = optimizer.simulator
         self.spec = spec
         self.ret_ptr = ret_ptr
-        self.cache = CubinCache(cache_dir)
-        self.simulator = simulator or GPUSimulator()
-        self.optimizer = optimizer or CuAsmRLOptimizer(self.simulator, train_timesteps=256)
         self.scale = scale
+        self.session = Session(gpu=simulator, cache_dir=cache_dir, config=config)
+        self.simulator = self.session.simulator
+        self.cache = self.session.cache
+        self.optimizer = optimizer
 
     # ------------------------------------------------------------------
     def _key(self, shapes: dict) -> str:
-        return cache_key(self.simulator.config.name, self.spec.name, shapes)
+        return self.session.key_for(self.spec, shapes)
 
-    def optimize(self, *, shapes: dict | None = None, verify: bool = True) -> OptimizedKernel:
+    def optimize(self, *, shapes: dict | None = None, verify: bool = True):
         """Invoke the hierarchical optimization and cache the result."""
-        shapes = dict(shapes) if shapes is not None else dict(self.spec.shapes(self.scale))
-        optimized = self.optimizer.optimize(self.spec, shapes=shapes, verify=verify)
-        self.cache.store(self._key(shapes), optimized)
-        return optimized
+        report = self.session.optimize(self.spec, shapes=shapes, verify=verify)
+        return report.artifact
 
     def load(self, *, shapes: dict | None = None, load_dir: str | Path | None = None) -> CompiledKernel:
         """Deploy-time lookup: load the cached optimized schedule (no training)."""
-        shapes = dict(shapes) if shapes is not None else dict(self.spec.shapes(self.scale))
-        cache = CubinCache(load_dir) if load_dir is not None else self.cache
-        entry = cache.load(self._key(shapes))
-        meta = entry.load_meta()
-        compiled = compile_spec(self.spec, shapes=shapes, config=meta["config"])
-        kernel = disassemble(entry.load_cubin(), kernel_name=compiled.kernel.metadata.name)
-        return compiled.with_kernel(kernel)
+        return self.session.deploy(self.spec, shapes=shapes, cache_dir=load_dir)
 
     def __call__(self, inputs: dict | None = None, *, shapes: dict | None = None, load_dir=None):
         """Run the kernel: from the cache when available, otherwise the -O3 build."""
-        shapes = dict(shapes) if shapes is not None else dict(self.spec.shapes(self.scale))
-        if load_dir is not None or self.cache.has(self._key(shapes)):
+        if load_dir is not None:
             compiled = self.load(shapes=shapes, load_dir=load_dir)
-        else:
-            compiled = compile_spec(self.spec, shapes=shapes)
-        return compiled.run(self.simulator, inputs)
+            return compiled.run(self.simulator, inputs)
+        return self.session.run(self.spec, inputs, shapes=shapes)
 
 
 def jit(spec: KernelSpec, *, ret_ptr: int | None = None, **kwargs) -> JitKernel:
-    """The one-line integration of Listing 4: wrap a kernel spec with CuAsmRL."""
-    return JitKernel(spec, ret_ptr=ret_ptr, **kwargs)
+    """Deprecated one-line integration of Listing 4; use :class:`repro.api.Session`."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        kernel = JitKernel(spec, ret_ptr=ret_ptr, **kwargs)
+    warnings.warn(
+        "repro.core.jit.jit() is deprecated; use repro.api.Session",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return kernel

@@ -5,10 +5,17 @@ autotuning of the kernel configuration, compilation of the winning
 configuration to the ``-O3`` SASS schedule, RL training of the assembly game
 on that schedule, probabilistic verification of the best schedule found, and
 finally splicing it back into the cubin.
+
+.. note::
+   :class:`CuAsmRLOptimizer` is deprecated as a public entry point; use
+   ``repro.api.Session.optimize(spec, strategy="ppo")``, which runs the same
+   pipeline behind the strategy registry.  The :class:`OptimizedKernel`
+   artifact remains first-class (sessions produce it too).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.trainer import CuAsmRLTrainer, OptimizationResult
@@ -50,6 +57,12 @@ class CuAsmRLOptimizer:
         train_timesteps: int = 512,
         autotune: bool = True,
     ):
+        warnings.warn(
+            "repro.core.optimizer.CuAsmRLOptimizer is deprecated; use "
+            'repro.api.Session.optimize(spec, strategy="ppo")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.simulator = simulator or GPUSimulator()
         self.ppo_config = ppo_config
         self.episode_length = episode_length

@@ -47,7 +47,8 @@ class OptimizationResult:
     baseline_time_ms: float
     best_time_ms: float
     best_kernel: SassKernel
-    history: TrainingHistory
+    #: PPO training diagnostics; ``None`` for training-free strategies.
+    history: TrainingHistory | None = None
     verification: ProbabilisticTestResult | None = None
     episodes: list[EpisodeRecord] = field(default_factory=list)
 
@@ -62,7 +63,7 @@ class OptimizationResult:
             "best_time_ms": self.best_time_ms,
             "speedup": self.speedup,
             "episodes": len(self.episodes),
-            "best_episodic_return": self.history.best_return(),
+            "best_episodic_return": None if self.history is None else self.history.best_return(),
             "verified": None if self.verification is None else self.verification.passed,
         }
 
@@ -78,6 +79,7 @@ class CuAsmRLTrainer:
         ppo_config: PPOConfig | None = None,
         episode_length: int = 32,
         input_seed: int = 0,
+        measurement=None,
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
@@ -86,6 +88,7 @@ class CuAsmRLTrainer:
             compiled,
             self.simulator,
             episode_length=episode_length,
+            measurement=measurement,
             input_seed=input_seed,
         )
         self.agent = PPOTrainer(self.env, self.ppo_config)

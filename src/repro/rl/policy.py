@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.rl.distributions import MaskedCategorical
-from repro.rl.nn import Conv1d, Dense, GlobalAvgPool, Layer, Parameter, ReLU, Sequential, Tanh
+from repro.rl.nn import Conv1d, Dense, GlobalAvgPool, Parameter, ReLU, Sequential, Tanh
 
 
 class ActorCritic:

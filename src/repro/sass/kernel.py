@@ -8,7 +8,7 @@ what the analysis passes consume and what the assembly game mutates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 from repro.errors import SassError

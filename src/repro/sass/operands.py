@@ -15,7 +15,7 @@ register as well.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SassParseError
 

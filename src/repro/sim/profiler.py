@@ -9,7 +9,7 @@ traffic breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.ampere import A100, AmpereConfig
 from repro.sim.sm import TimingResult

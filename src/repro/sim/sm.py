@@ -16,7 +16,7 @@ Two drivers share the :class:`repro.sim.executor.WarpExecutor` semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.ampere import A100, AmpereConfig
 from repro.arch.registers import RegisterBankModel

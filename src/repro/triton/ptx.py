@@ -9,7 +9,7 @@ comparison (and the example reproducing Listing 8 vs Listing 9) is possible.
 
 from __future__ import annotations
 
-from repro.triton.ir import Op, TileProgram, Value
+from repro.triton.ir import TileProgram, Value
 
 
 def _fmt(value) -> str:

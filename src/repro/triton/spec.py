@@ -8,7 +8,7 @@ the autotuning configuration space and the paper / reduced shape sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -1,0 +1,238 @@
+"""Tests for the ``repro.api`` facade: Session, registries, configs and reports."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CacheConfig,
+    MeasurementPolicy,
+    OptimizationConfig,
+    RunReport,
+    Session,
+    available_backends,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_backend,
+)
+from repro.core.env import AssemblyGame
+from repro.core.jit import CubinCache, cache_key, jit
+from repro.sim import GPUSimulator, compare_outputs
+from repro.triton import compile_spec, get_spec
+
+_FAST = OptimizationConfig(
+    scale="test", episode_length=8, train_timesteps=16, search_budget=6,
+    population=3, generations=1, moves_per_individual=3, autotune=False,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return GPUSimulator()
+
+
+@pytest.fixture()
+def session(tmp_path, simulator):
+    return Session(gpu=simulator, cache_dir=tmp_path, config=_FAST)
+
+
+# ---------------------------------------------------------------------------
+# Session round-trip: optimize -> cache hit -> deploy
+# ---------------------------------------------------------------------------
+def test_session_optimize_cache_deploy_roundtrip(session):
+    report = session.optimize("softmax", verify=False)
+    assert isinstance(report, RunReport)
+    assert report.cached and report.cache_key is not None
+    assert session.cache.has(report.cache_key)
+
+    deployed = session.deploy("softmax")
+    assert deployed.kernel.render() == report.artifact.result.best_kernel.render()
+
+    # session.run takes the cache-hit path and produces correct outputs.
+    inputs = deployed.make_inputs(0)
+    run = session.run("softmax", inputs)
+    ok, max_err, _ = compare_outputs(run.outputs["out"], deployed.reference(inputs)["out"])
+    assert ok, max_err
+
+
+def test_session_deploy_missing_cache_raises(session):
+    with pytest.raises(Exception):
+        session.deploy("rmsnorm")
+
+
+def test_session_readonly_cache_never_stores(tmp_path, simulator):
+    session = Session(
+        gpu=simulator,
+        cache_dir=tmp_path,
+        config=_FAST,
+        cache=CacheConfig(readonly=True),
+    )
+    report = session.optimize("softmax", verify=False, strategy="random")
+    assert not report.cached
+    assert not session.cache.has(report.cache_key)
+
+
+# ---------------------------------------------------------------------------
+# Strategy registry: all four strategies behind one interface
+# ---------------------------------------------------------------------------
+def test_builtin_strategies_registered():
+    assert {"ppo", "greedy", "random", "evolutionary"} <= set(available_strategies())
+    with pytest.raises(KeyError):
+        get_strategy("does-not-exist")
+
+
+@pytest.mark.parametrize("strategy", ["ppo", "greedy", "random", "evolutionary"])
+def test_every_strategy_returns_same_report_shape(session, strategy):
+    report = session.optimize("mmLeakyReLu", strategy=strategy, verify=True)
+    assert isinstance(report, RunReport)
+    assert report.strategy == strategy
+    assert report.kernel == "mmLeakyReLu"
+    assert report.gpu == "A100-80GB-PCIe"
+    assert report.best_time_ms <= report.baseline_time_ms * 1.001
+    assert report.speedup >= 0.999
+    assert report.evaluations > 0
+    assert report.verified is True
+    assert report.artifact is not None
+    # The artifact's result must be summarizable for every strategy, not just PPO.
+    assert isinstance(report.artifact.result.summary(), dict)
+    summary = report.summary()
+    assert set(summary) == {
+        "kernel", "gpu", "strategy", "shapes", "config", "baseline_time_ms",
+        "best_time_ms", "speedup", "evaluations", "verified", "cache_key", "cached",
+    }
+    assert isinstance(report.to_json(), str)
+
+
+def test_custom_strategy_registration(session):
+    @register_strategy("noop-test")
+    class NoopStrategy:
+        name = "noop-test"
+
+        def run(self, context):
+            from repro.api import StrategyOutcome
+
+            baseline = context.compiled.measure(
+                context.simulator, measurement=context.measurement
+            ).time_ms
+            return StrategyOutcome(
+                strategy=self.name,
+                baseline_time_ms=baseline,
+                best_time_ms=baseline,
+                best_kernel=context.compiled.kernel,
+                evaluations=1,
+            )
+
+    report = session.optimize("softmax", strategy="noop-test", verify=False, store=False)
+    assert report.strategy == "noop-test"
+    assert report.speedup == pytest.approx(1.0)
+
+
+def test_optimize_many_preserves_order(session):
+    reports = session.optimize_many(["softmax", "rmsnorm"], jobs=2, strategy="random", verify=False)
+    assert [report.kernel for report in reports] == ["softmax", "rmsnorm"]
+    assert all(report.cached for report in reports)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+def test_backend_registry_names_and_aliases():
+    assert "A100-80GB-PCIe" in available_backends()
+    assert resolve_backend("A100-sim").config.name == "A100-80GB-PCIe"
+    assert resolve_backend("a30").config.num_sms == 56
+    with pytest.raises(KeyError):
+        resolve_backend("H100")
+
+
+def test_backend_name_namespaces_cache_keys(tmp_path, simulator):
+    a100 = Session(gpu="A100-sim", cache_dir=tmp_path, config=_FAST)
+    a30 = Session(gpu="A30", cache_dir=tmp_path, config=_FAST)
+    assert a100.key_for("softmax") != a30.key_for("softmax")
+
+
+# ---------------------------------------------------------------------------
+# CubinCache store/load equivalence
+# ---------------------------------------------------------------------------
+def test_cubin_cache_store_load_equivalence(tmp_path, session):
+    report = session.optimize("softmax", strategy="greedy", verify=False, store=False)
+    cache = CubinCache(tmp_path / "standalone")
+    key = session.key_for("softmax")
+    assert not cache.has(key)
+    entry = cache.store(key, report.artifact)
+    assert cache.has(key)
+
+    loaded = cache.load(key)
+    assert loaded.load_cubin().pack() == report.artifact.cubin.pack()
+    meta = loaded.load_meta()
+    assert meta["key"] == key
+    assert meta["baseline_time_ms"] == pytest.approx(report.baseline_time_ms)
+    assert meta["best_time_ms"] == pytest.approx(report.best_time_ms)
+    assert meta["config"] == report.config
+
+
+# ---------------------------------------------------------------------------
+# cache_key hardening
+# ---------------------------------------------------------------------------
+def test_cache_key_sanitizes_unsafe_values():
+    key = cache_key("A100/80GB PCIe", "soft max", {"path": "../../etc", "n": 8})
+    assert "/" not in key and " " not in key and ".." not in key
+
+
+def test_cache_key_non_scalar_values_do_not_collide():
+    tuple_key = cache_key("A100", "bmm", {"shape": (16, 32)})
+    nested_key = cache_key("A100", "bmm", {"shape": {"m": 16, "n": 32}})
+    list_key = cache_key("A100", "bmm", {"shape": [16, 32]})
+    assert len({tuple_key, nested_key, list_key}) == 3
+    # ... but keys are insensitive to the exact numeric type of a value.
+    assert cache_key("A100", "bmm", {"m": 16}) == cache_key("A100", "bmm", {"m": np.int64(16)})
+    # Values whose sanitized prefixes coincide still differ via the digest.
+    assert cache_key("A100", "bmm", {"s": "a/b"}) != cache_key("A100", "bmm", {"s": "a-b"})
+
+
+def test_cache_key_is_filesystem_usable(tmp_path):
+    key = cache_key("A100", "bmm", {"shape": (16, 32), "cfg": {"deep": [1, 2]}})
+    (tmp_path / f"{key}.cubin").write_bytes(b"x")  # must not escape or error
+    assert len(key) < 200
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims still work (with a warning) on top of the facade
+# ---------------------------------------------------------------------------
+def test_jit_shim_warns_and_delegates(tmp_path, simulator):
+    spec = get_spec("softmax")
+    with pytest.warns(DeprecationWarning):
+        kernel = jit(spec, cache_dir=tmp_path, simulator=simulator, scale="test")
+    assert kernel.session.gpu_name == "A100-80GB-PCIe"
+
+
+def test_config_replace_and_measurement_policy():
+    config = _FAST.replace(strategy="greedy", search_budget=9)
+    assert config.strategy == "greedy" and config.search_budget == 9
+    assert _FAST.strategy == "ppo"  # original untouched (frozen)
+    measurement = MeasurementPolicy(noise_std=0.01, seed=3).to_measurement_config()
+    assert measurement.noise_std == 0.01 and measurement.seed == 3
+
+
+# ---------------------------------------------------------------------------
+# AssemblyGame episode recording (terminated episodes are kept)
+# ---------------------------------------------------------------------------
+def test_assembly_game_records_terminated_episodes(simulator, monkeypatch):
+    compiled = compile_spec(get_spec("mmLeakyReLu"), scale="test")
+    env = AssemblyGame(compiled, simulator, episode_length=8)
+    env.reset()
+    valid = np.flatnonzero(env.action_masks())
+    assert len(valid) > 0
+    env.step(int(valid[0]))
+
+    # Force the no-valid-action termination path (§3.5) mid-episode.
+    monkeypatch.setattr(env.masker, "mask", lambda kernel: np.zeros(env.action_space.n, dtype=bool))
+    _, _, terminated, _, info = env.step(0)
+    assert terminated and info.get("terminated_no_actions")
+    assert len(env.episodes) == 1
+    assert len(env.episodes[0].actions) == 1
+
+    # Stepping again past the end must not double-append the record.
+    env.step(0)
+    assert len(env.episodes) == 1
