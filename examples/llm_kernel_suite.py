@@ -31,12 +31,19 @@ def main() -> None:
     )
 
     reports = session.optimize_many(EVALUATED_KERNELS, jobs=2)
+    succeeded = []
     for report in reports:
+        if report.failed:
+            print(f"{report.kernel:16s}  FAILED: {report.error}")
+            continue
+        succeeded.append(report)
         print(f"{report.kernel:16s}  Triton {report.baseline_time_ms*1e3:9.2f} us   "
               f"CuAsmRL {report.best_time_ms*1e3:9.2f} us   speedup {report.speedup:.3f}x")
+    if not succeeded:
+        raise SystemExit("every workload failed")
 
-    geomean = geometric_mean([report.speedup for report in reports])
-    best = max(report.speedup for report in reports)
+    geomean = geometric_mean([report.speedup for report in succeeded])
+    best = max(report.speedup for report in succeeded)
     print(f"\ngeometric-mean speedup over Triton: {geomean:.3f}x (paper: 1.09x)")
     print(f"largest per-kernel speedup:        {best:.3f}x (paper: up to 1.26x)")
 

@@ -28,8 +28,16 @@ class MeasurementPolicy:
     #: Relative Gaussian measurement noise; the paper reports run-to-run
     #: standard deviation within 1%, 0 keeps the simulator deterministic.
     noise_std: float = 0.0
-    #: Seed of the synthetic measurement noise.
+    #: Seed of the synthetic measurement noise; each schedule derives its own
+    #: noise stream from ``(seed, schedule digest)``.
     seed: int = 0
+    #: Measurement-service backend: ``"inline"`` (synchronous, the default)
+    #: or ``"threaded"`` (candidate batches fan out over a thread pool).
+    backend: str = "inline"
+    #: Worker threads of the ``"threaded"`` backend; ``None`` picks a default.
+    max_workers: int | None = None
+    #: Dedup repeated schedules by content digest before hitting the simulator.
+    memoize: bool = False
 
     def to_measurement_config(self) -> MeasurementConfig:
         """Lower to the :mod:`repro.sim` measurement record."""

@@ -47,6 +47,13 @@ class RunReport:
     details: dict = field(default_factory=dict, repr=False, compare=False)
     #: The deployable :class:`OptimizedKernel`; not part of the summary.
     artifact: "OptimizedKernel | None" = field(default=None, repr=False, compare=False)
+    #: ``"ExceptionType: message"`` when the run failed (``optimize_many``
+    #: surfaces per-job failures as reports instead of dropping the batch).
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def speedup(self) -> float:
@@ -67,6 +74,7 @@ class RunReport:
             "verified": self.verified,
             "cache_key": self.cache_key,
             "cached": self.cached,
+            "error": self.error,
         }
 
     def to_json(self) -> str:

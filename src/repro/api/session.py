@@ -18,6 +18,7 @@ return the same :class:`~repro.api.report.RunReport` shape.
 from __future__ import annotations
 
 import dataclasses
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -149,14 +150,17 @@ class Session:
         """Stage 2 (§3): schedule search on an already-compiled kernel."""
         strategy_name = strategy or self.config.strategy
         verify = self.config.verify if verify is None else verify
+        search_started = time.perf_counter()
         outcome = get_strategy(strategy_name).run(
             StrategyContext(
                 compiled=compiled,
                 simulator=self.simulator,
                 config=self.config,
                 measurement=self.measurement.to_measurement_config(),
+                measurement_policy=self.measurement,
             )
         )
+        search_elapsed = time.perf_counter() - search_started
 
         verification: ProbabilisticTestResult | None = None
         best_kernel = outcome.best_kernel
@@ -188,6 +192,11 @@ class Session:
             best_time_ms,
             outcome.baseline_time_ms / best_time_ms if best_time_ms else 1.0,
         )
+        details = dict(outcome.details)
+        details["elapsed_s"] = search_elapsed
+        details["evaluations_per_sec"] = (
+            outcome.evaluations / search_elapsed if search_elapsed > 0 else float("inf")
+        )
         return RunReport(
             kernel=compiled.spec.name,
             gpu=self.gpu_name,
@@ -200,7 +209,7 @@ class Session:
             verified=None if verification is None else verification.passed,
             cache_key=key,
             cached=cached,
-            details=dict(outcome.details),
+            details=details,
             artifact=artifact,
         )
 
@@ -304,6 +313,7 @@ class Session:
         strategy: str | None = None,
         verify: bool | None = None,
         store: bool = True,
+        on_error: str = "report",
     ) -> list[RunReport]:
         """Fan one optimization run out over many workloads.
 
@@ -311,13 +321,48 @@ class Session:
         thread pool; each workload compiles, searches and verifies
         independently, and cache writes go to per-key files so concurrent
         stores do not collide.
+
+        A failing workload no longer discards the rest of the batch.  With
+        ``on_error="report"`` (the default) it yields a failed
+        :class:`RunReport` (``report.failed`` true, ``report.error`` set) in
+        its input-order slot; with ``on_error="raise"`` every job still runs
+        to completion, then one :class:`OptimizationError` is raised carrying
+        the successful reports on its ``reports`` attribute.
         """
+        if on_error not in ("report", "raise"):
+            raise ValueError(f"on_error must be 'report' or 'raise', got {on_error!r}")
         resolved: Sequence[KernelSpec] = [self._resolve_spec(spec) for spec in specs]
 
         def one(spec: KernelSpec) -> RunReport:
-            return self.optimize(spec, strategy=strategy, verify=verify, store=store)
+            try:
+                return self.optimize(spec, strategy=strategy, verify=verify, store=store)
+            except Exception as exc:
+                _LOG.warning("optimize_many: %s failed: %s", spec.name, exc)
+                return RunReport(
+                    kernel=spec.name,
+                    gpu=self.gpu_name,
+                    strategy=strategy or self.config.strategy,
+                    shapes={},
+                    config={},
+                    baseline_time_ms=0.0,
+                    best_time_ms=0.0,
+                    evaluations=0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
 
         if jobs <= 1 or len(resolved) <= 1:
-            return [one(spec) for spec in resolved]
-        with ThreadPoolExecutor(max_workers=min(jobs, len(resolved))) as pool:
-            return list(pool.map(one, resolved))
+            reports = [one(spec) for spec in resolved]
+        else:
+            with ThreadPoolExecutor(max_workers=min(jobs, len(resolved))) as pool:
+                futures = [pool.submit(one, spec) for spec in resolved]
+                reports = [future.result() for future in futures]
+
+        failures = [report for report in reports if report.failed]
+        if failures and on_error == "raise":
+            error = OptimizationError(
+                f"{len(failures)}/{len(reports)} workloads failed: "
+                + "; ".join(f"{report.kernel}: {report.error}" for report in failures)
+            )
+            error.reports = [report for report in reports if not report.failed]
+            raise error
+        return reports

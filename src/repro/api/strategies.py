@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
-from repro.api.config import OptimizationConfig
+from repro.api.config import MeasurementPolicy, OptimizationConfig
 from repro.baselines.search import (
     ScheduleSearchResult,
     run_evolutionary_search,
@@ -34,6 +34,13 @@ class StrategyContext:
     simulator: GPUSimulator
     config: OptimizationConfig
     measurement: MeasurementConfig
+    #: Full measurement policy (service backend / workers / memoization);
+    #: ``measurement`` above stays as the lowered per-call protocol record.
+    measurement_policy: MeasurementPolicy | None = None
+
+    @property
+    def policy(self) -> MeasurementPolicy:
+        return self.measurement_policy or MeasurementPolicy()
 
 
 @dataclass(frozen=True)
@@ -95,7 +102,10 @@ def _from_search(result: ScheduleSearchResult) -> StrategyOutcome:
         best_time_ms=result.best_time_ms,
         best_kernel=result.best_kernel,
         evaluations=result.evaluations,
-        details={"history": list(result.history)},
+        details={
+            "history": list(result.history),
+            "measurement": dict(result.measurement_stats),
+        },
     )
 
 
@@ -111,17 +121,25 @@ class PPOStrategy:
 
     def run(self, context: StrategyContext) -> StrategyOutcome:
         config = context.config
+        policy = context.policy
         trainer = CuAsmRLTrainer(
             context.compiled,
             context.simulator,
             ppo_config=config.ppo_config(),
             episode_length=config.episode_length,
             measurement=context.measurement,
+            measure_backend=policy.backend,
+            max_workers=policy.max_workers,
+            memoize=policy.memoize,
         )
-        result = trainer.train(config.train_timesteps, verify=False)
-        details: dict = {"history": result.history, "episodes": result.episodes}
-        if config.trace:
-            details["moves"] = trainer.trace_inference(seed=config.seed)
+        try:
+            result = trainer.train(config.train_timesteps, verify=False)
+            details: dict = {"history": result.history, "episodes": result.episodes}
+            if config.trace:
+                details["moves"] = trainer.trace_inference(seed=config.seed)
+            details["measurement"] = trainer.env.measurement_stats.as_dict()
+        finally:
+            trainer.env.close()
         return StrategyOutcome(
             strategy=self.name,
             baseline_time_ms=result.baseline_time_ms,
@@ -141,6 +159,7 @@ class RandomSearchStrategy:
 
     def run(self, context: StrategyContext) -> StrategyOutcome:
         config = context.config
+        policy = context.policy
         return _from_search(
             run_random_search(
                 context.compiled,
@@ -149,6 +168,9 @@ class RandomSearchStrategy:
                 simulator=context.simulator,
                 seed=config.seed,
                 measurement=context.measurement,
+                backend=policy.backend,
+                max_workers=policy.max_workers,
+                memoize=policy.memoize,
             )
         )
 
@@ -162,6 +184,7 @@ class GreedySearchStrategy:
 
     def run(self, context: StrategyContext) -> StrategyOutcome:
         config = context.config
+        policy = context.policy
         return _from_search(
             run_greedy_search(
                 context.compiled,
@@ -169,6 +192,9 @@ class GreedySearchStrategy:
                 episode_length=config.episode_length,
                 simulator=context.simulator,
                 measurement=context.measurement,
+                backend=policy.backend,
+                max_workers=policy.max_workers,
+                memoize=policy.memoize,
             )
         )
 
@@ -182,6 +208,7 @@ class EvolutionarySearchStrategy:
 
     def run(self, context: StrategyContext) -> StrategyOutcome:
         config = context.config
+        policy = context.policy
         return _from_search(
             run_evolutionary_search(
                 context.compiled,
@@ -192,5 +219,8 @@ class EvolutionarySearchStrategy:
                 simulator=context.simulator,
                 seed=config.seed,
                 measurement=context.measurement,
+                backend=policy.backend,
+                max_workers=policy.max_workers,
+                memoize=policy.memoize,
             )
         )

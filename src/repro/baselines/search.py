@@ -36,6 +36,8 @@ class ScheduleSearchResult:
     best_kernel: SassKernel
     evaluations: int
     history: list[float] = field(default_factory=list)
+    #: Measurement-service counters (submitted / raw measured / memo hits).
+    measurement_stats: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -47,12 +49,18 @@ def _make_env(
     simulator: GPUSimulator | None,
     episode_length: int,
     measurement: MeasurementConfig | None = None,
+    backend: str = "inline",
+    max_workers: int | None = None,
+    memoize: bool = False,
 ) -> AssemblyGame:
     return AssemblyGame(
         compiled,
         simulator or GPUSimulator(),
         episode_length=episode_length,
         measurement=measurement,
+        measure_backend=backend,
+        max_workers=max_workers,
+        memoize=memoize,
     )
 
 
@@ -64,36 +72,43 @@ def run_random_search(
     simulator: GPUSimulator | None = None,
     seed: int = 0,
     measurement: MeasurementConfig | None = None,
+    backend: str = "inline",
+    max_workers: int | None = None,
+    memoize: bool = False,
 ) -> ScheduleSearchResult:
     """Uniform random valid moves until the evaluation budget is exhausted."""
-    env = _make_env(compiled, simulator, episode_length, measurement)
-    rng = as_rng(seed)
-    env.reset()
-    evaluations = 0
-    history = []
-    while evaluations < budget:
-        mask = env.action_masks()
-        valid = np.flatnonzero(mask)
-        if len(valid) == 0:
-            # A freshly reset schedule with no legal move: nothing to search.
-            if not history:
-                break
-            env.reset()
-            continue
-        action = int(rng.choice(valid))
-        _, _, terminated, truncated, info = env.step(action)
-        evaluations += 1
-        history.append(info.get("time_ms", env.best_time_ms))
-        if terminated or truncated:
-            env.reset()
-    return ScheduleSearchResult(
-        method="random",
-        baseline_time_ms=env.baseline_time_ms,
-        best_time_ms=env.best_time_ms,
-        best_kernel=env.best_kernel,
-        evaluations=evaluations,
-        history=history,
-    )
+    env = _make_env(compiled, simulator, episode_length, measurement, backend, max_workers, memoize)
+    try:
+        rng = as_rng(seed)
+        env.reset()
+        evaluations = 0
+        history = []
+        while evaluations < budget:
+            mask = env.action_masks()
+            valid = np.flatnonzero(mask)
+            if len(valid) == 0:
+                # A freshly reset schedule with no legal move: nothing to search.
+                if not history:
+                    break
+                env.reset()
+                continue
+            action = int(rng.choice(valid))
+            _, _, terminated, truncated, info = env.step(action)
+            evaluations += 1
+            history.append(info.get("time_ms", env.best_time_ms))
+            if terminated or truncated:
+                env.reset()
+        return ScheduleSearchResult(
+            method="random",
+            baseline_time_ms=env.baseline_time_ms,
+            best_time_ms=env.best_time_ms,
+            best_kernel=env.best_kernel,
+            evaluations=evaluations,
+            history=history,
+            measurement_stats=env.measurement_stats.as_dict(),
+        )
+    finally:
+        env.close()
 
 
 def run_greedy_search(
@@ -103,50 +118,70 @@ def run_greedy_search(
     episode_length: int = 64,
     simulator: GPUSimulator | None = None,
     measurement: MeasurementConfig | None = None,
+    backend: str = "inline",
+    max_workers: int | None = None,
+    memoize: bool = False,
 ) -> ScheduleSearchResult:
     """Greedy hill-climbing: at every step take the single move that improves
     the runtime the most; stop when no move improves or the budget runs out.
 
+    Each round batch-measures *all* valid single-move candidates through the
+    env's measurement service (concurrently under ``backend="threaded"``),
+    then commits the winner with a real ``env.step``.  The committing step is
+    a measurement too, so it counts against the budget — and under
+    ``memoize=True`` it is a guaranteed memoization hit, as are probes of
+    previously visited schedules (e.g. the swap that reverts the last move).
+
     This also serves as the stand-in for expert hand-scheduling (the vendor
     reference implementations) in the Figure 6 harness.
     """
-    env = _make_env(compiled, simulator, episode_length, measurement)
-    env.reset()
-    evaluations = 0
-    history = []
-    improved = True
-    while improved and evaluations < budget:
-        improved = False
-        mask = env.action_masks()
-        valid = list(np.flatnonzero(mask))
-        if not valid:
-            break
-        base_kernel = env.current_kernel
-        base_time = env._previous_time_ms
-        best_action = None
-        best_time = base_time
-        for action in valid:
-            if evaluations >= budget:
+    env = _make_env(compiled, simulator, episode_length, measurement, backend, max_workers, memoize)
+    try:
+        env.reset()
+        evaluations = 0
+        history = []
+        improved = True
+        while improved and evaluations < budget:
+            improved = False
+            valid = list(np.flatnonzero(env.action_masks()))
+            if not valid:
                 break
-            source, destination = env.action_space_map.target_indices(base_kernel, action)
-            candidate = base_kernel.swap(source, destination)
-            time_ms = env._measure(candidate)
+            base_kernel = env.current_kernel
+            base_time = env.current_time_ms
+            # Probe at most budget-1 remaining candidates: the committing step
+            # below is a measurement too and needs its own budget slot.
+            actions = valid[: max(budget - evaluations - 1, 0)]
+            candidates = [
+                base_kernel.swap(*env.action_space_map.target_indices(base_kernel, action))
+                for action in actions
+            ]
+            times = env.measure_candidates(candidates)
+            evaluations += len(times)
+            history.extend(times)
+            if not times:
+                break
+            best_index = int(np.argmin(times))
+            if times[best_index] >= base_time - 1e-12:
+                break
+            _, _, terminated, truncated, info = env.step(int(actions[best_index]))
             evaluations += 1
-            history.append(time_ms)
-            if time_ms < best_time - 1e-12:
-                best_time = time_ms
-                best_action = action
-        if best_action is not None:
-            env.step(int(best_action))
+            history.append(info.get("time_ms", times[best_index]))
             improved = True
-    return ScheduleSearchResult(
-        method="greedy",
-        baseline_time_ms=env.baseline_time_ms,
-        best_time_ms=env.best_time_ms,
-        best_kernel=env.best_kernel,
-        evaluations=evaluations,
-        history=history,
-    )
+            if terminated or truncated:
+                # The episode is over (move horizon reached or no actions
+                # left); stepping a finished episode would corrupt the climb.
+                break
+        return ScheduleSearchResult(
+            method="greedy",
+            baseline_time_ms=env.baseline_time_ms,
+            best_time_ms=env.best_time_ms,
+            best_kernel=env.best_kernel,
+            evaluations=evaluations,
+            history=history,
+            measurement_stats=env.measurement_stats.as_dict(),
+        )
+    finally:
+        env.close()
 
 
 def run_evolutionary_search(
@@ -159,66 +194,75 @@ def run_evolutionary_search(
     simulator: GPUSimulator | None = None,
     seed: int = 0,
     measurement: MeasurementConfig | None = None,
+    backend: str = "inline",
+    max_workers: int | None = None,
+    memoize: bool = False,
 ) -> ScheduleSearchResult:
     """(mu + lambda)-style evolutionary search over move sequences (§7).
 
     Individuals are sequences of valid moves applied from the -O3 schedule;
     mutation appends/perturbs moves.  As the paper notes, the approach needs
-    no training but is prone to local minima.
+    no training but is prone to local minima.  Surviving parents are replayed
+    every generation, so ``memoize=True`` turns those re-measurements into
+    cache hits.
     """
-    env = _make_env(compiled, simulator, episode_length, measurement)
-    rng = as_rng(seed)
-    evaluations = 0
-    history: list[float] = []
+    env = _make_env(compiled, simulator, episode_length, measurement, backend, max_workers, memoize)
+    try:
+        rng = as_rng(seed)
+        evaluations = 0
+        history: list[float] = []
 
-    def evaluate(sequence: list[int]) -> float:
-        nonlocal evaluations
-        env.reset()
-        last_time = env.baseline_time_ms
-        for action in sequence:
-            mask = env.action_masks()
-            if not mask[action % len(mask)]:
-                valid = np.flatnonzero(mask)
-                if len(valid) == 0:
+        def evaluate(sequence: list[int]) -> float:
+            nonlocal evaluations
+            env.reset()
+            last_time = env.baseline_time_ms
+            for action in sequence:
+                mask = env.action_masks()
+                if not mask[action % len(mask)]:
+                    valid = np.flatnonzero(mask)
+                    if len(valid) == 0:
+                        break
+                    action = int(valid[action % len(valid)])
+                else:
+                    action = action % len(mask)
+                _, _, terminated, truncated, info = env.step(action)
+                evaluations += 1
+                last_time = info.get("time_ms", last_time)
+                if terminated or truncated:
                     break
-                action = int(valid[action % len(valid)])
-            else:
-                action = action % len(mask)
-            _, _, terminated, truncated, info = env.step(action)
-            evaluations += 1
-            last_time = info.get("time_ms", last_time)
-            if terminated or truncated:
-                break
-        history.append(last_time)
-        return last_time
+            history.append(last_time)
+            return last_time
 
-    genome_space = max(env.action_space.n, 1)
-    populace = [
-        [int(rng.integers(0, genome_space)) for _ in range(moves_per_individual)]
-        for _ in range(population)
-    ]
-    scored = [(evaluate(individual), individual) for individual in populace]
-    for _ in range(generations):
-        scored.sort(key=lambda item: item[0])
-        parents = [individual for _, individual in scored[: max(2, population // 2)]]
-        children = []
-        while len(children) < population - len(parents):
-            parent = parents[int(rng.integers(0, len(parents)))]
-            child = list(parent)
-            index = int(rng.integers(0, len(child)))
-            child[index] = int(rng.integers(0, genome_space))
-            children.append(child)
-        populace = parents + children
+        genome_space = max(env.action_space.n, 1)
+        populace = [
+            [int(rng.integers(0, genome_space)) for _ in range(moves_per_individual)]
+            for _ in range(population)
+        ]
         scored = [(evaluate(individual), individual) for individual in populace]
+        for _ in range(generations):
+            scored.sort(key=lambda item: item[0])
+            parents = [individual for _, individual in scored[: max(2, population // 2)]]
+            children = []
+            while len(children) < population - len(parents):
+                parent = parents[int(rng.integers(0, len(parents)))]
+                child = list(parent)
+                index = int(rng.integers(0, len(child)))
+                child[index] = int(rng.integers(0, genome_space))
+                children.append(child)
+            populace = parents + children
+            scored = [(evaluate(individual), individual) for individual in populace]
 
-    return ScheduleSearchResult(
-        method="evolutionary",
-        baseline_time_ms=env.baseline_time_ms,
-        best_time_ms=env.best_time_ms,
-        best_kernel=env.best_kernel,
-        evaluations=evaluations,
-        history=history,
-    )
+        return ScheduleSearchResult(
+            method="evolutionary",
+            baseline_time_ms=env.baseline_time_ms,
+            best_time_ms=env.best_time_ms,
+            best_kernel=env.best_kernel,
+            evaluations=evaluations,
+            history=history,
+            measurement_stats=env.measurement_stats.as_dict(),
+        )
+    finally:
+        env.close()
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from statistics import geometric_mean
 
 from repro.analysis.stall_inference import infer_stall_counts
-from repro.api import CacheConfig, OptimizationConfig, Session
+from repro.api import CacheConfig, MeasurementPolicy, OptimizationConfig, Session
 from repro.arch.latency_table import default_stall_table
 from repro.baselines.vendor import VendorBaselines
 from repro.microbench.clockbased import clock_based_stall_estimate
@@ -224,6 +224,61 @@ def figure6_summary(rows: list[Figure6Row]) -> dict:
         "max_speedup": max(speedups) if speedups else 1.0,
         "min_speedup": min(speedups) if speedups else 1.0,
     }
+
+
+# ---------------------------------------------------------------------------
+# Measurement-service ablation: evaluations/sec per backend
+# ---------------------------------------------------------------------------
+def measurement_backend_throughput(
+    kernel: str = "mmLeakyReLu",
+    *,
+    scale: str = "test",
+    search_budget: int = 48,
+    episode_length: int = 16,
+    max_workers: int = 4,
+    simulator: GPUSimulator | None = None,
+) -> list[dict]:
+    """Greedy-search measurement throughput under each measurement backend.
+
+    One row per backend configuration: evaluations/sec of the search loop,
+    raw simulator measurements actually issued, and memoization hits.  The
+    search itself is deterministic, so every configuration must land on the
+    same ``best_ms`` — the backends only change how fast (and how often) the
+    simulator is consulted.
+    """
+    config = OptimizationConfig(
+        strategy="greedy",
+        scale=scale,
+        search_budget=search_budget,
+        episode_length=episode_length,
+        autotune=False,
+        verify=False,
+    )
+    policies = [
+        ("inline", MeasurementPolicy()),
+        ("threaded", MeasurementPolicy(backend="threaded", max_workers=max_workers)),
+        (
+            "threaded+memo",
+            MeasurementPolicy(backend="threaded", max_workers=max_workers, memoize=True),
+        ),
+    ]
+    rows = []
+    for name, policy in policies:
+        session = Session(gpu=simulator, config=config, measurement=policy, cache=_NO_CACHE)
+        report = session.optimize(kernel)
+        stats = report.details.get("measurement", {})
+        rows.append(
+            {
+                "backend": name,
+                "best_ms": report.best_time_ms,
+                "evaluations": report.evaluations,
+                "elapsed_s": report.details["elapsed_s"],
+                "evals_per_sec": report.details["evaluations_per_sec"],
+                "raw_measurements": stats.get("measured"),
+                "memo_hits": stats.get("memo_hits"),
+            }
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.errors import EnvironmentError_
 from repro.rl.env_api import Box, Discrete, Env
 from repro.sass.kernel import SassKernel
 from repro.sim.gpu import GPUSimulator, MeasurementConfig
+from repro.sim.measure_service import MeasurementStats, create_measurement_service
 from repro.triton.compiler import CompiledKernel
 from repro.utils.logging import get_logger
 
@@ -56,12 +57,25 @@ class AssemblyGame(Env):
         stall_table: StallCountTable | None = None,
         inputs: dict | None = None,
         input_seed: int = 0,
+        measure_backend: str = "inline",
+        max_workers: int | None = None,
+        memoize: bool = False,
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
         self.episode_length = int(episode_length)
         self.measurement = measurement or MeasurementConfig()
         self.inputs = inputs if inputs is not None else compiled.make_inputs(input_seed)
+        self.measure_service = create_measurement_service(
+            self.simulator,
+            compiled.grid,
+            self.inputs,
+            compiled.param_order,
+            measurement=self.measurement,
+            backend=measure_backend,
+            max_workers=max_workers,
+            memoize=memoize,
+        )
 
         # Pre-game static analysis on the -O3 schedule (§3.2).
         self.initial_kernel: SassKernel = compiled.kernel
@@ -80,7 +94,7 @@ class AssemblyGame(Env):
         self.action_space = Discrete(self.action_space_map.n)
 
         # Baseline runtime T0 of the -O3 schedule.
-        self.baseline_time_ms = self._measure(self.initial_kernel)
+        self.baseline_time_ms = self.measure_candidate(self.initial_kernel)
         self.best_time_ms = self.baseline_time_ms
         self.best_kernel = self.initial_kernel
         self.episodes: list[EpisodeRecord] = []
@@ -92,15 +106,31 @@ class AssemblyGame(Env):
         self._record_open = True
 
     # ------------------------------------------------------------------
+    # Candidate measurement (public: searches batch-probe through these)
+    # ------------------------------------------------------------------
+    def measure_candidate(self, kernel: SassKernel) -> float:
+        """Runtime of one candidate schedule under this env's measurement policy.
+
+        Probing a candidate does not advance the episode; committing a move is
+        still :meth:`step`.
+        """
+        return self.measure_service.submit(kernel).result().time_ms
+
+    def measure_candidates(self, kernels: list[SassKernel]) -> list[float]:
+        """Batch-measure candidate schedules; concurrent under a pooled backend."""
+        return [timing.time_ms for timing in self.measure_service.measure_batch(kernels)]
+
+    @property
+    def measurement_stats(self) -> MeasurementStats:
+        """Raw-measurement / memoization counters of the measurement service."""
+        return self.measure_service.stats
+
+    def close(self) -> None:
+        """Release the measurement service's workers (no-op for inline)."""
+        self.measure_service.close()
+
     def _measure(self, kernel: SassKernel) -> float:
-        timing = self.simulator.measure(
-            kernel,
-            self.compiled.grid,
-            self.inputs,
-            self.compiled.param_order,
-            measurement=self.measurement,
-        )
-        return timing.time_ms
+        return self.measure_candidate(kernel)
 
     # ------------------------------------------------------------------
     # Gym interface
@@ -179,6 +209,11 @@ class AssemblyGame(Env):
     @property
     def current_kernel(self) -> SassKernel:
         return self._kernel
+
+    @property
+    def current_time_ms(self) -> float:
+        """Runtime of the current schedule (T_{i-1} of Eq. 3)."""
+        return self._previous_time_ms
 
     def best_speedup(self) -> float:
         """Throughput speedup of the best schedule over the -O3 baseline."""

@@ -23,6 +23,7 @@ instead of retrained.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import re
 import warnings
@@ -38,6 +39,12 @@ from repro.utils.logging import get_logger
 from repro.utils.serialization import from_json_file, to_json_file, to_json_str
 
 _LOG = get_logger("core.jit")
+
+#: Version of the cache-entry metadata schema.  Bump when the simulator's
+#: timing model or the stored metadata layout changes in a way that
+#: invalidates previously optimized schedules; entries written under a
+#: different (or missing) version are treated as cache misses.
+CACHE_SCHEMA_VERSION = 2
 
 #: Characters allowed verbatim in a cache-key token; everything else folds to "-".
 _UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._\-]+")
@@ -87,12 +94,16 @@ class CacheEntry:
     key: str
     cubin_path: Path
     meta_path: Path
+    _meta: "dict | None" = dataclasses.field(default=None, repr=False, compare=False)
 
     def load_cubin(self) -> Cubin:
         return Cubin.unpack(self.cubin_path.read_bytes())
 
     def load_meta(self) -> dict:
-        return from_json_file(self.meta_path)
+        """Parsed metadata; cached on the entry so validation and deploy share one parse."""
+        if self._meta is None:
+            self._meta = from_json_file(self.meta_path)
+        return self._meta
 
 
 class CubinCache:
@@ -110,14 +121,38 @@ class CubinCache:
         )
 
     def has(self, key: str) -> bool:
+        return self._valid_entry(key) is not None
+
+    def _valid_entry(self, key: str) -> "CacheEntry | None":
+        """The entry for ``key`` if present and schema-compatible, else ``None``."""
         entry = self.entry(key)
-        return entry.cubin_path.exists() and entry.meta_path.exists()
+        if not (entry.cubin_path.exists() and entry.meta_path.exists()):
+            return None
+        return entry if self._schema_compatible(entry) else None
+
+    @staticmethod
+    def _schema_compatible(entry: CacheEntry) -> bool:
+        """Whether the entry was written under the current metadata schema."""
+        try:
+            meta = entry.load_meta()
+        except Exception:
+            return False
+        if meta.get("schema_version") != CACHE_SCHEMA_VERSION:
+            _LOG.debug(
+                "cache entry %s has schema %r (current %d); treating as miss",
+                entry.key,
+                meta.get("schema_version"),
+                CACHE_SCHEMA_VERSION,
+            )
+            return False
+        return True
 
     def store(self, key: str, optimized) -> CacheEntry:
         entry = self.entry(key)
         entry.cubin_path.write_bytes(optimized.cubin.pack())
         to_json_file(entry.meta_path, {
             "key": key,
+            "schema_version": CACHE_SCHEMA_VERSION,
             "kernel": optimized.compiled.kernel.metadata.name,
             "shapes": optimized.compiled.shapes,
             "config": optimized.compiled.config,
@@ -128,9 +163,12 @@ class CubinCache:
         return entry
 
     def load(self, key: str) -> CacheEntry:
-        if not self.has(key):
+        entry = self._valid_entry(key)
+        if entry is None:
             raise OptimizationError(f"no cached cubin for key {key!r} in {self.directory}")
-        return self.entry(key)
+        # The entry carries the metadata parsed during validation, so callers'
+        # load_meta() does not re-read the file.
+        return entry
 
 
 class JitKernel:

@@ -80,6 +80,9 @@ class CuAsmRLTrainer:
         episode_length: int = 32,
         input_seed: int = 0,
         measurement=None,
+        measure_backend: str = "inline",
+        max_workers: int | None = None,
+        memoize: bool = False,
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
@@ -90,6 +93,9 @@ class CuAsmRLTrainer:
             episode_length=episode_length,
             measurement=measurement,
             input_seed=input_seed,
+            measure_backend=measure_backend,
+            max_workers=max_workers,
+            memoize=memoize,
         )
         self.agent = PPOTrainer(self.env, self.ppo_config)
 

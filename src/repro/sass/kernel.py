@@ -8,6 +8,7 @@ what the analysis passes consume and what the assembly game mutates.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
@@ -72,6 +73,25 @@ class SassKernel:
 
     def __hash__(self) -> int:
         return hash((self._lines, self.metadata))
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the instruction sequence (the schedule identity).
+
+        Two kernels with the same listing (same instructions, control codes and
+        labels in the same order) share a digest regardless of object identity,
+        which is what measurement memoization and per-schedule noise streams
+        key on.  The digest is cached: kernels are immutable by construction.
+        """
+        digest = getattr(self, "_content_digest", None)
+        if digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(self.metadata.name.encode("utf-8"))
+            for line in self._lines:
+                hasher.update(b"\n")
+                hasher.update(line.render().encode("utf-8"))
+            digest = hasher.hexdigest()
+            self._content_digest = digest
+        return digest
 
     # ------------------------------------------------------------------
     # Views

@@ -13,6 +13,15 @@ from repro.sim.functional import (
 )
 from repro.sim.gpu import GPUSimulator, KernelRun, KernelTiming, MeasurementConfig
 from repro.sim.launch import GridConfig, LaunchContext, bind_tensors
+from repro.sim.measure_service import (
+    InlineMeasurementBackend,
+    MeasurementBackend,
+    MeasurementStats,
+    MemoizedMeasurementBackend,
+    ThreadedMeasurementBackend,
+    available_measurement_backends,
+    create_measurement_service,
+)
 from repro.sim.memory import (
     GlobalMemory,
     MemoryRequest,
@@ -29,6 +38,13 @@ __all__ = [
     "KernelRun",
     "KernelTiming",
     "MeasurementConfig",
+    "MeasurementBackend",
+    "MeasurementStats",
+    "InlineMeasurementBackend",
+    "ThreadedMeasurementBackend",
+    "MemoizedMeasurementBackend",
+    "available_measurement_backends",
+    "create_measurement_service",
     "GridConfig",
     "LaunchContext",
     "bind_tensors",

@@ -27,7 +27,6 @@ from repro.sim.launch import GridConfig, LaunchContext, bind_tensors
 from repro.sim.memory import GlobalMemory
 from repro.sim.profiler import ProfileReport, build_profile
 from repro.sim.sm import FunctionalRunner, TimingResult, TimingSimulator
-from repro.utils.rng import as_rng
 
 
 @dataclass(frozen=True)
@@ -152,6 +151,11 @@ class GPUSimulator:
         The simulator is deterministic, so the warm-up/repeat loop of the
         paper collapses to a single cycle-accurate measurement plus optional
         synthetic measurement noise.
+
+        The noise stream is derived from ``(measurement.seed, schedule)``:
+        distinct schedules see independent noise realizations (so ``noise_std``
+        actually perturbs candidate rankings), while re-measuring the same
+        schedule under the same seed reproduces the same value.
         """
         measurement = measurement or MeasurementConfig()
         timing = self.time_block(kernel, grid, tensors, param_order, scalars)
@@ -159,7 +163,8 @@ class GPUSimulator:
         total_cycles = timing.cycles * waves
         time_ms = self.config.cycles_to_ms(total_cycles)
         if measurement.noise_std > 0:
-            rng = as_rng(measurement.seed)
+            schedule_stream = int(kernel.content_digest()[:16], 16)
+            rng = np.random.default_rng([int(measurement.seed), schedule_stream])
             samples = time_ms * (
                 1.0 + measurement.noise_std * rng.standard_normal(measurement.measure_iterations)
             )

@@ -1,0 +1,244 @@
+"""Batched measurement service behind :class:`MeasurementPolicy` (§3.6 protocol).
+
+Every search strategy bottoms out in "measure this mutated schedule on the
+(simulated) GPU".  The service layer decouples *how* those measurements are
+issued from the search loop:
+
+* ``inline`` — the historical behavior: one synchronous
+  :meth:`~repro.sim.gpu.GPUSimulator.measure` call per candidate;
+* ``threaded`` — fan independent candidates out over a thread pool, so a
+  batch of single-move candidates (greedy's inner loop, a population of
+  individuals) measures concurrently;
+* memoization — an orthogonal wrapper that dedups repeated schedules by a
+  content digest of the instruction sequence.  Greedy and evolutionary search
+  re-measure identical schedules constantly (the committing step, reverted
+  swaps, shared prefixes), so the wrapper trades a dictionary lookup for a
+  full timing simulation.
+
+A service instance is bound to one workload (kernel launch geometry, input
+tensors, measurement protocol) and measures *candidate schedules* of that
+workload — exactly the shape of the assembly game's reward query.  All
+backends are deterministic for a fixed workload, so ``threaded`` returns
+bit-identical timings to ``inline``, and the per-``(seed, schedule)`` noise
+streams of :meth:`GPUSimulator.measure` make memoization semantics-preserving
+even under synthetic measurement noise.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.sass.kernel import SassKernel
+from repro.sim.gpu import GPUSimulator, KernelTiming, MeasurementConfig
+from repro.sim.launch import GridConfig
+
+
+@dataclass
+class MeasurementStats:
+    """Counters shared by a backend stack (wrapper and wrapped see one object)."""
+
+    #: Candidate measurements requested through the service.
+    submitted: int = 0
+    #: Raw simulator measurements actually issued.
+    measured: int = 0
+    #: Requests answered from the memoization table instead of the simulator.
+    memo_hits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "measured": self.measured,
+            "memo_hits": self.memo_hits,
+        }
+
+
+@runtime_checkable
+class MeasurementBackend(Protocol):
+    """How candidate schedules of one workload get measured."""
+
+    stats: MeasurementStats
+
+    def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        """Queue one candidate; the future resolves to its timing."""
+        ...  # pragma: no cover - protocol
+
+    def measure_batch(self, candidates: Sequence[SassKernel]) -> list[KernelTiming]:
+        """Measure a batch of candidates, results in input order."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release any workers; the service must not be used afterwards."""
+        ...  # pragma: no cover - protocol
+
+
+class _WorkloadMeasurer:
+    """Shared base: one workload's launch geometry plus measurement counters."""
+
+    def __init__(
+        self,
+        simulator: GPUSimulator,
+        grid: GridConfig,
+        tensors: dict,
+        param_order: list[str],
+        scalars: dict | None = None,
+        measurement: MeasurementConfig | None = None,
+    ):
+        self.simulator = simulator
+        self.grid = grid
+        self.tensors = tensors
+        self.param_order = param_order
+        self.scalars = scalars
+        self.measurement = measurement or MeasurementConfig()
+        self.stats = MeasurementStats()
+        self._lock = threading.Lock()
+
+    def _measure(self, candidate: SassKernel) -> KernelTiming:
+        with self._lock:
+            self.stats.measured += 1
+        return self.simulator.measure(
+            candidate,
+            self.grid,
+            self.tensors,
+            self.param_order,
+            self.scalars,
+            measurement=self.measurement,
+        )
+
+    def measure_batch(self, candidates: Sequence[SassKernel]) -> list[KernelTiming]:
+        futures = [self.submit(candidate) for candidate in candidates]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        pass
+
+
+class InlineMeasurementBackend(_WorkloadMeasurer):
+    """Synchronous measurement, one simulator call per candidate (the default)."""
+
+    def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        with self._lock:
+            self.stats.submitted += 1
+        future: Future[KernelTiming] = Future()
+        try:
+            future.set_result(self._measure(candidate))
+        except BaseException as exc:  # noqa: BLE001 - future carries the error
+            future.set_exception(exc)
+        return future
+
+
+class ThreadedMeasurementBackend(_WorkloadMeasurer):
+    """Thread-pool fan-out: independent candidates measure concurrently.
+
+    Each simulator ``measure`` call builds its own launch context and memory,
+    so concurrent calls only share the (immutable) architecture config and the
+    read-only input tensors.
+    """
+
+    def __init__(self, *args, max_workers: int | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.max_workers = int(max_workers or min(8, os.cpu_count() or 1))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="measure"
+        )
+
+    def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        with self._lock:
+            self.stats.submitted += 1
+        return self._pool.submit(self._measure, candidate)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class MemoizedMeasurementBackend:
+    """Wrapper that dedups repeated schedules by their content digest.
+
+    The first submission of a schedule goes to the wrapped backend; repeats
+    share the same future (and therefore the exact same timing object).  The
+    wrapped backend's :class:`MeasurementStats` is shared, so ``measured``
+    counts raw simulator work and ``memo_hits`` counts deduped requests.
+
+    The table is bounded (``max_entries``, FIFO eviction): a long search over
+    mostly unique schedules — e.g. a PPO run with ``memoize=True`` — must not
+    retain a timing object per schedule ever measured.  An evicted schedule
+    simply re-measures on its next submission.
+    """
+
+    def __init__(self, inner: MeasurementBackend, max_entries: int = 4096):
+        self.inner = inner
+        self.stats = inner.stats
+        self.max_entries = int(max_entries)
+        self._futures: dict[str, Future[KernelTiming]] = {}
+        self._lock = threading.Lock()
+
+    def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        key = candidate.content_digest()
+        with self._lock:
+            cached = self._futures.get(key)
+            if cached is not None:
+                self.stats.submitted += 1
+                self.stats.memo_hits += 1
+                return cached
+        future = self.inner.submit(candidate)
+        with self._lock:
+            while len(self._futures) >= self.max_entries:
+                self._futures.pop(next(iter(self._futures)))
+            self._futures[key] = future
+        return future
+
+    def measure_batch(self, candidates: Sequence[SassKernel]) -> list[KernelTiming]:
+        futures = [self.submit(candidate) for candidate in candidates]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+#: Registered backend constructors, keyed by :attr:`MeasurementPolicy.backend` name.
+_MEASUREMENT_BACKENDS = {
+    "inline": InlineMeasurementBackend,
+    "threaded": ThreadedMeasurementBackend,
+}
+
+
+def available_measurement_backends() -> tuple[str, ...]:
+    return tuple(sorted(_MEASUREMENT_BACKENDS))
+
+
+def create_measurement_service(
+    simulator: GPUSimulator,
+    grid: GridConfig,
+    tensors: dict,
+    param_order: list[str],
+    scalars: dict | None = None,
+    measurement: MeasurementConfig | None = None,
+    *,
+    backend: str = "inline",
+    max_workers: int | None = None,
+    memoize: bool = False,
+) -> MeasurementBackend:
+    """Build the measurement backend stack for one workload.
+
+    ``backend`` selects the execution style (``"inline"`` or ``"threaded"``);
+    ``memoize`` wraps it in schedule-digest deduplication.
+    """
+    try:
+        backend_cls = _MEASUREMENT_BACKENDS[backend]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown measurement backend {backend!r}; "
+            f"available: {list(available_measurement_backends())}"
+        ) from exc
+    kwargs: dict = {}
+    if backend_cls is ThreadedMeasurementBackend:
+        kwargs["max_workers"] = max_workers
+    service: MeasurementBackend = backend_cls(
+        simulator, grid, tensors, param_order, scalars, measurement, **kwargs
+    )
+    if memoize:
+        service = MemoizedMeasurementBackend(service)
+    return service

@@ -18,7 +18,7 @@ from repro.api import (
     resolve_backend,
 )
 from repro.core.env import AssemblyGame
-from repro.core.jit import CubinCache, cache_key, jit
+from repro.core.jit import CACHE_SCHEMA_VERSION, CubinCache, cache_key, jit
 from repro.sim import GPUSimulator, compare_outputs
 from repro.triton import compile_spec, get_spec
 
@@ -101,7 +101,10 @@ def test_every_strategy_returns_same_report_shape(session, strategy):
     assert set(summary) == {
         "kernel", "gpu", "strategy", "shapes", "config", "baseline_time_ms",
         "best_time_ms", "speedup", "evaluations", "verified", "cache_key", "cached",
+        "error",
     }
+    assert not report.failed
+    assert report.details["evaluations_per_sec"] > 0
     assert isinstance(report.to_json(), str)
 
 
@@ -133,6 +136,53 @@ def test_optimize_many_preserves_order(session):
     reports = session.optimize_many(["softmax", "rmsnorm"], jobs=2, strategy="random", verify=False)
     assert [report.kernel for report in reports] == ["softmax", "rmsnorm"]
     assert all(report.cached for report in reports)
+
+
+@register_strategy("fail-on-rmsnorm-test")
+class _FailOnRmsnorm:
+    name = "fail-on-rmsnorm-test"
+
+    def run(self, context):
+        from repro.api import StrategyOutcome
+
+        if context.compiled.spec.name == "rmsnorm":
+            raise RuntimeError("injected failure")
+        baseline = context.compiled.measure(
+            context.simulator, measurement=context.measurement
+        ).time_ms
+        return StrategyOutcome(
+            strategy=self.name,
+            baseline_time_ms=baseline,
+            best_time_ms=baseline,
+            best_kernel=context.compiled.kernel,
+            evaluations=1,
+        )
+
+
+def test_optimize_many_surfaces_per_job_failures(session):
+    reports = session.optimize_many(
+        ["softmax", "rmsnorm"], jobs=2, strategy="fail-on-rmsnorm-test", verify=False
+    )
+    assert [report.kernel for report in reports] == ["softmax", "rmsnorm"]
+    assert not reports[0].failed and reports[0].evaluations == 1
+    assert reports[1].failed
+    assert "RuntimeError: injected failure" in reports[1].error
+    assert reports[1].summary()["error"] == reports[1].error
+
+
+def test_optimize_many_on_error_raise_carries_successes(session):
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError) as excinfo:
+        session.optimize_many(
+            ["softmax", "rmsnorm"], jobs=2, strategy="fail-on-rmsnorm-test",
+            verify=False, on_error="raise",
+        )
+    assert "rmsnorm" in str(excinfo.value)
+    successes = excinfo.value.reports
+    assert [report.kernel for report in successes] == ["softmax"]
+    with pytest.raises(ValueError):
+        session.optimize_many(["softmax"], on_error="explode")
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +220,34 @@ def test_cubin_cache_store_load_equivalence(tmp_path, session):
     assert meta["baseline_time_ms"] == pytest.approx(report.baseline_time_ms)
     assert meta["best_time_ms"] == pytest.approx(report.best_time_ms)
     assert meta["config"] == report.config
+    assert meta["schema_version"] == CACHE_SCHEMA_VERSION
+
+
+def test_cubin_cache_schema_version_mismatch_is_miss(tmp_path, session):
+    import json
+
+    from repro.errors import OptimizationError
+
+    report = session.optimize("softmax", strategy="random", verify=False, store=False)
+    cache = CubinCache(tmp_path / "versioned")
+    key = session.key_for("softmax")
+    entry = cache.store(key, report.artifact)
+    assert cache.has(key)
+
+    # An entry written under an older schema (or with no version at all) is a miss.
+    meta = json.loads(entry.meta_path.read_text())
+    meta["schema_version"] = CACHE_SCHEMA_VERSION - 1
+    entry.meta_path.write_text(json.dumps(meta))
+    assert not cache.has(key)
+    with pytest.raises(OptimizationError):
+        cache.load(key)
+    del meta["schema_version"]
+    entry.meta_path.write_text(json.dumps(meta))
+    assert not cache.has(key)
+
+    # Re-storing under the current schema makes it visible again.
+    cache.store(key, report.artifact)
+    assert cache.has(key)
 
 
 # ---------------------------------------------------------------------------

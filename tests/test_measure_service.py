@@ -1,0 +1,219 @@
+"""Tests for the batched measurement service and the per-schedule noise streams."""
+
+import numpy as np
+import pytest
+
+from repro.api import CacheConfig, MeasurementPolicy, OptimizationConfig, Session
+from repro.baselines.search import run_greedy_search
+from repro.core.env import AssemblyGame
+from repro.sass import KernelMetadata, SassKernel
+from repro.sim import (
+    GPUSimulator,
+    GridConfig,
+    KernelTiming,
+    MeasurementConfig,
+    available_measurement_backends,
+    create_measurement_service,
+)
+from repro.triton import compile_spec, get_spec
+
+ADD_ONE = """
+[B------:R-:W1:-:S01] S2R R0, SR_CTAID.X ;
+[B------:R-:W-:-:S04] MOV R1, 0x200 ;
+[B-1----:R-:W-:-:S05] IMAD R2, R0, R1, RZ ;
+[B------:R-:W-:-:S04] MOV R4, c[0x0][0x160] ;
+[B------:R-:W-:-:S04] MOV R6, c[0x0][0x168] ;
+[B------:R-:W-:-:S05] IADD3 R8, R4, R2, RZ ;
+[B------:R-:W-:-:S05] IADD3 R10, R6, R2, RZ ;
+[B------:R-:W0:-:S02] LDG.E.128 R12, [R8.64] ;
+[B------:R-:W2:-:S01] I2F R22, RZ ;
+[B0-2---:R-:W-:-:S04] FADD R16, R12, 1.0 ;
+[B------:R0:W-:-:S02] STG.E.128 [R10.64], R16 ;
+[B------:R-:W-:-:S05] EXIT ;
+"""
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return GPUSimulator()
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_spec(get_spec("mmLeakyReLu"), scale="test")
+
+
+def _candidates(compiled, simulator, count=4):
+    """The -O3 schedule plus a few single-move mutations of it."""
+    env = AssemblyGame(compiled, simulator, episode_length=8)
+    base = env.initial_kernel
+    kernels = [base]
+    for action in np.flatnonzero(env.action_masks())[: count - 1]:
+        kernels.append(base.swap(*env.action_space_map.target_indices(base, int(action))))
+    return kernels
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence: threaded returns bit-identical timings to inline
+# ---------------------------------------------------------------------------
+def test_threaded_backend_matches_inline(compiled, simulator):
+    kernels = _candidates(compiled, simulator)
+    inputs = compiled.make_inputs(0)
+    inline = create_measurement_service(simulator, compiled.grid, inputs, compiled.param_order)
+    threaded = create_measurement_service(
+        simulator, compiled.grid, inputs, compiled.param_order,
+        backend="threaded", max_workers=4,
+    )
+    try:
+        inline_timings = inline.measure_batch(kernels)
+        threaded_timings = threaded.measure_batch(kernels)
+    finally:
+        threaded.close()
+    # KernelTiming (and the nested TimingResult) are dataclasses: this is a
+    # field-by-field, bit-identical comparison.
+    assert inline_timings == threaded_timings
+    assert inline.stats.measured == threaded.stats.measured == len(kernels)
+
+
+def test_unknown_backend_rejected(compiled, simulator):
+    assert set(available_measurement_backends()) == {"inline", "threaded"}
+    with pytest.raises(ValueError, match="unknown measurement backend"):
+        create_measurement_service(
+            simulator, compiled.grid, {}, compiled.param_order, backend="quantum"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memoization dedups repeated schedules (counting simulator stub)
+# ---------------------------------------------------------------------------
+class CountingSimulator:
+    """Simulator stub that counts raw measure() calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def measure(self, kernel, grid, tensors, param_order, scalars=None, measurement=None):
+        self.calls += 1
+        return KernelTiming(
+            kernel_name=kernel.metadata.name,
+            block_cycles=100,
+            waves=1,
+            total_cycles=100,
+            time_ms=1.0,
+            timing=None,
+        )
+
+
+def test_memoized_backend_dedups_repeated_schedules():
+    kernel_a = SassKernel.from_text(ADD_ONE, KernelMetadata(name="addone", num_warps=1))
+    kernel_b = kernel_a.swap(3, 4)
+    # Same schedule content as kernel_a, but a distinct object.
+    kernel_a_clone = SassKernel.from_text(ADD_ONE, KernelMetadata(name="addone", num_warps=1))
+    assert kernel_a_clone.content_digest() == kernel_a.content_digest()
+    assert kernel_b.content_digest() != kernel_a.content_digest()
+
+    stub = CountingSimulator()
+    service = create_measurement_service(
+        stub, GridConfig((1, 1, 1), 1), {}, [], memoize=True
+    )
+    timings = service.measure_batch([kernel_a, kernel_b, kernel_a_clone, kernel_a, kernel_b])
+    assert stub.calls == 2  # one raw measurement per unique schedule
+    assert service.stats.measured == 2
+    assert service.stats.memo_hits == 3
+    assert service.stats.submitted == 5
+    assert timings[0] is timings[2] is timings[3]
+    assert timings[1] is timings[4]
+
+
+def test_memo_table_is_bounded():
+    kernel_a = SassKernel.from_text(ADD_ONE, KernelMetadata(name="addone", num_warps=1))
+    kernel_b = kernel_a.swap(3, 4)
+    stub = CountingSimulator()
+    service = create_measurement_service(stub, GridConfig((1, 1, 1), 1), {}, [], memoize=True)
+    service.max_entries = 1
+    service.measure_batch([kernel_a, kernel_b, kernel_a])  # b evicts a; a re-measures
+    assert stub.calls == 3
+    assert service.stats.memo_hits == 0
+    service.measure_batch([kernel_a])  # still resident after the re-measure
+    assert stub.calls == 3
+    assert service.stats.memo_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Noise streams: independent across schedules, reproducible per (seed, schedule)
+# ---------------------------------------------------------------------------
+def test_noise_streams_differ_across_candidates_and_reproduce():
+    sim = GPUSimulator()
+    kernel_a = SassKernel.from_text(ADD_ONE, KernelMetadata(name="addone", num_warps=1))
+    kernel_b = kernel_a.swap(3, 4)
+    grid = GridConfig((2, 1, 1), 1)
+    x = np.zeros((2, 256), dtype=np.float16)
+    tensors = {"x": x, "y": np.zeros_like(x)}
+    noisy = MeasurementConfig(noise_std=0.01, seed=7)
+
+    def factor(kernel, measurement):
+        clean = sim.measure(kernel, grid, tensors, ["x", "y"]).time_ms
+        observed = sim.measure(kernel, grid, tensors, ["x", "y"], measurement=measurement).time_ms
+        return observed / clean
+
+    # Reproducible for a fixed (seed, schedule) pair...
+    assert factor(kernel_a, noisy) == factor(kernel_a, noisy)
+    # ...independent across distinct schedules under the same seed...
+    assert factor(kernel_a, noisy) != factor(kernel_b, noisy)
+    # ...and re-seeded streams differ for the same schedule.
+    assert factor(kernel_a, noisy) != factor(kernel_a, MeasurementConfig(noise_std=0.01, seed=8))
+
+
+# ---------------------------------------------------------------------------
+# Greedy search on the service: batching, commit accounting, episode ends
+# ---------------------------------------------------------------------------
+def test_greedy_counts_committing_steps_and_stays_in_episode(compiled, simulator):
+    result = run_greedy_search(
+        compiled, budget=40, episode_length=2, simulator=simulator, memoize=True
+    )
+    # Every history entry is a counted evaluation (probes + committing steps).
+    assert result.evaluations == len(result.history)
+    assert result.measurement_stats["memo_hits"] > 0
+    # episode_length=2 caps the number of commits: at most 2 improving moves
+    # before truncation ends the climb, however large the budget.
+    assert result.speedup >= 0.999
+
+
+def test_greedy_threaded_memoized_matches_inline_with_fewer_raw_measurements(simulator):
+    config = OptimizationConfig(
+        strategy="greedy", scale="test", search_budget=24, episode_length=8,
+        autotune=False, verify=False,
+    )
+    no_cache = CacheConfig(enabled=False)
+    inline_report = Session(gpu=simulator, config=config, cache=no_cache).optimize("mmLeakyReLu")
+    memo_report = Session(
+        gpu=simulator,
+        config=config,
+        cache=no_cache,
+        measurement=MeasurementPolicy(backend="threaded", max_workers=4, memoize=True),
+    ).optimize("mmLeakyReLu")
+
+    assert memo_report.best_time_ms == inline_report.best_time_ms
+    assert memo_report.evaluations == inline_report.evaluations
+    inline_stats = inline_report.details["measurement"]
+    memo_stats = memo_report.details["measurement"]
+    assert memo_stats["memo_hits"] > 0
+    assert memo_stats["measured"] < inline_stats["measured"]
+    assert inline_report.details["evaluations_per_sec"] > 0
+
+
+# ---------------------------------------------------------------------------
+# AssemblyGame public candidate-measurement API
+# ---------------------------------------------------------------------------
+def test_env_measure_candidates_is_public_and_consistent(compiled, simulator):
+    env = AssemblyGame(compiled, simulator, episode_length=4)
+    env.reset()
+    assert env.current_time_ms == env.baseline_time_ms
+    valid = np.flatnonzero(env.action_masks())
+    base = env.current_kernel
+    kernels = [base.swap(*env.action_space_map.target_indices(base, int(a))) for a in valid[:3]]
+    batch = env.measure_candidates(kernels)
+    single = [env.measure_candidate(kernel) for kernel in kernels]
+    assert batch == single
+    assert env.measurement_stats.measured >= 2 * len(kernels)
+    env.close()
