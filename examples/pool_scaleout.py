@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scale-out: shard a batch of workloads across a multi-backend SessionPool.
+
+A :class:`SessionPool` owns one worker :class:`Session` per configured GPU
+backend (duplicates fan out over the same GPU type), shards ``optimize_many``
+workloads across them through a pluggable scheduler, and shares one
+measurement-memo table so a schedule measured by one worker is a hit for its
+siblings.  Each worker caches deploy artifacts in a per-backend namespace, so
+``pool.deploy(kernel, backend=...)`` always finds the right cubin.
+
+Run with:  python examples/pool_scaleout.py
+"""
+
+import tempfile
+
+from repro.api import MeasurementPolicy, OptimizationConfig, PoolConfig
+from repro.pool import SessionPool
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    enable_console_logging()
+    config = OptimizationConfig(
+        strategy="greedy",  # deterministic and quick for a demo; "ppo" works too
+        scale="test",
+        search_budget=32,
+        episode_length=8,
+        autotune=False,
+        verify=False,
+    )
+    workloads = ["mmLeakyReLu", "rmsnorm", "mmLeakyReLu", "rmsnorm", "softmax", "bmm"]
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with SessionPool(
+            # Two A100 instances plus one A30: duplicates share measurements
+            # through the pool memo, the A30 gets its own cache namespace.
+            ["A100-sim", "A100-sim", "A30-sim"],
+            pool=PoolConfig(scheduler="least_loaded"),
+            cache_dir=cache_dir,
+            config=config,
+            # "process" sidesteps the GIL for the timing loop on multi-core hosts.
+            measurement=MeasurementPolicy(backend="threaded", max_workers=2),
+        ) as pool:
+            result = pool.optimize_many(workloads)
+
+            print(f"\n{len(result)} jobs on {len(pool)} workers "
+                  f"({result.evaluations} evaluations, "
+                  f"{result.evaluations_per_sec:.1f} evals/s):")
+            for report, worker in zip(result, result.assignments):
+                print(f"  {report.kernel:<12s} on {worker:<20s} "
+                      f"{report.baseline_time_ms * 1e3:8.2f} us -> "
+                      f"{report.best_time_ms * 1e3:8.2f} us  ({report.speedup:.3f}x)")
+
+            memo = result.memo
+            print(f"\nshared memo: {memo['hits']} hits "
+                  f"({memo['cross_worker_hits']} cross-worker) over {memo['lookups']} lookups")
+            for worker in result.workers:
+                print(f"  {worker.worker:<20s} {worker.jobs} jobs, "
+                      f"{worker.evaluations} evaluations, {worker.elapsed_s:.2f}s busy")
+
+            # Deploy-time lookup routes to the matching worker's cache namespace.
+            deployed = pool.deploy("mmLeakyReLu", backend="A100-sim")
+            print(f"\ndeployed mmLeakyReLu from the A100 namespace: "
+                  f"{len(deployed.kernel.instructions)} SASS instructions")
+
+
+if __name__ == "__main__":
+    main()

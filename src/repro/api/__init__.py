@@ -11,6 +11,10 @@ optimize-once / deploy-from-cache workflow (§4):
 * Backend registry — simulated GPU targets keyed by name; extend with
   :func:`register_backend`.
 
+Scale-out lives in :mod:`repro.pool`: a :class:`~repro.pool.SessionPool`
+shards ``optimize_many`` workloads across several worker sessions and returns
+a :class:`PoolReport`; :class:`PoolConfig` here shapes it.
+
 The older ``repro.core.jit`` / ``CuAsmRLOptimizer`` / ``baselines.search``
 entry points remain as thin deprecated shims over this facade.
 """
@@ -23,8 +27,8 @@ from repro.api.backends import (
     register_backend,
     resolve_backend,
 )
-from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig
-from repro.api.report import RunReport
+from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig, PoolConfig
+from repro.api.report import PoolReport, RunReport, WorkerReport
 from repro.api.session import Session
 from repro.api.strategies import (
     SearchStrategy,
@@ -38,9 +42,12 @@ from repro.api.strategies import (
 __all__ = [
     "Session",
     "RunReport",
+    "PoolReport",
+    "WorkerReport",
     "OptimizationConfig",
     "MeasurementPolicy",
     "CacheConfig",
+    "PoolConfig",
     "SearchStrategy",
     "StrategyContext",
     "StrategyOutcome",

@@ -31,13 +31,26 @@ class MeasurementPolicy:
     #: Seed of the synthetic measurement noise; each schedule derives its own
     #: noise stream from ``(seed, schedule digest)``.
     seed: int = 0
-    #: Measurement-service backend: ``"inline"`` (synchronous, the default)
-    #: or ``"threaded"`` (candidate batches fan out over a thread pool).
+    #: Measurement-service backend: ``"inline"`` (synchronous, the default),
+    #: ``"threaded"`` (candidate batches fan out over a thread pool) or
+    #: ``"process"`` (a process pool — the GIL-free choice for the pure-Python
+    #: timing loop; bit-identical timings to ``"inline"`` for a fixed seed).
     backend: str = "inline"
-    #: Worker threads of the ``"threaded"`` backend; ``None`` picks a default.
+    #: Workers of the ``"threaded"`` / ``"process"`` backends; ``None`` picks
+    #: a default.
     max_workers: int | None = None
+    #: Start method of the ``"process"`` backend (``"fork"``, ``"spawn"``,
+    #: ``"forkserver"``); ``None`` prefers ``fork`` where available.
+    mp_context: str | None = None
     #: Dedup repeated schedules by content digest before hitting the simulator.
     memoize: bool = False
+    #: Cross-session memo table (see :class:`repro.pool.SharedMemoTable`);
+    #: set by :class:`~repro.pool.SessionPool` so workers share measurements.
+    #: Implies memoization for the workloads it covers.
+    shared_memo: "object | None" = field(default=None, repr=False, compare=False)
+    #: This session's identity in the shared table (cross-worker-hit
+    #: accounting); meaningless without ``shared_memo``.
+    memo_owner: str = ""
 
     def to_measurement_config(self) -> MeasurementConfig:
         """Lower to the :mod:`repro.sim` measurement record."""
@@ -59,6 +72,35 @@ class CacheConfig:
     enabled: bool = True
     #: Deploy-only sessions: look up cached cubins but never write new ones.
     readonly: bool = False
+    #: Size bound of the cache; stores evict the least-recently-used entries
+    #: (by file mtime) beyond this many.  ``None`` keeps the cache unbounded.
+    max_entries: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PoolConfig:
+    """Shape of a :class:`repro.pool.SessionPool` deployment.
+
+    One worker session is created per entry of :attr:`backends`; duplicate
+    names fan the pool out over several instances of the same GPU type.  Each
+    worker's cubin cache is namespaced by backend name under the pool's cache
+    directory, so deploy artifacts of different targets never collide.
+    """
+
+    #: Backend name (or alias) per worker; duplicates allowed.
+    backends: tuple[str, ...] = ("A100-80GB-PCIe",)
+    #: Sharding policy; any name in the scheduler registry
+    #: (``"round_robin"``, ``"least_loaded"``, or a registered custom one).
+    scheduler: str = "round_robin"
+    #: Share one measurement-memo table across all workers, so a schedule
+    #: measured by one worker is a hit for every sibling on the same workload.
+    share_memo: bool = True
+    #: Size bound of the shared memo table.
+    memo_max_entries: int = 65536
+
+    def replace(self, **overrides) -> "PoolConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
 
 
 @dataclass(frozen=True, slots=True)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.utils.serialization import to_json_str
 
@@ -75,6 +75,106 @@ class RunReport:
             "cache_key": self.cache_key,
             "cached": self.cached,
             "error": self.error,
+        }
+
+    def to_json(self) -> str:
+        return to_json_str(self.summary())
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Per-worker slice of one :class:`PoolReport`."""
+
+    #: Worker name (``w<index>:<backend>``), unique within the pool.
+    worker: str
+    #: Canonical GPU backend name the worker targets.
+    gpu: str
+    #: Jobs the scheduler placed on this worker.
+    jobs: int
+    #: Jobs that ended in a failed :class:`RunReport`.
+    failures: int
+    #: Schedule evaluations this worker spent.
+    evaluations: int
+    #: Wall-clock the worker was busy running its shard.
+    elapsed_s: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "gpu": self.gpu,
+            "jobs": self.jobs,
+            "failures": self.failures,
+            "evaluations": self.evaluations,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Outcome of one :meth:`repro.pool.SessionPool.optimize_many` run.
+
+    Per-job :class:`RunReport`\\ s (including failed ones) come back in input
+    order exactly as ``Session.optimize_many`` returns them; the pool adds
+    which worker ran each job, per-worker utilization, shared-memo counters
+    and pool-level throughput.
+    """
+
+    #: Per-job reports, in input order; failed jobs have ``report.failed``.
+    reports: list[RunReport]
+    #: Worker name that ran each job, in input order.
+    assignments: tuple[str, ...]
+    #: Scheduler that produced the assignment.
+    scheduler: str
+    #: Per-worker utilization, one entry per pool worker (idle ones included).
+    workers: list[WorkerReport]
+    #: Wall-clock of the whole pool run.
+    elapsed_s: float
+    #: Shared-memo snapshot (empty when memo sharing is off).
+    memo: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self) -> Iterator[RunReport]:
+        return iter(self.reports)
+
+    def __getitem__(self, index: int) -> RunReport:
+        return self.reports[index]
+
+    @property
+    def failures(self) -> list[RunReport]:
+        return [report for report in self.reports if report.failed]
+
+    @property
+    def succeeded(self) -> list[RunReport]:
+        return [report for report in self.reports if not report.failed]
+
+    @property
+    def evaluations(self) -> int:
+        """Schedule evaluations spent across all workers."""
+        return sum(report.evaluations for report in self.reports)
+
+    @property
+    def evaluations_per_sec(self) -> float:
+        return self.evaluations / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return len(self.reports) / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able projection: job summaries plus pool-level stats."""
+        return {
+            "jobs": [report.summary() for report in self.reports],
+            "assignments": list(self.assignments),
+            "scheduler": self.scheduler,
+            "workers": [worker.as_dict() for worker in self.workers],
+            "failures": len(self.failures),
+            "evaluations": self.evaluations,
+            "elapsed_s": self.elapsed_s,
+            "evaluations_per_sec": self.evaluations_per_sec,
+            "jobs_per_sec": self.jobs_per_sec,
+            "memo": dict(self.memo),
         }
 
     def to_json(self) -> str:

@@ -67,12 +67,48 @@ class Session:
         self.autotuner = Autotuner(
             self.simulator, measurement=self.measurement.to_measurement_config()
         )
+        self._closed = False
 
     @staticmethod
     def _make_cache(cache_config: CacheConfig):
         from repro.core.jit import CubinCache
 
-        return CubinCache(cache_config.directory) if cache_config.enabled else None
+        if not cache_config.enabled:
+            return None
+        return CubinCache(cache_config.directory, max_entries=cache_config.max_entries)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the session down; it must not be used afterwards.  Idempotent.
+
+        Releases everything the session holds beyond its constructor
+        arguments — today the autotuner's compiled-kernel cache; measurement
+        executors are already env-scoped and closed by the strategies that
+        open them.  :class:`repro.pool.SessionPool` relies on this for
+        deterministic worker teardown, and ``with Session(...) as session:``
+        closes on exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.autotuner.clear()
+
+    def __enter__(self) -> "Session":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise OptimizationError("session is closed")
 
     # ------------------------------------------------------------------
     # Derived sessions and small helpers
@@ -118,6 +154,7 @@ class Session:
 
         An explicit kernel ``config`` skips autotuning.
         """
+        self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
         if config is None and self.config.autotune:
@@ -134,6 +171,7 @@ class Session:
         store: bool = True,
     ) -> RunReport:
         """Full hierarchical optimization of one workload, cached on success."""
+        self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
         compiled = self.compile(spec, shapes=shapes)
@@ -148,6 +186,7 @@ class Session:
         store: bool = True,
     ) -> RunReport:
         """Stage 2 (§3): schedule search on an already-compiled kernel."""
+        self._ensure_open()
         strategy_name = strategy or self.config.strategy
         verify = self.config.verify if verify is None else verify
         search_started = time.perf_counter()
@@ -246,6 +285,7 @@ class Session:
         cache_dir: str | Path | None = None,
     ) -> CompiledKernel:
         """Deploy-time lookup (§4.2): load the cached optimized schedule."""
+        self._ensure_open()
         from repro.core.jit import CubinCache
 
         spec = self._resolve_spec(spec)
@@ -269,6 +309,7 @@ class Session:
         shapes: dict | None = None,
     ) -> KernelRun:
         """Execute a workload: from the cache when available, else the -O3 build."""
+        self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
         if self.cache is not None and self.cache.has(self.key_for(spec, shapes)):
@@ -329,6 +370,7 @@ class Session:
         to completion, then one :class:`OptimizationError` is raised carrying
         the successful reports on its ``reports`` attribute.
         """
+        self._ensure_open()
         if on_error not in ("report", "raise"):
             raise ValueError(f"on_error must be 'report' or 'raise', got {on_error!r}")
         resolved: Sequence[KernelSpec] = [self._resolve_spec(spec) for spec in specs]

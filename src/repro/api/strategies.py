@@ -130,7 +130,10 @@ class PPOStrategy:
             measurement=context.measurement,
             measure_backend=policy.backend,
             max_workers=policy.max_workers,
+            mp_context=policy.mp_context,
             memoize=policy.memoize,
+            shared_memo=policy.shared_memo,
+            memo_owner=policy.memo_owner,
         )
         try:
             result = trainer.train(config.train_timesteps, verify=False)
@@ -170,7 +173,10 @@ class RandomSearchStrategy:
                 measurement=context.measurement,
                 backend=policy.backend,
                 max_workers=policy.max_workers,
+                mp_context=policy.mp_context,
                 memoize=policy.memoize,
+                shared_memo=policy.shared_memo,
+                memo_owner=policy.memo_owner,
             )
         )
 
@@ -194,7 +200,10 @@ class GreedySearchStrategy:
                 measurement=context.measurement,
                 backend=policy.backend,
                 max_workers=policy.max_workers,
+                mp_context=policy.mp_context,
                 memoize=policy.memoize,
+                shared_memo=policy.shared_memo,
+                memo_owner=policy.memo_owner,
             )
         )
 
@@ -221,6 +230,9 @@ class EvolutionarySearchStrategy:
                 measurement=context.measurement,
                 backend=policy.backend,
                 max_workers=policy.max_workers,
+                mp_context=policy.mp_context,
                 memoize=policy.memoize,
+                shared_memo=policy.shared_memo,
+                memo_owner=policy.memo_owner,
             )
         )

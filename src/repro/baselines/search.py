@@ -51,7 +51,10 @@ def _make_env(
     measurement: MeasurementConfig | None = None,
     backend: str = "inline",
     max_workers: int | None = None,
+    mp_context: str | None = None,
     memoize: bool = False,
+    shared_memo=None,
+    memo_owner: str = "",
 ) -> AssemblyGame:
     return AssemblyGame(
         compiled,
@@ -60,7 +63,10 @@ def _make_env(
         measurement=measurement,
         measure_backend=backend,
         max_workers=max_workers,
+        mp_context=mp_context,
         memoize=memoize,
+        shared_memo=shared_memo,
+        memo_owner=memo_owner,
     )
 
 
@@ -74,10 +80,16 @@ def run_random_search(
     measurement: MeasurementConfig | None = None,
     backend: str = "inline",
     max_workers: int | None = None,
+    mp_context: str | None = None,
     memoize: bool = False,
+    shared_memo=None,
+    memo_owner: str = "",
 ) -> ScheduleSearchResult:
     """Uniform random valid moves until the evaluation budget is exhausted."""
-    env = _make_env(compiled, simulator, episode_length, measurement, backend, max_workers, memoize)
+    env = _make_env(
+        compiled, simulator, episode_length, measurement,
+        backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
+    )
     try:
         rng = as_rng(seed)
         env.reset()
@@ -120,7 +132,10 @@ def run_greedy_search(
     measurement: MeasurementConfig | None = None,
     backend: str = "inline",
     max_workers: int | None = None,
+    mp_context: str | None = None,
     memoize: bool = False,
+    shared_memo=None,
+    memo_owner: str = "",
 ) -> ScheduleSearchResult:
     """Greedy hill-climbing: at every step take the single move that improves
     the runtime the most; stop when no move improves or the budget runs out.
@@ -135,7 +150,10 @@ def run_greedy_search(
     This also serves as the stand-in for expert hand-scheduling (the vendor
     reference implementations) in the Figure 6 harness.
     """
-    env = _make_env(compiled, simulator, episode_length, measurement, backend, max_workers, memoize)
+    env = _make_env(
+        compiled, simulator, episode_length, measurement,
+        backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
+    )
     try:
         env.reset()
         evaluations = 0
@@ -196,7 +214,10 @@ def run_evolutionary_search(
     measurement: MeasurementConfig | None = None,
     backend: str = "inline",
     max_workers: int | None = None,
+    mp_context: str | None = None,
     memoize: bool = False,
+    shared_memo=None,
+    memo_owner: str = "",
 ) -> ScheduleSearchResult:
     """(mu + lambda)-style evolutionary search over move sequences (§7).
 
@@ -206,7 +227,10 @@ def run_evolutionary_search(
     every generation, so ``memoize=True`` turns those re-measurements into
     cache hits.
     """
-    env = _make_env(compiled, simulator, episode_length, measurement, backend, max_workers, memoize)
+    env = _make_env(
+        compiled, simulator, episode_length, measurement,
+        backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
+    )
     try:
         rng = as_rng(seed)
         evaluations = 0

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from statistics import geometric_mean
 
 from repro.analysis.stall_inference import infer_stall_counts
-from repro.api import CacheConfig, MeasurementPolicy, OptimizationConfig, Session
+from repro.api import CacheConfig, MeasurementPolicy, OptimizationConfig, PoolConfig, Session
 from repro.arch.latency_table import default_stall_table
 from repro.baselines.vendor import VendorBaselines
 from repro.microbench.clockbased import clock_based_stall_estimate
@@ -279,6 +279,119 @@ def measurement_backend_throughput(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Pool-sharding ablation: evaluations/sec of a SessionPool per measurement backend
+# ---------------------------------------------------------------------------
+def pool_sharding_throughput(
+    # Round-robin puts the duplicate of each kernel on the *other* worker, so
+    # the shared memo sees genuine cross-worker traffic.
+    kernels=("mmLeakyReLu", "mmLeakyReLu", "rmsnorm", "rmsnorm"),
+    *,
+    backends=("A100-80GB-PCIe", "A100-80GB-PCIe"),
+    scheduler: str = "round_robin",
+    scale: str = "test",
+    search_budget: int = 24,
+    episode_length: int = 8,
+    max_workers: int = 2,
+    measure_backends=("inline", "threaded", "process"),
+    steady_state_kernel: str = "mmLeakyReLu",
+    steady_state_scale: str = "bench",
+    steady_state_batch: int = 8,
+) -> list[dict]:
+    """Sharded greedy search plus steady-state timing per measurement backend.
+
+    One row per measurement backend, combining two phases:
+
+    * **pool phase** — the same workload list runs through a
+      :class:`~repro.pool.SessionPool` over ``backends`` (duplicates by
+      default, so the shared memo sees cross-worker traffic).  The search is
+      deterministic, so every backend must land on the same per-job
+      ``best_ms`` — the backends only change how fast the simulator is
+      consulted.  ``evals_per_sec`` is end-to-end pool throughput, including
+      executor startup and memo dedup, and is therefore noisy at quick scale.
+    * **steady-state phase** — a warm measurement service for one bench-scale
+      workload times a fixed candidate batch (``steady_evals_per_sec``),
+      isolating raw measurement throughput from pool scheduling and startup.
+      This is where ``"process"`` wins on multi-core hosts: the timing loop
+      is pure Python, so only worker processes run candidates in parallel,
+      while ``"threaded"`` stays serialized on the GIL.
+    """
+    from repro.pool import SessionPool
+
+    config = OptimizationConfig(
+        strategy="greedy",
+        scale=scale,
+        search_budget=search_budget,
+        episode_length=episode_length,
+        autotune=False,
+        verify=False,
+    )
+    steady_compiled = compile_spec(get_spec(steady_state_kernel), scale=steady_state_scale)
+    steady_inputs = steady_compiled.make_inputs(0)
+    rows = []
+    for name in measure_backends:
+        policy = MeasurementPolicy(backend=name, max_workers=max_workers)
+        with SessionPool(
+            backends, pool=PoolConfig(scheduler=scheduler),
+            config=config, measurement=policy, cache=_NO_CACHE,
+        ) as pool:
+            result = pool.optimize_many(kernels)
+        steady = _steady_state_throughput(
+            name, steady_compiled, steady_inputs, max_workers, steady_state_batch
+        )
+        rows.append(
+            {
+                "backend": name,
+                "best_ms": tuple(report.best_time_ms for report in result),
+                "evaluations": result.evaluations,
+                "elapsed_s": result.elapsed_s,
+                "evals_per_sec": result.evaluations_per_sec,
+                "jobs_per_sec": result.jobs_per_sec,
+                "memo_hits": result.memo.get("hits"),
+                "cross_worker_hits": result.memo.get("cross_worker_hits"),
+                "failures": len(result.failures),
+                "steady_time_ms": steady["time_ms"],
+                "steady_evals_per_sec": steady["evals_per_sec"],
+            }
+        )
+    return rows
+
+
+def _steady_state_throughput(
+    backend: str, compiled, inputs: dict, max_workers: int, batch: int
+) -> dict:
+    """Evaluations/sec of one warm measurement service over a candidate batch.
+
+    The service is warmed with one submission before timing, so executor
+    startup (amortized over a whole search in real runs) stays out of the
+    steady-state number.
+    """
+    import time as _time
+
+    from repro.sim.measure_service import create_measurement_service
+
+    service = create_measurement_service(
+        GPUSimulator(),
+        compiled.grid,
+        inputs,
+        compiled.param_order,
+        backend=backend,
+        max_workers=max_workers,
+    )
+    try:
+        warm = service.submit(compiled.kernel).result()
+        started = _time.perf_counter()
+        timings = service.measure_batch([compiled.kernel] * batch)
+        elapsed = _time.perf_counter() - started
+    finally:
+        service.close()
+    assert all(timing == warm for timing in timings)
+    return {
+        "time_ms": warm.time_ms,
+        "evals_per_sec": batch / elapsed if elapsed > 0 else float("inf"),
+    }
 
 
 # ---------------------------------------------------------------------------

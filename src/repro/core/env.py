@@ -27,7 +27,11 @@ from repro.errors import EnvironmentError_
 from repro.rl.env_api import Box, Discrete, Env
 from repro.sass.kernel import SassKernel
 from repro.sim.gpu import GPUSimulator, MeasurementConfig
-from repro.sim.measure_service import MeasurementStats, create_measurement_service
+from repro.sim.measure_service import (
+    MeasurementStats,
+    create_measurement_service,
+    workload_memo_scope,
+)
 from repro.triton.compiler import CompiledKernel
 from repro.utils.logging import get_logger
 
@@ -59,13 +63,21 @@ class AssemblyGame(Env):
         input_seed: int = 0,
         measure_backend: str = "inline",
         max_workers: int | None = None,
+        mp_context: str | None = None,
         memoize: bool = False,
+        shared_memo=None,
+        memo_owner: str = "",
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
         self.episode_length = int(episode_length)
         self.measurement = measurement or MeasurementConfig()
         self.inputs = inputs if inputs is not None else compiled.make_inputs(input_seed)
+        if shared_memo is not None and inputs is not None:
+            # Explicit input tensors are not captured by the workload scope
+            # key, so cross-session sharing could alias distinct workloads;
+            # fall back to a private memo for this env.
+            shared_memo, memoize = None, True
         self.measure_service = create_measurement_service(
             self.simulator,
             compiled.grid,
@@ -74,7 +86,20 @@ class AssemblyGame(Env):
             measurement=self.measurement,
             backend=measure_backend,
             max_workers=max_workers,
+            mp_context=mp_context,
             memoize=memoize,
+            shared_memo=shared_memo,
+            memo_scope=""
+            if shared_memo is None
+            else workload_memo_scope(
+                self.simulator.config.name,
+                compiled.kernel.metadata.name,
+                compiled.shapes,
+                compiled.config,
+                self.measurement,
+                input_seed,
+            ),
+            memo_owner=memo_owner,
         )
 
         # Pre-game static analysis on the -O3 schedule (§3.2).

@@ -24,7 +24,9 @@ instead of retrained.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
+import os
 import re
 import warnings
 from dataclasses import dataclass
@@ -40,11 +42,28 @@ from repro.utils.serialization import from_json_file, to_json_file, to_json_str
 
 _LOG = get_logger("core.jit")
 
-#: Version of the cache-entry metadata schema.  Bump when the simulator's
-#: timing model or the stored metadata layout changes in a way that
-#: invalidates previously optimized schedules; entries written under a
-#: different (or missing) version are treated as cache misses.
+#: Version of the cache-entry metadata schema.  Bump when the stored metadata
+#: *layout* changes; entries written under a different (or missing) version
+#: are treated as cache misses.  Timing-model changes no longer need a bump:
+#: compatibility with the simulator is derived from a content digest of the
+#: latency table (:func:`timing_model_digest`), so retuning the table
+#: automatically invalidates schedules optimized against the old model.
 CACHE_SCHEMA_VERSION = 2
+
+
+@functools.lru_cache(maxsize=1)
+def timing_model_digest() -> str:
+    """Content digest of the timing model backing the simulator's rewards.
+
+    Covers the microbenchmarked stall-count table (Table 1), which is what
+    optimized schedules were ranked by.  Cached cubins store this digest and
+    read as misses when it drifts — no hand-bumped constant to forget.
+    """
+    from repro.arch.latency_table import default_stall_table
+
+    rows = sorted(default_stall_table().as_rows())
+    canonical = to_json_str({"stall_table": [[opcode, stall] for opcode, stall in rows]})
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 #: Characters allowed verbatim in a cache-key token; everything else folds to "-".
 _UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._\-]+")
@@ -107,11 +126,21 @@ class CacheEntry:
 
 
 class CubinCache:
-    """Filesystem cache of optimized cubins."""
+    """Filesystem cache of optimized cubins.
 
-    def __init__(self, directory: str | Path):
+    With ``max_entries`` set the cache is size-bounded: every store evicts the
+    least-recently-used entries (by metadata-file mtime; loads touch their
+    entry) beyond the bound.  The bound is per-directory, so the namespaced
+    per-backend caches of a :class:`repro.pool.SessionPool` are bounded
+    independently.
+    """
+
+    def __init__(self, directory: str | Path, *, max_entries: int | None = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.max_entries = max_entries
 
     def entry(self, key: str) -> CacheEntry:
         return CacheEntry(
@@ -132,7 +161,7 @@ class CubinCache:
 
     @staticmethod
     def _schema_compatible(entry: CacheEntry) -> bool:
-        """Whether the entry was written under the current metadata schema."""
+        """Whether the entry matches the current schema and timing model."""
         try:
             meta = entry.load_meta()
         except Exception:
@@ -145,6 +174,15 @@ class CubinCache:
                 CACHE_SCHEMA_VERSION,
             )
             return False
+        if meta.get("timing_model") != timing_model_digest():
+            _LOG.debug(
+                "cache entry %s was optimized under timing model %r (current %s); "
+                "treating as miss",
+                entry.key,
+                meta.get("timing_model"),
+                timing_model_digest(),
+            )
+            return False
         return True
 
     def store(self, key: str, optimized) -> CacheEntry:
@@ -153,6 +191,7 @@ class CubinCache:
         to_json_file(entry.meta_path, {
             "key": key,
             "schema_version": CACHE_SCHEMA_VERSION,
+            "timing_model": timing_model_digest(),
             "kernel": optimized.compiled.kernel.metadata.name,
             "shapes": optimized.compiled.shapes,
             "config": optimized.compiled.config,
@@ -160,12 +199,44 @@ class CubinCache:
             "best_time_ms": optimized.result.best_time_ms,
             "speedup": optimized.result.speedup,
         })
+        if self.max_entries is not None:
+            self._evict_lru()
         return entry
+
+    def _evict_lru(self) -> None:
+        """Drop the least-recently-used entries beyond ``max_entries``.
+
+        Recency is the metadata file's mtime: stores write it and loads touch
+        it.  Ties (filesystems with coarse timestamps) break by key so the
+        eviction order stays deterministic.  Concurrent writers may share one
+        directory (duplicate-backend pool workers, ``optimize_many(jobs>1)``),
+        so files that vanish between listing and stat/unlink are skipped, not
+        errors.
+        """
+        metas = []
+        for meta_path in self.directory.glob("*.json"):
+            try:
+                metas.append(((meta_path.stat().st_mtime_ns, meta_path.name), meta_path))
+            except OSError:  # evicted by a concurrent writer mid-listing
+                continue
+        metas.sort()
+        for _, meta_path in metas[: max(len(metas) - self.max_entries, 0)]:
+            _LOG.debug("evicting cache entry %s (max_entries=%d)", meta_path.stem, self.max_entries)
+            meta_path.with_suffix(".cubin").unlink(missing_ok=True)
+            meta_path.unlink(missing_ok=True)
 
     def load(self, key: str) -> CacheEntry:
         entry = self._valid_entry(key)
         if entry is None:
             raise OptimizationError(f"no cached cubin for key {key!r} in {self.directory}")
+        # A load is a use: refresh the entry's mtime so LRU eviction keeps
+        # frequently deployed kernels resident.  Best effort only — the cache
+        # may live on read-only media (deploy-only sessions) or the entry may
+        # be racing a concurrent eviction.
+        try:
+            os.utime(entry.meta_path)
+        except OSError:
+            pass
         # The entry carries the metadata parsed during validation, so callers'
         # load_meta() does not re-read the file.
         return entry

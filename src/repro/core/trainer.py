@@ -82,7 +82,10 @@ class CuAsmRLTrainer:
         measurement=None,
         measure_backend: str = "inline",
         max_workers: int | None = None,
+        mp_context: str | None = None,
         memoize: bool = False,
+        shared_memo=None,
+        memo_owner: str = "",
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
@@ -95,7 +98,10 @@ class CuAsmRLTrainer:
             input_seed=input_seed,
             measure_backend=measure_backend,
             max_workers=max_workers,
+            mp_context=mp_context,
             memoize=memoize,
+            shared_memo=shared_memo,
+            memo_owner=memo_owner,
         )
         self.agent = PPOTrainer(self.env, self.ppo_config)
 

@@ -1,0 +1,39 @@
+"""Sharded multi-backend optimization: the ``SessionPool`` subsystem.
+
+Scale the single-``Session`` workflow out to many workers:
+
+* :class:`SessionPool` — N worker sessions (one per configured backend name,
+  duplicates allowed), sharding ``optimize_many`` workloads through a
+  pluggable scheduler into one :class:`~repro.api.report.PoolReport`.
+* Scheduler registry — ``"round_robin"`` and ``"least_loaded"`` built in;
+  extend with :func:`register_scheduler`.
+* :class:`SharedMemoTable` — cross-session measurement memoization, so a
+  schedule measured by one worker is a hit for all siblings.
+"""
+
+from repro.api.config import PoolConfig
+from repro.api.report import PoolReport, WorkerReport
+from repro.pool.pool import PoolWorker, SessionPool
+from repro.pool.scheduler import (
+    PoolJob,
+    PoolScheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.pool.shared_memo import SharedMemoStats, SharedMemoTable
+
+__all__ = [
+    "SessionPool",
+    "PoolWorker",
+    "PoolConfig",
+    "PoolReport",
+    "WorkerReport",
+    "PoolJob",
+    "PoolScheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "SharedMemoTable",
+    "SharedMemoStats",
+]

@@ -1,0 +1,322 @@
+""":class:`SessionPool`: shard ``optimize_many`` workloads across worker sessions.
+
+The paper optimizes one kernel on one GPU; the pool is the first step toward
+the serve-heavy-traffic deployment story.  It owns one worker
+:class:`~repro.api.Session` per configured backend name (duplicates fan out
+over the same GPU type), shards workloads across them through a pluggable
+scheduler, and aggregates per-job :class:`~repro.api.report.RunReport`\\ s —
+failed ones included — into a :class:`~repro.api.report.PoolReport`::
+
+    from repro.pool import SessionPool
+
+    with SessionPool(["A100-sim", "A30-sim"], cache_dir="./cache") as pool:
+        result = pool.optimize_many(["softmax", "bmm", "rmsnorm"])
+        result.evaluations_per_sec       # pool-level throughput
+        result.reports[1].best_time_ms   # per-job results, input order
+
+Workers are isolated where it matters and shared where it pays:
+
+* each worker's cubin cache lives in a per-backend subdirectory, so deploy
+  artifacts of different GPU targets never collide on disk;
+* all workers share one :class:`~repro.pool.shared_memo.SharedMemoTable`
+  (unless ``PoolConfig.share_memo`` is off), so a schedule measured by one
+  worker is a memo hit for every sibling on the same workload;
+* a job that raises becomes a failed ``RunReport`` in its input-order slot
+  without poisoning sibling workers, reusing ``Session.optimize_many``'s
+  ``on_error="report"/"raise"`` semantics pool-wide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.api.backends import backend_spec, resolve_backend
+from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig, PoolConfig
+from repro.api.report import PoolReport, RunReport, WorkerReport
+from repro.api.session import Session
+from repro.errors import OptimizationError
+from repro.pool.scheduler import PoolJob, get_scheduler
+from repro.pool.shared_memo import SharedMemoTable
+from repro.triton.spec import KernelSpec
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("pool")
+
+
+class PoolWorker:
+    """One worker session plus the bookkeeping the scheduler and report see."""
+
+    def __init__(self, index: int, session: Session):
+        self.index = index
+        self.session = session
+        self.backend = session.gpu_name
+        self.name = f"w{index}:{session.gpu_name}"
+        #: Accumulated cost of everything ever assigned (scheduler-visible).
+        self.backlog = 0.0
+        self.jobs_run = 0
+        self.failures = 0
+        self.evaluations = 0
+        self.busy_s = 0.0
+
+    def snapshot(self) -> tuple[int, int, int, float]:
+        """Cumulative counters, for per-run deltas across an optimize_many call."""
+        return (self.jobs_run, self.failures, self.evaluations, self.busy_s)
+
+    def report_since(self, snapshot: tuple[int, int, int, float]) -> WorkerReport:
+        """This worker's utilization accumulated since ``snapshot`` was taken."""
+        jobs, failures, evaluations, busy_s = snapshot
+        return WorkerReport(
+            worker=self.name,
+            gpu=self.backend,
+            jobs=self.jobs_run - jobs,
+            failures=self.failures - failures,
+            evaluations=self.evaluations - evaluations,
+            elapsed_s=self.busy_s - busy_s,
+        )
+
+
+class SessionPool:
+    """A fixed set of worker sessions behind one ``optimize_many`` front door."""
+
+    def __init__(
+        self,
+        backends: Iterable[str] | None = None,
+        *,
+        pool: PoolConfig | None = None,
+        cache_dir: str | Path | None = None,
+        config: OptimizationConfig | None = None,
+        measurement: MeasurementPolicy | None = None,
+        cache: CacheConfig | None = None,
+    ):
+        pool_config = pool or PoolConfig()
+        if backends is not None:
+            pool_config = pool_config.replace(backends=tuple(backends))
+        if not pool_config.backends:
+            raise ValueError("a SessionPool needs at least one backend")
+        get_scheduler(pool_config.scheduler)  # fail fast on unknown names
+        self.config = pool_config
+        self.shared_memo = (
+            SharedMemoTable(pool_config.memo_max_entries) if pool_config.share_memo else None
+        )
+
+        base_cache = cache or CacheConfig()
+        if cache_dir is not None:
+            base_cache = dataclasses.replace(base_cache, directory=cache_dir)
+        base_measurement = measurement or MeasurementPolicy()
+
+        self.workers: list[PoolWorker] = []
+        for index, backend in enumerate(pool_config.backends):
+            simulator = resolve_backend(backend)
+            worker_cache = base_cache
+            if base_cache.enabled:
+                worker_cache = dataclasses.replace(
+                    base_cache,
+                    directory=Path(base_cache.directory) / self._namespace(simulator.config.name),
+                )
+            policy = base_measurement
+            if self.shared_memo is not None:
+                policy = dataclasses.replace(
+                    policy,
+                    memoize=True,
+                    shared_memo=self.shared_memo,
+                    memo_owner=f"w{index}:{simulator.config.name}",
+                )
+            session = Session(
+                gpu=simulator, config=config, measurement=policy, cache=worker_cache
+            )
+            self.workers.append(PoolWorker(index, session))
+        self._closed = False
+        _LOG.info(
+            "pool up: %d workers (%s), scheduler=%s, shared_memo=%s",
+            len(self.workers),
+            ", ".join(worker.name for worker in self.workers),
+            pool_config.scheduler,
+            self.shared_memo is not None,
+        )
+
+    @staticmethod
+    def _namespace(backend_name: str) -> str:
+        """Filesystem-safe per-backend cache namespace (§4.2 keys stay per-GPU)."""
+        from repro.core.jit import _sanitize_token
+
+        return _sanitize_token(backend_name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear every worker session down.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            worker.session.close()
+        if self.shared_memo is not None:
+            self.shared_memo.clear()
+
+    def __enter__(self) -> "SessionPool":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise OptimizationError("session pool is closed")
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------
+    # Worker lookup / deploy routing
+    # ------------------------------------------------------------------
+    def worker_for(self, backend: str) -> PoolWorker:
+        """The first worker targeting ``backend`` (canonical name or alias)."""
+        canonical = backend_spec(backend).name
+        for worker in self.workers:
+            if worker.backend == canonical:
+                return worker
+        raise KeyError(
+            f"no pool worker targets backend {canonical!r}; "
+            f"workers: {[worker.name for worker in self.workers]}"
+        )
+
+    def deploy(self, spec, *, backend: str, shapes: dict | None = None):
+        """Deploy-time lookup (§4.2) routed to the worker of ``backend``."""
+        self._ensure_open()
+        return self.worker_for(backend).session.deploy(spec, shapes=shapes)
+
+    # ------------------------------------------------------------------
+    # Sharded batch optimization
+    # ------------------------------------------------------------------
+    def optimize_many(
+        self,
+        specs: Iterable[str | KernelSpec],
+        *,
+        strategy: str | None = None,
+        verify: bool | None = None,
+        store: bool = True,
+        on_error: str = "report",
+        costs: Sequence[float] | None = None,
+    ) -> PoolReport:
+        """Shard the workloads across the pool's workers and run them.
+
+        The configured scheduler assigns each job to a worker; every worker
+        runs its shard on its own thread (jobs within a shard run in input
+        order) through ``Session.optimize_many``, so per-job failure capture
+        and report shapes match the single-session path exactly.  ``costs``
+        optionally gives a relative cost estimate per job for load-aware
+        schedulers.
+
+        With ``on_error="report"`` (the default) failed jobs come back as
+        failed :class:`RunReport`\\ s in their input-order slots; with
+        ``"raise"`` every job still runs to completion, then one
+        :class:`OptimizationError` is raised carrying the successful reports
+        on ``reports`` and the full :class:`PoolReport` on ``pool_report``.
+        """
+        self._ensure_open()
+        if on_error not in ("report", "raise"):
+            raise ValueError(f"on_error must be 'report' or 'raise', got {on_error!r}")
+        resolved = list(specs)
+        if costs is not None and len(costs) != len(resolved):
+            raise ValueError(
+                f"costs must match the workload count: {len(costs)} != {len(resolved)}"
+            )
+        jobs = [
+            PoolJob(
+                index=position,
+                name=spec if isinstance(spec, str) else spec.name,
+                cost=float(costs[position]) if costs is not None else 1.0,
+            )
+            for position, spec in enumerate(resolved)
+        ]
+        scheduler = get_scheduler(self.config.scheduler)
+        assignment = list(scheduler.assign(jobs, self.workers))
+        if len(assignment) != len(jobs) or not all(
+            0 <= target < len(self.workers) for target in assignment
+        ):
+            raise OptimizationError(
+                f"scheduler {scheduler.name!r} produced an invalid assignment: {assignment}"
+            )
+        for job, target in zip(jobs, assignment):
+            self.workers[target].backlog += job.cost
+
+        shards: dict[int, list[int]] = {}
+        for job, target in zip(jobs, assignment):
+            shards.setdefault(target, []).append(job.index)
+
+        def run_shard(worker: PoolWorker, indices: list[int]) -> list[RunReport]:
+            shard_started = time.perf_counter()
+            reports = worker.session.optimize_many(
+                [resolved[index] for index in indices],
+                jobs=1,
+                strategy=strategy,
+                verify=verify,
+                store=store,
+                on_error="report",
+            )
+            worker.busy_s += time.perf_counter() - shard_started
+            worker.jobs_run += len(indices)
+            worker.failures += sum(report.failed for report in reports)
+            worker.evaluations += sum(report.evaluations for report in reports)
+            return reports
+
+        started = time.perf_counter()
+        snapshots = [worker.snapshot() for worker in self.workers]
+        slots: list[RunReport | None] = [None] * len(jobs)
+        if len(shards) <= 1:
+            for target, indices in shards.items():
+                for index, report in zip(indices, run_shard(self.workers[target], indices)):
+                    slots[index] = report
+        else:
+            with ThreadPoolExecutor(
+                max_workers=len(shards), thread_name_prefix="pool-worker"
+            ) as executor:
+                futures = {
+                    executor.submit(run_shard, self.workers[target], indices): indices
+                    for target, indices in shards.items()
+                }
+                for future, indices in futures.items():
+                    for index, report in zip(indices, future.result()):
+                        slots[index] = report
+        elapsed = time.perf_counter() - started
+
+        result = PoolReport(
+            reports=[report for report in slots if report is not None],
+            assignments=tuple(self.workers[target].name for target in assignment),
+            scheduler=scheduler.name,
+            workers=[
+                worker.report_since(snapshot)
+                for worker, snapshot in zip(self.workers, snapshots)
+            ],
+            elapsed_s=elapsed,
+            memo={} if self.shared_memo is None else self.shared_memo.snapshot(),
+        )
+        _LOG.info(
+            "pool run: %d jobs on %d workers in %.2fs (%.1f evals/s, %d failures, "
+            "%d cross-worker memo hits)",
+            len(result),
+            len(shards),
+            elapsed,
+            result.evaluations_per_sec,
+            len(result.failures),
+            result.memo.get("cross_worker_hits", 0),
+        )
+        if result.failures and on_error == "raise":
+            error = OptimizationError(
+                f"{len(result.failures)}/{len(result)} workloads failed: "
+                + "; ".join(f"{report.kernel}: {report.error}" for report in result.failures)
+            )
+            error.reports = result.succeeded
+            error.pool_report = result
+            raise error
+        return result

@@ -18,9 +18,11 @@ from repro.sim.measure_service import (
     MeasurementBackend,
     MeasurementStats,
     MemoizedMeasurementBackend,
+    ProcessMeasurementBackend,
     ThreadedMeasurementBackend,
     available_measurement_backends,
     create_measurement_service,
+    workload_memo_scope,
 )
 from repro.sim.memory import (
     GlobalMemory,
@@ -42,9 +44,11 @@ __all__ = [
     "MeasurementStats",
     "InlineMeasurementBackend",
     "ThreadedMeasurementBackend",
+    "ProcessMeasurementBackend",
     "MemoizedMeasurementBackend",
     "available_measurement_backends",
     "create_measurement_service",
+    "workload_memo_scope",
     "GridConfig",
     "LaunchContext",
     "bind_tensors",

@@ -9,26 +9,36 @@ issued from the search loop:
 * ``threaded`` — fan independent candidates out over a thread pool, so a
   batch of single-move candidates (greedy's inner loop, a population of
   individuals) measures concurrently;
+* ``process`` — fan candidates out over a *process* pool, sidestepping the
+  GIL for the cycle-accurate timing loop (which is pure Python and therefore
+  does not parallelize on threads); the workload ships to each worker process
+  once via the pool initializer, individual submissions only pickle the
+  candidate schedule;
 * memoization — an orthogonal wrapper that dedups repeated schedules by a
   content digest of the instruction sequence.  Greedy and evolutionary search
   re-measure identical schedules constantly (the committing step, reverted
   swaps, shared prefixes), so the wrapper trades a dictionary lookup for a
-  full timing simulation.
+  full timing simulation.  The memo table is private per service by default;
+  a :class:`repro.pool.shared_memo.SharedMemoTable` can be plugged in so
+  several sessions (e.g. the workers of a ``SessionPool``) share one table,
+  with entries namespaced by a workload *scope* key.
 
 A service instance is bound to one workload (kernel launch geometry, input
 tensors, measurement protocol) and measures *candidate schedules* of that
 workload — exactly the shape of the assembly game's reward query.  All
-backends are deterministic for a fixed workload, so ``threaded`` returns
-bit-identical timings to ``inline``, and the per-``(seed, schedule)`` noise
-streams of :meth:`GPUSimulator.measure` make memoization semantics-preserving
-even under synthetic measurement noise.
+backends are deterministic for a fixed workload, so ``threaded`` and
+``process`` return bit-identical timings to ``inline``, and the
+per-``(seed, schedule)`` noise streams of :meth:`GPUSimulator.measure` make
+memoization semantics-preserving even under synthetic measurement noise.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
 import os
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -154,6 +164,88 @@ class ThreadedMeasurementBackend(_WorkloadMeasurer):
         self._pool.shutdown(wait=True)
 
 
+#: Workload bound to each process-pool worker by the pool initializer, so a
+#: submission only ships the candidate schedule, not the input tensors.
+_PROCESS_WORKLOAD: tuple | None = None
+
+
+def _process_worker_init(workload: tuple) -> None:
+    global _PROCESS_WORKLOAD
+    _PROCESS_WORKLOAD = workload
+
+
+def _process_measure(candidate: SassKernel) -> KernelTiming:
+    simulator, grid, tensors, param_order, scalars, measurement = _PROCESS_WORKLOAD
+    return simulator.measure(
+        candidate, grid, tensors, param_order, scalars, measurement=measurement
+    )
+
+
+def _resolve_mp_context(method: str | None):
+    """A multiprocessing context: the requested method, else a safe default.
+
+    ``fork`` is preferred where available because the worker processes inherit
+    the imported package instead of re-importing it on every pool start — but
+    only while the parent is single-threaded: forking a multithreaded process
+    (e.g. a ``SessionPool`` running shards on worker threads) can clone locks
+    in a held state and deadlock the child.  With threads live we fall back to
+    ``forkserver`` (workers fork from a clean single-threaded server, at the
+    cost of re-importing the package when the workload unpickles); callers who
+    know better can pin the method via ``MeasurementPolicy.mp_context``.
+    """
+    if method is not None:
+        return multiprocessing.get_context(method)
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context()
+
+
+class ProcessMeasurementBackend(_WorkloadMeasurer):
+    """Process-pool fan-out: parallel timing simulation without the GIL.
+
+    The timing loop is pure Python, so ``threaded`` only overlaps what little
+    the interpreter releases; worker processes actually run candidates in
+    parallel on multi-core hosts.  The simulation is deterministic, so the
+    timings are bit-identical to ``inline`` for a fixed measurement seed.
+
+    ``stats.measured`` is counted on submission (worker processes cannot
+    update the parent's counters); a submission that errors still counts as
+    an issued measurement.
+    """
+
+    def __init__(
+        self, *args, max_workers: int | None = None, mp_context: str | None = None, **kwargs
+    ):
+        super().__init__(*args, **kwargs)
+        self.max_workers = int(max_workers or min(8, os.cpu_count() or 1))
+        workload = (
+            self.simulator,
+            self.grid,
+            self.tensors,
+            self.param_order,
+            self.scalars,
+            self.measurement,
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=_resolve_mp_context(mp_context),
+            initializer=_process_worker_init,
+            initargs=(workload,),
+        )
+
+    def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        with self._lock:
+            self.stats.submitted += 1
+            self.stats.measured += 1
+        return self._pool.submit(_process_measure, candidate)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
 class MemoizedMeasurementBackend:
     """Wrapper that dedups repeated schedules by their content digest.
 
@@ -166,17 +258,52 @@ class MemoizedMeasurementBackend:
     mostly unique schedules — e.g. a PPO run with ``memoize=True`` — must not
     retain a timing object per schedule ever measured.  An evicted schedule
     simply re-measures on its next submission.
+
+    With ``table`` set (any object with the ``get(key, owner=...)`` /
+    ``put(key, future, owner=...)`` shape of
+    :class:`repro.pool.shared_memo.SharedMemoTable`), the memo lives *outside*
+    the service and is shared across sessions: a schedule measured by one pool
+    worker is a hit for every sibling measuring the same workload.  Keys are
+    then prefixed with ``scope`` (the workload identity, so unrelated
+    workloads never alias) and lookups carry ``owner`` so the table can
+    account cross-worker hits.  Two workers racing on the same unmeasured
+    schedule may both issue a raw measurement; the table keeps the first
+    future and the race costs one redundant (deterministic) simulation.
     """
 
-    def __init__(self, inner: MeasurementBackend, max_entries: int = 4096):
+    def __init__(
+        self,
+        inner: MeasurementBackend,
+        max_entries: int = 4096,
+        *,
+        table=None,
+        scope: str = "",
+        owner: str = "",
+    ):
         self.inner = inner
         self.stats = inner.stats
         self.max_entries = int(max_entries)
+        self.table = table
+        self.scope = scope
+        self.owner = owner
         self._futures: dict[str, Future[KernelTiming]] = {}
         self._lock = threading.Lock()
 
+    def _key(self, candidate: SassKernel) -> str:
+        digest = candidate.content_digest()
+        return f"{self.scope}|{digest}" if self.scope else digest
+
     def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
-        key = candidate.content_digest()
+        key = self._key(candidate)
+        if self.table is not None:
+            cached = self.table.get(key, owner=self.owner)
+            if cached is not None:
+                with self._lock:
+                    self.stats.submitted += 1
+                    self.stats.memo_hits += 1
+                return cached
+            future = self.inner.submit(candidate)
+            return self.table.put(key, future, owner=self.owner)
         with self._lock:
             cached = self._futures.get(key)
             if cached is not None:
@@ -202,11 +329,45 @@ class MemoizedMeasurementBackend:
 _MEASUREMENT_BACKENDS = {
     "inline": InlineMeasurementBackend,
     "threaded": ThreadedMeasurementBackend,
+    "process": ProcessMeasurementBackend,
 }
 
 
 def available_measurement_backends() -> tuple[str, ...]:
     return tuple(sorted(_MEASUREMENT_BACKENDS))
+
+
+def workload_memo_scope(
+    gpu_name: str,
+    kernel_name: str,
+    shapes: dict,
+    config: dict,
+    measurement: MeasurementConfig | None = None,
+    input_seed: int = 0,
+) -> str:
+    """Scope key namespacing one workload's entries in a shared memo table.
+
+    Two sessions may share a memoized timing only when it would be
+    bit-identical for both, so the scope covers everything the measurement
+    depends on besides the candidate schedule itself: the GPU target, the
+    workload and its shapes/config (they determine the input tensors together
+    with ``input_seed``) and the measurement protocol.
+    """
+    measurement = measurement or MeasurementConfig()
+    canonical = repr(
+        (
+            str(gpu_name),
+            str(kernel_name),
+            sorted((str(key), str(value)) for key, value in shapes.items()),
+            sorted((str(key), str(value)) for key, value in config.items()),
+            measurement.warmup_iterations,
+            measurement.measure_iterations,
+            measurement.noise_std,
+            measurement.seed,
+            int(input_seed),
+        )
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def create_measurement_service(
@@ -219,12 +380,19 @@ def create_measurement_service(
     *,
     backend: str = "inline",
     max_workers: int | None = None,
+    mp_context: str | None = None,
     memoize: bool = False,
+    shared_memo=None,
+    memo_scope: str = "",
+    memo_owner: str = "",
 ) -> MeasurementBackend:
     """Build the measurement backend stack for one workload.
 
-    ``backend`` selects the execution style (``"inline"`` or ``"threaded"``);
-    ``memoize`` wraps it in schedule-digest deduplication.
+    ``backend`` selects the execution style (``"inline"``, ``"threaded"`` or
+    ``"process"``); ``memoize`` wraps it in schedule-digest deduplication.
+    Passing ``shared_memo`` (a cross-session table; see
+    :class:`~repro.pool.shared_memo.SharedMemoTable`) implies memoization and
+    requires ``memo_scope`` to namespace this workload's entries.
     """
     try:
         backend_cls = _MEASUREMENT_BACKENDS[backend]
@@ -236,9 +404,18 @@ def create_measurement_service(
     kwargs: dict = {}
     if backend_cls is ThreadedMeasurementBackend:
         kwargs["max_workers"] = max_workers
+    elif backend_cls is ProcessMeasurementBackend:
+        kwargs["max_workers"] = max_workers
+        kwargs["mp_context"] = mp_context
     service: MeasurementBackend = backend_cls(
         simulator, grid, tensors, param_order, scalars, measurement, **kwargs
     )
-    if memoize:
+    if shared_memo is not None:
+        if not memo_scope:
+            raise ValueError("shared_memo requires a memo_scope identifying the workload")
+        service = MemoizedMeasurementBackend(
+            service, table=shared_memo, scope=memo_scope, owner=memo_owner
+        )
+    elif memoize:
         service = MemoizedMeasurementBackend(service)
     return service

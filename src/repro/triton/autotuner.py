@@ -55,6 +55,10 @@ class Autotuner:
     def _key(self, spec: KernelSpec, shapes: dict) -> str:
         return f"{spec.name}:{to_json_str(shapes)}"
 
+    def clear(self) -> None:
+        """Drop the autotune-decision cache (and the kernels it retains)."""
+        self._cache.clear()
+
     def tune(self, spec: KernelSpec, *, shapes: dict | None = None, scale: str = "bench") -> AutotuneResult:
         """Sweep the spec's configuration space and return the best config."""
         shapes = dict(shapes) if shapes is not None else dict(spec.shapes(scale))

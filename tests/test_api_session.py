@@ -251,6 +251,107 @@ def test_cubin_cache_schema_version_mismatch_is_miss(tmp_path, session):
 
 
 # ---------------------------------------------------------------------------
+# Session lifecycle: close() and context-manager support
+# ---------------------------------------------------------------------------
+def test_session_close_is_idempotent_and_final(tmp_path, simulator):
+    session = Session(gpu=simulator, cache_dir=tmp_path, config=_FAST)
+    report = session.optimize("softmax", strategy="random", verify=False)
+    assert not session.closed
+    session.close()
+    session.close()  # idempotent
+    assert session.closed
+    for call in (
+        lambda: session.optimize("softmax"),
+        lambda: session.compile("softmax"),
+        lambda: session.deploy("softmax"),
+        lambda: session.run("softmax"),
+        lambda: session.optimize_many(["softmax"]),
+    ):
+        with pytest.raises(Exception, match="session is closed"):
+            call()
+    # The cache itself outlives the session: a fresh one still deploys.
+    fresh = Session(gpu=simulator, cache_dir=tmp_path, config=_FAST)
+    assert fresh.cache.has(report.cache_key)
+
+
+def test_session_context_manager_closes(simulator):
+    with Session(gpu=simulator, config=_FAST, cache=CacheConfig(enabled=False)) as session:
+        report = session.optimize("mmLeakyReLu", strategy="random", verify=False, store=False)
+        assert report.evaluations > 0
+    assert session.closed
+    with pytest.raises(Exception, match="session is closed"):
+        session.__enter__()
+
+
+# ---------------------------------------------------------------------------
+# CubinCache: LRU size bound and timing-model content digest
+# ---------------------------------------------------------------------------
+def test_cubin_cache_lru_eviction(tmp_path, session):
+    import os
+    import time
+
+    report = session.optimize("softmax", strategy="random", verify=False, store=False)
+    cache = CubinCache(tmp_path / "bounded", max_entries=2)
+    keys = [f"entry-{index}" for index in range(3)]
+    for key in keys[:2]:
+        cache.store(key, report.artifact)
+    # Make the LRU order unambiguous even on coarse-timestamp filesystems,
+    # then mark entry-0 as recently used by loading it.
+    now = time.time()
+    os.utime(cache.entry(keys[0]).meta_path, (now - 60, now - 60))
+    os.utime(cache.entry(keys[1]).meta_path, (now - 30, now - 30))
+    cache.load(keys[0])
+
+    cache.store(keys[2], report.artifact)  # evicts entry-1, the LRU
+    assert cache.has(keys[0]) and cache.has(keys[2])
+    assert not cache.has(keys[1])
+    assert not cache.entry(keys[1]).cubin_path.exists()
+    with pytest.raises(ValueError):
+        CubinCache(tmp_path / "bad", max_entries=0)
+
+
+def test_session_cache_config_bounds_entries(tmp_path, simulator):
+    session = Session(
+        gpu=simulator, cache_dir=tmp_path, config=_FAST, cache=CacheConfig(max_entries=7)
+    )
+    assert session.cache.max_entries == 7
+
+
+def test_cubin_cache_timing_model_mismatch_is_miss(tmp_path, session):
+    import json
+
+    from repro.core.jit import timing_model_digest
+
+    report = session.optimize("softmax", strategy="random", verify=False, store=False)
+    cache = CubinCache(tmp_path / "timing-model")
+    key = session.key_for("softmax")
+    entry = cache.store(key, report.artifact)
+    meta = json.loads(entry.meta_path.read_text())
+    assert meta["timing_model"] == timing_model_digest()
+    assert cache.has(key)
+
+    # An entry optimized under a different timing model must read as a miss:
+    # its schedule was ranked by rewards the current simulator would not give.
+    meta["timing_model"] = "0" * 16
+    entry.meta_path.write_text(json.dumps(meta))
+    assert not cache.has(key)
+    del meta["timing_model"]
+    entry.meta_path.write_text(json.dumps(meta))
+    assert not cache.has(key)
+
+
+def test_timing_model_digest_tracks_table_content():
+    from repro.arch.latency_table import default_stall_table
+    from repro.core.jit import timing_model_digest
+
+    digest = timing_model_digest()
+    assert digest == timing_model_digest()  # stable within a process
+    # The digest is a pure function of the latency-table content.
+    table = default_stall_table()
+    assert len(digest) == 16 and len(table.as_rows()) > 0
+
+
+# ---------------------------------------------------------------------------
 # cache_key hardening
 # ---------------------------------------------------------------------------
 def test_cache_key_sanitizes_unsafe_values():

@@ -54,29 +54,30 @@ def _candidates(compiled, simulator, count=4):
 
 
 # ---------------------------------------------------------------------------
-# Backend equivalence: threaded returns bit-identical timings to inline
+# Backend equivalence: threaded/process return bit-identical timings to inline
 # ---------------------------------------------------------------------------
-def test_threaded_backend_matches_inline(compiled, simulator):
+@pytest.mark.parametrize("backend", ["threaded", "process"])
+def test_pooled_backends_match_inline(compiled, simulator, backend):
     kernels = _candidates(compiled, simulator)
     inputs = compiled.make_inputs(0)
     inline = create_measurement_service(simulator, compiled.grid, inputs, compiled.param_order)
-    threaded = create_measurement_service(
+    pooled = create_measurement_service(
         simulator, compiled.grid, inputs, compiled.param_order,
-        backend="threaded", max_workers=4,
+        backend=backend, max_workers=2,
     )
     try:
         inline_timings = inline.measure_batch(kernels)
-        threaded_timings = threaded.measure_batch(kernels)
+        pooled_timings = pooled.measure_batch(kernels)
     finally:
-        threaded.close()
+        pooled.close()
     # KernelTiming (and the nested TimingResult) are dataclasses: this is a
     # field-by-field, bit-identical comparison.
-    assert inline_timings == threaded_timings
-    assert inline.stats.measured == threaded.stats.measured == len(kernels)
+    assert inline_timings == pooled_timings
+    assert inline.stats.measured == pooled.stats.measured == len(kernels)
 
 
 def test_unknown_backend_rejected(compiled, simulator):
-    assert set(available_measurement_backends()) == {"inline", "threaded"}
+    assert set(available_measurement_backends()) == {"inline", "threaded", "process"}
     with pytest.raises(ValueError, match="unknown measurement backend"):
         create_measurement_service(
             simulator, compiled.grid, {}, compiled.param_order, backend="quantum"
@@ -123,6 +124,56 @@ def test_memoized_backend_dedups_repeated_schedules():
     assert service.stats.submitted == 5
     assert timings[0] is timings[2] is timings[3]
     assert timings[1] is timings[4]
+
+
+def test_shared_memo_through_service_scopes_and_dedups():
+    from repro.pool import SharedMemoTable
+    from repro.sim import workload_memo_scope
+
+    kernel = SassKernel.from_text(ADD_ONE, KernelMetadata(name="addone", num_warps=1))
+    table = SharedMemoTable()
+    stub_a, stub_b = CountingSimulator(), CountingSimulator()
+    scope = workload_memo_scope("A100", "addone", {"n": 8}, {"warps": 1})
+
+    def service(stub, owner):
+        return create_measurement_service(
+            stub, GridConfig((1, 1, 1), 1), {}, [],
+            shared_memo=table, memo_scope=scope, memo_owner=owner,
+        )
+
+    first = service(stub_a, "w0")
+    second = service(stub_b, "w1")
+    timing = first.submit(kernel).result()
+    # The sibling service answers from the shared table: no raw measurement.
+    assert second.submit(kernel).result() is timing
+    assert stub_a.calls == 1 and stub_b.calls == 0
+    assert table.stats.cross_worker_hits == 1
+
+    # A different workload scope never aliases, even for the same schedule.
+    other = create_measurement_service(
+        stub_b, GridConfig((1, 1, 1), 1), {}, [],
+        shared_memo=table,
+        memo_scope=workload_memo_scope("A30", "addone", {"n": 8}, {"warps": 1}),
+        memo_owner="w1",
+    )
+    other.submit(kernel).result()
+    assert stub_b.calls == 1
+
+    with pytest.raises(ValueError, match="memo_scope"):
+        create_measurement_service(stub_a, GridConfig((1, 1, 1), 1), {}, [], shared_memo=table)
+
+
+def test_workload_memo_scope_sensitivity():
+    from repro.sim import MeasurementConfig, workload_memo_scope
+
+    base = workload_memo_scope("A100", "bmm", {"m": 16}, {"warps": 4})
+    assert base == workload_memo_scope("A100", "bmm", {"m": 16}, {"warps": 4})
+    assert base != workload_memo_scope("A30", "bmm", {"m": 16}, {"warps": 4})
+    assert base != workload_memo_scope("A100", "bmm", {"m": 32}, {"warps": 4})
+    assert base != workload_memo_scope("A100", "bmm", {"m": 16}, {"warps": 8})
+    noisy = MeasurementConfig(noise_std=0.01, seed=7)
+    assert base != workload_memo_scope("A100", "bmm", {"m": 16}, {"warps": 4}, noisy)
+    assert base != workload_memo_scope("A100", "bmm", {"m": 16}, {"warps": 4}, input_seed=1)
 
 
 def test_memo_table_is_bounded():

@@ -1,0 +1,321 @@
+"""Tests for the ``repro.pool`` subsystem: SessionPool, schedulers, shared memo."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    CacheConfig,
+    MeasurementPolicy,
+    OptimizationConfig,
+    PoolConfig,
+    PoolReport,
+    Session,
+    StrategyOutcome,
+    register_strategy,
+)
+from repro.errors import OptimizationError
+from repro.pool import (
+    PoolJob,
+    SessionPool,
+    SharedMemoTable,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+
+_FAST = OptimizationConfig(
+    strategy="greedy", scale="test", search_budget=12, episode_length=8,
+    autotune=False, verify=False,
+)
+_NO_CACHE = CacheConfig(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# Sharding equivalence: a pool job == a standalone session run
+# ---------------------------------------------------------------------------
+def test_pool_matches_standalone_sessions():
+    """Per-job results are exactly what a dedicated Session would produce."""
+    with SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        result = pool.optimize_many(["mmLeakyReLu", "rmsnorm", "softmax", "softmax"])
+
+    assert isinstance(result, PoolReport)
+    assert [report.kernel for report in result] == ["mmLeakyReLu", "rmsnorm", "softmax", "softmax"]
+    # round_robin: even jobs on the A100 worker, odd jobs on the A30 worker.
+    assert [report.gpu for report in result] == [
+        "A100-80GB-PCIe", "A30-24GB-PCIe", "A100-80GB-PCIe", "A30-24GB-PCIe",
+    ]
+    assert result.assignments == (
+        "w0:A100-80GB-PCIe", "w1:A30-24GB-PCIe", "w0:A100-80GB-PCIe", "w1:A30-24GB-PCIe",
+    )
+
+    for report in result:
+        standalone = Session(gpu=report.gpu, config=_FAST, cache=_NO_CACHE).optimize(report.kernel)
+        assert report.best_time_ms == standalone.best_time_ms
+        assert report.baseline_time_ms == standalone.baseline_time_ms
+        assert report.evaluations == standalone.evaluations
+
+    assert len(result) == 4 and not result.failures
+    assert result.evaluations == sum(report.evaluations for report in result)
+    assert result.evaluations_per_sec > 0
+    summary = result.summary()
+    assert len(summary["jobs"]) == 4 and summary["scheduler"] == "round_robin"
+    assert isinstance(result.to_json(), str)
+
+
+def test_pool_worker_stats_cover_all_workers():
+    with SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        result = pool.optimize_many(["softmax"])
+    # One job: worker 0 ran it, worker 1 stayed idle but is still reported.
+    assert [worker.jobs for worker in result.workers] == [1, 0]
+    assert result.workers[0].gpu == "A100-80GB-PCIe"
+
+
+def test_pool_worker_stats_are_per_run():
+    """Each PoolReport covers its own run, not the pool's lifetime totals."""
+    with SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        first = pool.optimize_many(["mmLeakyReLu", "mmLeakyReLu"])
+        second = pool.optimize_many(["mmLeakyReLu"])
+    assert [worker.jobs for worker in first.workers] == [1, 1]
+    assert [worker.jobs for worker in second.workers] == [1, 0]
+    for result in (first, second):
+        assert sum(worker.evaluations for worker in result.workers) == result.evaluations
+    # The scheduler-visible backlog, by contrast, is cumulative by design.
+    assert [worker.backlog for worker in pool.workers] == [2.0, 1.0]
+
+
+# ---------------------------------------------------------------------------
+# Shared memo: cross-worker measurement reuse
+# ---------------------------------------------------------------------------
+def test_shared_memo_records_cross_worker_hits():
+    """Twin workers on the same workload answer each other's measurements."""
+    with SessionPool(["A100-sim", "A100-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        result = pool.optimize_many(["mmLeakyReLu", "mmLeakyReLu", "rmsnorm", "rmsnorm"])
+    assert result.memo["hits"] > 0
+    assert result.memo["cross_worker_hits"] > 0
+    # Sharing must not change results: both copies of a job agree exactly.
+    assert result[0].best_time_ms == result[1].best_time_ms
+    assert result[2].best_time_ms == result[3].best_time_ms
+
+
+def test_shared_memo_scopes_backends_apart():
+    """Distinct GPU targets never share timings (scoped keys, no cross hits)."""
+    with SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        result = pool.optimize_many(["mmLeakyReLu", "mmLeakyReLu"])
+    assert result.memo["cross_worker_hits"] == 0
+    # Same workload, different GPUs: genuinely different timings.
+    assert result[0].best_time_ms != result[1].best_time_ms
+
+
+def test_shared_memo_can_be_disabled():
+    pool_config = PoolConfig(share_memo=False)
+    with SessionPool(["A100-sim"], pool=pool_config, config=_FAST, cache=_NO_CACHE) as pool:
+        assert pool.shared_memo is None
+        result = pool.optimize_many(["softmax"])
+    assert result.memo == {}
+
+
+def test_shared_memo_table_is_bounded_and_race_safe():
+    from concurrent.futures import Future
+
+    table = SharedMemoTable(max_entries=2)
+    first, second = Future(), Future()
+    assert table.put("a", first, owner="w0") is first
+    # A losing racer gets the stored future back, not its own.
+    assert table.put("a", second, owner="w1") is first
+    assert table.get("a", owner="w1") is first
+    assert table.stats.cross_worker_hits == 1
+    table.put("b", Future(), owner="w0")
+    table.put("c", Future(), owner="w0")  # evicts the LRU entry
+    assert len(table) == 2
+    assert table.stats.evictions == 1
+    table.clear()
+    assert len(table) == 0 and table.get("b") is None
+
+
+# ---------------------------------------------------------------------------
+# Failure isolation: one poisoned job must not take down sibling workers
+# ---------------------------------------------------------------------------
+@register_strategy("pool-fail-on-rmsnorm")
+class _FailOnRmsnorm:
+    name = "pool-fail-on-rmsnorm"
+
+    def run(self, context):
+        if context.compiled.spec.name == "rmsnorm":
+            raise RuntimeError("injected pool failure")
+        baseline = context.compiled.measure(
+            context.simulator, measurement=context.measurement
+        ).time_ms
+        return StrategyOutcome(
+            strategy=self.name,
+            baseline_time_ms=baseline,
+            best_time_ms=baseline,
+            best_kernel=context.compiled.kernel,
+            evaluations=1,
+        )
+
+
+@pytest.mark.parametrize("scheduler", ["round_robin", "least_loaded"])
+def test_pool_failure_isolation(scheduler):
+    pool_config = PoolConfig(scheduler=scheduler)
+    with SessionPool(
+        ["A100-sim", "A30-sim"], pool=pool_config, config=_FAST, cache=_NO_CACHE
+    ) as pool:
+        result = pool.optimize_many(
+            ["softmax", "rmsnorm", "mmLeakyReLu"], strategy="pool-fail-on-rmsnorm"
+        )
+    assert [report.kernel for report in result] == ["softmax", "rmsnorm", "mmLeakyReLu"]
+    assert not result[0].failed and not result[2].failed
+    assert result[1].failed and "injected pool failure" in result[1].error
+    assert result.failures == [result[1]]
+    assert len(result.succeeded) == 2
+    # The sibling jobs still produced real measurements.
+    assert result[0].evaluations == 1 and result[2].evaluations == 1
+
+
+@pytest.mark.parametrize("scheduler", ["round_robin", "least_loaded"])
+def test_pool_on_error_raise_carries_pool_report(scheduler):
+    pool_config = PoolConfig(scheduler=scheduler)
+    with SessionPool(
+        ["A100-sim", "A30-sim"], pool=pool_config, config=_FAST, cache=_NO_CACHE
+    ) as pool:
+        with pytest.raises(OptimizationError) as excinfo:
+            pool.optimize_many(
+                ["softmax", "rmsnorm"], strategy="pool-fail-on-rmsnorm", on_error="raise"
+            )
+    assert "rmsnorm" in str(excinfo.value)
+    assert [report.kernel for report in excinfo.value.reports] == ["softmax"]
+    assert isinstance(excinfo.value.pool_report, PoolReport)
+    assert len(excinfo.value.pool_report) == 2
+
+
+def test_pool_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        SessionPool([])
+    with pytest.raises(KeyError):
+        SessionPool(["A100-sim"], pool=PoolConfig(scheduler="does-not-exist"))
+    with SessionPool(["A100-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        with pytest.raises(ValueError):
+            pool.optimize_many(["softmax"], on_error="explode")
+        with pytest.raises(ValueError):
+            pool.optimize_many(["softmax"], costs=[1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+class _FakeWorker:
+    def __init__(self, name, backlog=0.0):
+        self.name = name
+        self.backend = name
+        self.backlog = backlog
+
+
+def _jobs(costs):
+    return [PoolJob(index=i, name=f"job{i}", cost=cost) for i, cost in enumerate(costs)]
+
+
+def test_round_robin_ignores_load():
+    workers = [_FakeWorker("a", backlog=100.0), _FakeWorker("b")]
+    assignment = get_scheduler("round_robin").assign(_jobs([1, 1, 1, 1, 1]), workers)
+    assert assignment == [0, 1, 0, 1, 0]
+
+
+def test_least_loaded_balances_costs():
+    workers = [_FakeWorker("a"), _FakeWorker("b")]
+    # One heavy job saturates worker 0; the light ones pile onto worker 1.
+    assignment = get_scheduler("least_loaded").assign(_jobs([10, 1, 1, 1]), workers)
+    assert assignment == [0, 1, 1, 1]
+    # Carried-over backlog from earlier calls steers new work away.
+    workers = [_FakeWorker("a", backlog=5.0), _FakeWorker("b")]
+    assert get_scheduler("least_loaded").assign(_jobs([1, 1]), workers) == [1, 1]
+
+
+def test_scheduler_registry():
+    assert {"round_robin", "least_loaded"} <= set(available_schedulers())
+    with pytest.raises(KeyError):
+        get_scheduler("does-not-exist")
+
+    @register_scheduler("pin-to-zero-test")
+    class PinToZero:
+        name = "pin-to-zero-test"
+
+        def assign(self, jobs, workers):
+            return [0 for _ in jobs]
+
+    pool_config = PoolConfig(scheduler="pin-to-zero-test")
+    with SessionPool(
+        ["A100-sim", "A30-sim"], pool=pool_config, config=_FAST, cache=_NO_CACHE
+    ) as pool:
+        result = pool.optimize_many(["softmax", "softmax"])
+    assert set(result.assignments) == {"w0:A100-80GB-PCIe"}
+    assert [worker.jobs for worker in result.workers] == [2, 0]
+
+
+def test_pool_costs_feed_least_loaded():
+    pool_config = PoolConfig(scheduler="least_loaded")
+    with SessionPool(
+        ["A100-sim", "A30-sim"], pool=pool_config, config=_FAST, cache=_NO_CACHE
+    ) as pool:
+        result = pool.optimize_many(
+            ["softmax", "softmax", "softmax"], costs=[10.0, 1.0, 1.0]
+        )
+    # The expensive first job pins worker 0; the cheap rest go to worker 1.
+    assert result.assignments == (
+        "w0:A100-80GB-PCIe", "w1:A30-24GB-PCIe", "w1:A30-24GB-PCIe",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Namespaced caches and deploy routing
+# ---------------------------------------------------------------------------
+def test_pool_namespaces_caches_per_backend(tmp_path):
+    with SessionPool(["A100-sim", "A30-sim"], cache_dir=tmp_path, config=_FAST) as pool:
+        result = pool.optimize_many(["softmax", "softmax"])
+        assert all(report.cached for report in result)
+        cache_dirs = {worker.session.cache.directory for worker in pool.workers}
+        assert len(cache_dirs) == 2
+        assert all(directory.parent == tmp_path for directory in cache_dirs)
+
+        # Deploy routes by backend and finds each worker's own artifact.
+        a100 = pool.deploy("softmax", backend="A100-sim")
+        a30 = pool.deploy("softmax", backend="A30")
+        assert a100.kernel.render() == result[0].artifact.result.best_kernel.render()
+        assert a30.kernel.render() == result[1].artifact.result.best_kernel.render()
+        with pytest.raises(KeyError):
+            pool.worker_for("RTX3090")
+
+
+def test_pool_duplicate_backends_share_a_namespace(tmp_path):
+    with SessionPool(["A100-sim", "A100-sim"], cache_dir=tmp_path, config=_FAST) as pool:
+        assert len({worker.session.cache.directory for worker in pool.workers}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+def test_pool_close_tears_workers_down():
+    pool = SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE)
+    assert not pool.closed and len(pool) == 2
+    pool.close()
+    pool.close()  # idempotent
+    assert pool.closed
+    assert all(worker.session.closed for worker in pool.workers)
+    with pytest.raises(OptimizationError):
+        pool.optimize_many(["softmax"])
+    with pytest.raises(OptimizationError):
+        pool.deploy("softmax", backend="A100-sim")
+
+
+def test_pool_measurement_policy_is_worker_scoped():
+    """The pool must not mutate the caller's policy, only derive from it."""
+    policy = MeasurementPolicy(backend="threaded", max_workers=2)
+    with SessionPool(
+        ["A100-sim"], config=_FAST, measurement=policy, cache=_NO_CACHE
+    ) as pool:
+        worker_policy = pool.workers[0].session.measurement
+        assert worker_policy.memoize and worker_policy.shared_memo is pool.shared_memo
+        assert worker_policy.backend == "threaded"
+    assert policy.shared_memo is None and not policy.memoize
+    # Frozen configs still round-trip through replace with the new fields.
+    assert dataclasses.replace(policy, memo_owner="x").memo_owner == "x"
