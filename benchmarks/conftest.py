@@ -9,6 +9,11 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+# The perf benchmarks reuse the BENCH_timing.json runner as a library.
+_BENCH = Path(__file__).resolve().parent
+if str(_BENCH) not in sys.path:
+    sys.path.insert(0, str(_BENCH))
+
 from repro.sim import GPUSimulator  # noqa: E402
 
 

@@ -1,0 +1,166 @@
+"""Measurement-throughput benchmark: candidate evaluations per second.
+
+Times the production measurement path (decoded-program cache + event-driven
+issue loop + launch reuse) against the frozen seed engine
+(:mod:`repro.sim._reference_sm`) on the same host, and writes the numbers to
+``BENCH_timing.json`` so the perf trajectory is tracked from this PR onward.
+
+Two scenarios are timed per workload:
+
+* **single_env** — the warm steady state of one search loop: one measurement
+  service bound to the workload, one candidate measured per call (the shape
+  of every PPO / random-search reward query).
+* **greedy_batch** — greedy search's inner loop: every masker-valid
+  single-move candidate of the -O3 schedule measured as one batch through an
+  :class:`~repro.core.env.AssemblyGame`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_timing_bench.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro.triton.kernels  # noqa: F401 - registers the workload specs
+from repro.core.env import AssemblyGame
+from repro.sim import GPUSimulator, create_measurement_service
+from repro.sim._reference_sm import reference_measure
+from repro.triton.compiler import compile_spec
+from repro.triton.spec import get_spec
+
+#: One memory-bound and one compute-bound (tensor-core) workload.
+BENCH_WORKLOADS = ("softmax", "bmm")
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_timing.json"
+
+
+def _timed_loop(fn, seconds: float, warmup: int = 3) -> tuple[int, float]:
+    """Run ``fn`` (returning cycles simulated per call) for ~``seconds``."""
+    for _ in range(warmup):
+        fn()
+    calls = 0
+    cycles = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < seconds:
+        cycles += fn()
+        calls += 1
+    return calls, cycles / max(time.perf_counter() - start, 1e-9)
+
+
+def bench_single_env(simulator, compiled, inputs, seconds: float = 2.0) -> dict:
+    """Warm single-candidate measurement throughput, new engine vs seed engine."""
+    kernel = compiled.kernel
+    service = create_measurement_service(
+        simulator, compiled.grid, inputs, compiled.param_order
+    )
+
+    def measure_new() -> int:
+        return service.measure_batch([kernel])[0].timing.cycles
+
+    def measure_seed() -> int:
+        timing = reference_measure(
+            simulator, kernel, compiled.grid, inputs, compiled.param_order
+        )
+        return timing.timing.cycles
+
+    start = time.perf_counter()
+    new_calls, new_cycles_per_sec = _timed_loop(measure_new, seconds)
+    new_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    seed_calls, seed_cycles_per_sec = _timed_loop(measure_seed, seconds)
+    seed_elapsed = time.perf_counter() - start
+
+    new_rate = new_calls / new_elapsed
+    seed_rate = seed_calls / seed_elapsed
+    return {
+        "evals_per_sec": round(new_rate, 2),
+        "cycles_simulated_per_sec": round(new_cycles_per_sec, 1),
+        "seed_engine_evals_per_sec": round(seed_rate, 2),
+        "seed_engine_cycles_simulated_per_sec": round(seed_cycles_per_sec, 1),
+        "speedup_vs_seed_engine": round(new_rate / seed_rate, 3),
+    }
+
+
+def greedy_candidates(game: AssemblyGame) -> list:
+    """Every masker-valid single-move candidate of the current schedule."""
+    kernel = game.current_kernel
+    return [
+        kernel.swap(*game.action_space_map.target_indices(kernel, int(action)))
+        for action in np.flatnonzero(game.action_masks())
+    ]
+
+
+def bench_greedy_batch(simulator, compiled, seconds: float = 2.0) -> dict:
+    """Greedy-probe batch throughput through an AssemblyGame (warm)."""
+    game = AssemblyGame(compiled, simulator)
+    candidates = greedy_candidates(game)
+    if not candidates:
+        # Tightly scheduled small kernels can have no legal single move at
+        # test scale; there is no batch to time then.
+        game.close()
+        return {"batch_size": 0, "evals_per_sec": 0.0, "cycles_simulated_per_sec": 0.0}
+
+    def measure_batch() -> int:
+        timings = game.measure_service.measure_batch(candidates)
+        return sum(t.timing.cycles for t in timings)
+
+    start = time.perf_counter()
+    calls, cycles_per_sec = _timed_loop(measure_batch, seconds)
+    elapsed = time.perf_counter() - start
+    game.close()
+    return {
+        "batch_size": len(candidates),
+        "evals_per_sec": round(calls * len(candidates) / elapsed, 2),
+        "cycles_simulated_per_sec": round(cycles_per_sec, 1),
+    }
+
+
+def run(output_path: Path | str = DEFAULT_OUTPUT, seconds: float = 2.0) -> dict:
+    simulator = GPUSimulator()
+    workloads = {}
+    for name in BENCH_WORKLOADS:
+        compiled = compile_spec(get_spec(name), scale="test")
+        inputs = compiled.make_inputs(0)
+        workloads[name] = {
+            "single_env": bench_single_env(simulator, compiled, inputs, seconds),
+            "greedy_batch": bench_greedy_batch(simulator, compiled, seconds),
+        }
+    report = {
+        "benchmark": "timing_engine_throughput",
+        "scale": "test",
+        "invariant": "timings are bit-identical across engines and backends",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "processor": platform.processor() or platform.machine(),
+        },
+        "workloads": workloads,
+    }
+    output_path = Path(output_path)
+    output_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    report = run(output)
+    for name, result in report["workloads"].items():
+        single = result["single_env"]
+        print(
+            f"{name}: {single['evals_per_sec']:.1f} evals/s "
+            f"({single['speedup_vs_seed_engine']:.2f}x vs seed engine), "
+            f"greedy batch {result['greedy_batch']['evals_per_sec']:.1f} evals/s"
+        )
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,67 @@
+"""Perf: candidate evaluations/sec of the timing engine (single env + greedy batch).
+
+Tracks the measurement hot path introduced by the decoded-program /
+event-driven-scheduler PR.  The speedup floor asserted here is deliberately
+below the ~3x measured on a quiet host (see ``BENCH_timing.json``, written by
+``benchmarks/run_timing_bench.py``) so shared CI runners do not flake, while
+still failing loudly if the fast path regresses toward the seed engine.
+"""
+
+import dataclasses
+
+import repro.triton.kernels  # noqa: F401 - registers the workload specs
+from repro.sim import create_measurement_service
+from repro.sim._reference_sm import reference_measure
+from repro.triton.compiler import compile_spec
+from repro.triton.spec import get_spec
+
+from run_timing_bench import bench_greedy_batch, bench_single_env
+
+
+def test_single_env_measurement_throughput(benchmark, simulator):
+    compiled = compile_spec(get_spec("softmax"), scale="test")
+    inputs = compiled.make_inputs(0)
+
+    result = benchmark.pedantic(
+        lambda: bench_single_env(simulator, compiled, inputs, seconds=1.5),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nsingle-env: {result['evals_per_sec']:.1f} evals/s, "
+        f"{result['cycles_simulated_per_sec']:.0f} cycles/s, "
+        f"{result['speedup_vs_seed_engine']:.2f}x vs seed engine"
+    )
+    # The decoded/event-driven engine must stay well clear of the seed engine
+    # (>= 3x on a quiet host; >= 2x floor tolerates noisy shared runners).
+    assert result["speedup_vs_seed_engine"] >= 2.0
+
+    # Fast means nothing unless bit-identical: spot-check against the seed
+    # engine on the same workload.
+    service = create_measurement_service(
+        simulator, compiled.grid, inputs, compiled.param_order
+    )
+    produced = service.measure_batch([compiled.kernel])[0]
+    reference = reference_measure(
+        simulator, compiled.kernel, compiled.grid, inputs, compiled.param_order
+    )
+    assert produced.time_ms == reference.time_ms
+    assert dataclasses.asdict(produced.timing) == dataclasses.asdict(reference.timing)
+
+
+def test_greedy_batch_measurement_throughput(benchmark, simulator):
+    # bmm has a rich legal-move neighborhood at test scale (softmax has none).
+    compiled = compile_spec(get_spec("bmm"), scale="test")
+
+    result = benchmark.pedantic(
+        lambda: bench_greedy_batch(simulator, compiled, seconds=1.5),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\ngreedy batch ({result['batch_size']} candidates): "
+        f"{result['evals_per_sec']:.1f} evals/s, "
+        f"{result['cycles_simulated_per_sec']:.0f} cycles/s"
+    )
+    assert result["batch_size"] > 0
+    assert result["evals_per_sec"] > 0

@@ -126,19 +126,33 @@ _ISSUE_INTERVAL: dict[str, int] = {
 }
 
 
+#: Memo of resolved latencies keyed by the full opcode text.  The timing
+#: simulator asks for the same few dozen opcodes millions of times; resolving
+#: the fallback chain (and the opcode split) once per distinct opcode keeps
+#: the hot path to a single dict hit.
+_RESOLVED_LATENCY: dict[str, int] = {}
+
+
 def execution_latency(opcode: str) -> int:
     """Ground-truth result latency (cycles) used by the timing simulator."""
+    cached = _RESOLVED_LATENCY.get(opcode)
+    if cached is not None:
+        return cached
     if opcode in _FIXED_RESULT_LATENCY:
-        return _FIXED_RESULT_LATENCY[opcode]
-    base = opcode.split(".", 1)[0]
-    if base in _FIXED_RESULT_LATENCY:
-        return _FIXED_RESULT_LATENCY[base]
-    if opcode in _VARIABLE_RESULT_LATENCY:
-        return _VARIABLE_RESULT_LATENCY[opcode]
-    if base in _VARIABLE_RESULT_LATENCY:
-        return _VARIABLE_RESULT_LATENCY[base]
-    info = lookup(opcode)
-    return 4 if info.latency is LatencyClass.FIXED else 30
+        latency = _FIXED_RESULT_LATENCY[opcode]
+    else:
+        base = opcode.split(".", 1)[0]
+        if base in _FIXED_RESULT_LATENCY:
+            latency = _FIXED_RESULT_LATENCY[base]
+        elif opcode in _VARIABLE_RESULT_LATENCY:
+            latency = _VARIABLE_RESULT_LATENCY[opcode]
+        elif base in _VARIABLE_RESULT_LATENCY:
+            latency = _VARIABLE_RESULT_LATENCY[base]
+        else:
+            info = lookup(opcode)
+            latency = 4 if info.latency is LatencyClass.FIXED else 30
+    _RESOLVED_LATENCY[opcode] = latency
+    return latency
 
 
 def issue_throughput(opcode: str) -> int:

@@ -65,25 +65,40 @@ class RegisterBankModel:
             accounting for operands served from the reuse cache.
         """
         reads = list(dict.fromkeys(read_registers))  # stable unique
-        reuse = set(reuse_registers)
+        return self.operand_fetch_stalls_decoded(reads, set(reuse_registers))
 
-        # Operands already latched in the reuse cache skip the register file.
-        fetched = [r for r in reads if r not in self._reuse_cache]
+    def operand_fetch_stalls_decoded(self, reads, reuse) -> int:
+        """The fetch-stall model on pre-normalized operands (the hot path).
 
-        # Count same-cycle bank conflicts among the remaining fetches.
-        bank_counts: dict[int, int] = {}
-        for reg in fetched:
-            bank = register_bank(reg, self.num_banks)
-            bank_counts[bank] = bank_counts.get(bank, 0) + 1
-        conflicts = sum(count - 1 for count in bank_counts.values() if count > 1)
-
-        # Install newly flagged operands, evicting oldest-first when full.
-        for reg in reads:
-            if reg in reuse:
-                if len(self._reuse_cache) >= self.reuse_slots and reg not in self._reuse_cache:
-                    # Evict an arbitrary (but deterministic) entry.
-                    self._reuse_cache.discard(min(self._reuse_cache))
-                self._reuse_cache.add(reg)
+        ``reads`` and ``reuse`` must already be unique, in the stable order the
+        generic :meth:`operand_fetch_stalls` derives per call — which is what a
+        :class:`repro.sim.program` ``DecodedInstr`` precomputes — so the dedup
+        pass is skipped and the common cases (empty reuse cache, no reuse
+        flags) short-circuit.
+        """
+        cache = self._reuse_cache
+        if cache:
+            fetched = [r for r in reads if r not in cache]
+        else:
+            fetched = reads
+        conflicts = 0
+        if len(fetched) > 1:
+            num_banks = self.num_banks
+            bank_counts: dict[int, int] = {}
+            for reg in fetched:
+                bank = reg % num_banks
+                bank_counts[bank] = bank_counts.get(bank, 0) + 1
+            for count in bank_counts.values():
+                if count > 1:
+                    conflicts += count - 1
+        if reuse:
+            slots = self.reuse_slots
+            for reg in reads:
+                if reg in reuse:
+                    if len(cache) >= slots and reg not in cache:
+                        # Evict an arbitrary (but deterministic) entry.
+                        cache.discard(min(cache))
+                    cache.add(reg)
         return conflicts
 
     def notify_write(self, written_registers) -> None:

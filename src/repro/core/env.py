@@ -32,6 +32,7 @@ from repro.sim.measure_service import (
     create_measurement_service,
     workload_memo_scope,
 )
+from repro.sim.program import decode_program
 from repro.triton.compiler import CompiledKernel
 from repro.utils.logging import get_logger
 
@@ -104,6 +105,10 @@ class AssemblyGame(Env):
 
         # Pre-game static analysis on the -O3 schedule (§3.2).
         self.initial_kernel: SassKernel = compiled.kernel
+        # Warm the decoded-program cache for the -O3 schedule: the baseline
+        # measurement below and every mutated candidate (which shares almost
+        # all instruction objects with the baseline) decode against it.
+        decode_program(self.initial_kernel)
         self.analysis: PreGameAnalysis = run_pre_game_analysis(
             self.initial_kernel, stall_table=stall_table
         )

@@ -39,6 +39,13 @@ class Instruction:
         Optional guard predicate (``@P0`` / ``@!PT``).
     comment:
         Free-form trailing comment preserved for round-tripping.
+
+    Instructions are immutable, so derived metadata (def/use sets, operand
+    partitions, opcode info) is computed once and cached on the instance under
+    ``_cached_*`` attributes.  The caches are an identity-level optimization —
+    every simulator issue of an instruction used to rebuild these frozensets —
+    and are stripped on pickling so candidate schedules ship lean to process
+    workers.
     """
 
     opcode: str
@@ -47,24 +54,45 @@ class Instruction:
     predicate: PredicateOperand | None = None
     comment: str = ""
 
+    def _cache(self, name: str, value):
+        """Memoize a derived value on this (frozen, immutable) instruction."""
+        object.__setattr__(self, name, value)
+        return value
+
+    def __getstate__(self):
+        """Pickle only the declared fields, never the ``_cached_*`` memos."""
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_cached_")}
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     # ------------------------------------------------------------------
     # Opcode metadata
     # ------------------------------------------------------------------
     @property
     def base_opcode(self) -> str:
         """Opcode with modifiers stripped."""
-        return opcodes_mod.base_opcode(self.opcode)
+        cached = self.__dict__.get("_cached_base_opcode")
+        if cached is None:
+            cached = self._cache("_cached_base_opcode", opcodes_mod.base_opcode(self.opcode))
+        return cached
 
     @property
     def modifiers(self) -> tuple[str, ...]:
         """Opcode modifiers, e.g. ``("E", "BYPASS", "128")``."""
-        parts = self.opcode.split(".")
-        return tuple(parts[1:])
+        cached = self.__dict__.get("_cached_modifiers")
+        if cached is None:
+            cached = self._cache("_cached_modifiers", tuple(self.opcode.split(".")[1:]))
+        return cached
 
     @property
     def info(self) -> OpcodeInfo:
         """Static metadata for this opcode."""
-        return opcodes_mod.lookup(self.opcode)
+        cached = self.__dict__.get("_cached_info")
+        if cached is None:
+            cached = self._cache("_cached_info", opcodes_mod.lookup(self.opcode))
+        return cached
 
     @property
     def is_memory(self) -> bool:
@@ -100,6 +128,9 @@ class Instruction:
     # ------------------------------------------------------------------
     def dest_operands(self) -> tuple[Operand, ...]:
         """Operands written by the instruction (leading ``dest_count`` registers)."""
+        cached = self.__dict__.get("_cached_dest_operands")
+        if cached is not None:
+            return cached
         remaining = self.info.dest_count
         dests: list[Operand] = []
         for op in self.operands:
@@ -112,12 +143,16 @@ class Instruction:
                 # Memory operands are never register destinations; stop scanning
                 # so stores (dest_count=0) and LDGSTS keep an empty dest set.
                 break
-        return tuple(dests)
+        return self._cache("_cached_dest_operands", tuple(dests))
 
     def source_operands(self) -> tuple[Operand, ...]:
         """Operands read by the instruction."""
+        cached = self.__dict__.get("_cached_source_operands")
+        if cached is not None:
+            return cached
         dests = set(id(op) for op in self.dest_operands())
-        return tuple(op for op in self.operands if id(op) not in dests)
+        sources = tuple(op for op in self.operands if id(op) not in dests)
+        return self._cache("_cached_source_operands", sources)
 
     def _dest_width_registers(self) -> int:
         """How many consecutive 32-bit registers the destination covers.
@@ -126,14 +161,19 @@ class Instruction:
         (``.64`` / ``.128`` modifiers) write an aligned group of registers even
         though the listing names only the first one.
         """
+        cached = self.__dict__.get("_cached_dest_width")
+        if cached is not None:
+            return cached
         mods = self.modifiers
         if "WIDE" in mods:
-            return 2
-        if "128" in mods:
-            return 4
-        if "64" in mods:
-            return 2
-        return 1
+            width = 2
+        elif "128" in mods:
+            width = 4
+        elif "64" in mods:
+            width = 2
+        else:
+            width = 1
+        return self._cache("_cached_dest_width", width)
 
     def written_registers(self) -> frozenset[int]:
         """General-purpose registers written by this instruction.
@@ -141,6 +181,9 @@ class Instruction:
         The destination of a wide / vector instruction is expanded to the full
         register group so def-use analysis sees every written register.
         """
+        cached = self.__dict__.get("_cached_written_registers")
+        if cached is not None:
+            return cached
         regs: set[int] = set()
         width = self._dest_width_registers()
         for op in self.dest_operands():
@@ -148,7 +191,7 @@ class Instruction:
                 regs |= op.registers()
                 if width > 1 and not op.is_rz:
                     regs |= {op.index + i for i in range(width)}
-        return frozenset(regs)
+        return self._cache("_cached_written_registers", frozenset(regs))
 
     def read_registers(self) -> frozenset[int]:
         """General-purpose registers read by this instruction.
@@ -156,6 +199,9 @@ class Instruction:
         Memory-operand base registers are always reads, even when the operand
         appears in destination position (e.g. the address of a store).
         """
+        cached = self.__dict__.get("_cached_read_registers")
+        if cached is not None:
+            return cached
         regs: set[int] = set()
         width = self._dest_width_registers() if self.info.writes_memory else 1
         for op in self.source_operands():
@@ -171,7 +217,7 @@ class Instruction:
         for op in self.operands:
             if isinstance(op, MemoryOperand):
                 regs |= op.registers()
-        return frozenset(regs)
+        return self._cache("_cached_read_registers", frozenset(regs))
 
     def written_predicates(self) -> frozenset[int]:
         preds: set[int] = set()

@@ -74,6 +74,18 @@ class SassKernel:
     def __hash__(self) -> int:
         return hash((self._lines, self.metadata))
 
+    def __getstate__(self):
+        """Drop the pinned decoded program when pickling (process backends ship
+        candidate schedules to workers; the program re-decodes from the shared
+        cache on the other side).  The content digest is kept — it is small,
+        deterministic and saves the worker a re-hash."""
+        state = dict(self.__dict__)
+        state.pop("_decoded_program", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def content_digest(self) -> str:
         """Stable hex digest of the instruction sequence (the schedule identity).
 

@@ -33,6 +33,13 @@ from repro.sim.memory import (
     TensorAllocation,
 )
 from repro.sim.profiler import ProfileReport, build_profile
+from repro.sim.program import (
+    DecodedInstr,
+    DecodedProgram,
+    clear_decoded_program_cache,
+    decode_program,
+    decoded_program_cache_info,
+)
 from repro.sim.sm import FunctionalRunner, TimingResult, TimingSimulator
 
 __all__ = [
@@ -58,6 +65,11 @@ __all__ = [
     "MemoryRequest",
     "MemoryTimingModel",
     "MemoryTimingStats",
+    "DecodedInstr",
+    "DecodedProgram",
+    "decode_program",
+    "decoded_program_cache_info",
+    "clear_decoded_program_cache",
     "WarpExecutor",
     "WarpState",
     "RegisterFile",

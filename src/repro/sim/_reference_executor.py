@@ -1,0 +1,989 @@
+"""Frozen seed warp executor (golden model; do not modify).
+
+This is the pre-decoded-program :class:`WarpExecutor` preserved byte-for-byte
+(modulo renames and the uncached helper functions below) so the equivalence
+suite and the throughput benchmark can hold the production engine to the seed
+engine's exact semantics *and* cost structure on the current host.  In
+particular it deliberately keeps the behaviors the production executor
+optimized away: per-step label scanning, per-step dict dispatch on the base
+opcode, and per-call recomputation of operand partitions / def-use sets
+(the production ``Instruction`` now caches those, so this module carries
+uncached replicas).
+
+Nothing outside tests and benchmarks should import this module.
+"""
+
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.latency_table import execution_latency
+from repro.errors import ExecutionError
+from repro.sass.instruction import Instruction
+from repro.sass.operands import (
+    ConstantMemoryOperand,
+    ImmediateOperand,
+    LabelOperand,
+    MemoryOperand,
+    Operand,
+    PredicateOperand,
+    RegisterOperand,
+    SpecialRegisterOperand,
+    UniformRegisterOperand,
+)
+from repro.sass import opcodes as _opcodes_mod
+from repro.sim.launch import LaunchContext
+from repro.sim.memory import MemoryRequest, SharedMemory
+
+#: Bytes moved per warp for a global/shared access, keyed by width modifier.
+#: ``256`` (1 KiB per warp) models a pair of back-to-back 128-bit accesses
+#: that real kernels issue as two instructions; see DESIGN.md.
+_WIDTH_BYTES = {"256": 1024, "128": 512, "64": 256, "32": 128, "16": 64}
+_DEFAULT_ACCESS_BYTES = 512
+
+
+def access_bytes(instr: Instruction) -> int:
+    """Bytes moved per warp by a memory instruction (from its width modifier)."""
+    for mod in _modifiers(instr):
+        if mod in _WIDTH_BYTES:
+            return _WIDTH_BYTES[mod]
+    return _DEFAULT_ACCESS_BYTES
+
+
+@dataclass
+class _Slot:
+    """A register slot: current value, when it becomes visible, and the stale value."""
+
+    value: object = 0
+    ready: int = 0
+    stale: object = 0
+
+    def read(self, cycle: int):
+        return self.value if cycle >= self.ready else self.stale
+
+    def write(self, value, ready: int) -> None:
+        self.stale = self.value
+        self.value = value
+        self.ready = ready
+
+
+class RegisterFile:
+    """Timing-aware storage for one warp's registers / predicates / uniforms."""
+
+    def __init__(self) -> None:
+        self._regs: dict[int, _Slot] = {}
+        self._preds: dict[int, _Slot] = {}
+        self._uregs: dict[int, _Slot] = {}
+
+    def _slot(self, table: dict[int, _Slot], index: int) -> _Slot:
+        slot = table.get(index)
+        if slot is None:
+            slot = _Slot()
+            table[index] = slot
+        return slot
+
+    # registers -------------------------------------------------------
+    def read_reg(self, index: int, cycle: int):
+        return self._slot(self._regs, index).read(cycle)
+
+    def write_reg(self, index: int, value, ready: int) -> None:
+        self._slot(self._regs, index).write(value, ready)
+
+    def reg_ready(self, index: int) -> int:
+        return self._slot(self._regs, index).ready
+
+    # predicates ------------------------------------------------------
+    def read_pred(self, index: int, cycle: int) -> bool:
+        return bool(self._slot(self._preds, index).read(cycle))
+
+    def write_pred(self, index: int, value: bool, ready: int) -> None:
+        self._slot(self._preds, index).write(bool(value), ready)
+
+    # uniform registers ------------------------------------------------
+    def read_ureg(self, index: int, cycle: int):
+        return self._slot(self._uregs, index).read(cycle)
+
+    def write_ureg(self, index: int, value, ready: int) -> None:
+        self._slot(self._uregs, index).write(value, ready)
+
+
+@dataclass
+class WarpState:
+    """Mutable per-warp execution state."""
+
+    warp_id: int
+    ctaid: tuple[int, int, int]
+    registers: RegisterFile = field(default_factory=RegisterFile)
+    #: Listing index of the next line to execute.
+    pc: int = 0
+    #: Earliest cycle at which the warp may issue its next instruction.
+    next_issue: int = 0
+    #: Scoreboard: slot index -> cycle at which the barrier clears.
+    scoreboard: dict[int, int] = field(default_factory=dict)
+    finished: bool = False
+    waiting_at_barrier: bool = False
+    #: dynamic instruction count (profiling)
+    issued: int = 0
+
+    def barrier_clear_cycle(self, wait_mask) -> int:
+        """Cycle at which every scoreboard slot in ``wait_mask`` is clear."""
+        return max((self.scoreboard.get(slot, 0) for slot in wait_mask), default=0)
+
+    def set_barrier(self, slot: int, clear_cycle: int) -> None:
+        self.scoreboard[slot] = max(self.scoreboard.get(slot, 0), clear_cycle)
+
+
+@dataclass
+class StepOutcome:
+    """What happened when one instruction was issued."""
+
+    instruction: Instruction
+    issue_cycle: int
+    completion_cycle: int
+    is_memory: bool = False
+    memory_request: MemoryRequest | None = None
+    branched: bool = False
+    exited: bool = False
+    hit_block_barrier: bool = False
+    predicated_off: bool = False
+
+
+class ReferenceWarpExecutor:
+    """Executes instructions for warps of a single thread block.
+
+    The executor is driver-agnostic: both the sequential functional runner and
+    the SM timing simulator call :meth:`step` with an issue cycle they chose,
+    and the executor updates the warp state, performs the architectural
+    effects and reports latency/completion information back.
+    """
+
+    def __init__(
+        self,
+        lines,
+        launch: LaunchContext,
+        shared: SharedMemory,
+        *,
+        label_positions: dict[str, int],
+        memory_latency=None,
+    ) -> None:
+        self.lines = lines
+        self.launch = launch
+        self.shared = shared
+        self.labels = label_positions
+        #: Callable (MemoryRequest, issue_cycle) -> latency; defaults to a
+        #: fixed latency per opcode class when no timing model is attached.
+        self.memory_latency = memory_latency
+
+    # ------------------------------------------------------------------
+    # Operand evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, operand: Operand, warp: WarpState, cycle: int):
+        if isinstance(operand, RegisterOperand):
+            if operand.is_rz:
+                value = 0
+            else:
+                value = warp.registers.read_reg(operand.index, cycle)
+            return self._apply_modifiers(value, operand)
+        if isinstance(operand, UniformRegisterOperand):
+            return 0 if operand.is_urz else warp.registers.read_ureg(operand.index, cycle)
+        if isinstance(operand, PredicateOperand):
+            value = True if operand.is_pt else warp.registers.read_pred(operand.index, cycle)
+            return (not value) if operand.negated else value
+        if isinstance(operand, ImmediateOperand):
+            return operand.value
+        if isinstance(operand, ConstantMemoryOperand):
+            return self.launch.constant(operand.bank, operand.offset)
+        if isinstance(operand, SpecialRegisterOperand):
+            return self._special_register(operand.name, warp, cycle)
+        if isinstance(operand, MemoryOperand):
+            return self._address(operand, warp, cycle)
+        if isinstance(operand, LabelOperand):
+            return operand.name
+        raise ExecutionError(f"cannot evaluate operand {operand!r}")
+
+    @staticmethod
+    def _apply_modifiers(value, operand: RegisterOperand):
+        if operand.absolute:
+            value = np.abs(value) if isinstance(value, np.ndarray) else abs(value)
+        if operand.negated:
+            value = -value
+        return value
+
+    def _special_register(self, name: str, warp: WarpState, cycle: int):
+        ctaid_x, ctaid_y, ctaid_z = warp.ctaid
+        mapping = {
+            "SR_CTAID.X": ctaid_x,
+            "SR_CTAID.Y": ctaid_y,
+            "SR_CTAID.Z": ctaid_z,
+            "SR_TID.X": warp.warp_id * 32,
+            "SR_TID.Y": 0,
+            "SR_TID.Z": 0,
+            "SR_LANEID": 0,
+            "SR_CLOCKLO": cycle,
+            "SR_CLOCKHI": 0,
+            "SR_WARPID": warp.warp_id,
+        }
+        if name in mapping:
+            return mapping[name]
+        raise ExecutionError(f"unmodelled special register {name}")
+
+    def _address(self, operand: MemoryOperand, warp: WarpState, cycle: int) -> int:
+        address = operand.offset
+        if operand.base is not None and not operand.base.is_rz:
+            address += int(warp.registers.read_reg(operand.base.index, cycle))
+        if operand.uniform_base is not None and not operand.uniform_base.is_urz:
+            address += int(warp.registers.read_ureg(operand.uniform_base.index, cycle))
+        return int(address)
+
+    # ------------------------------------------------------------------
+    # Register writes
+    # ------------------------------------------------------------------
+    def _write_dest(self, instr: Instruction, warp: WarpState, value, ready: int) -> None:
+        dests = _dest_operands(instr)
+        if not dests:
+            return
+        dest = dests[0]
+        if isinstance(dest, RegisterOperand):
+            if not dest.is_rz:
+                warp.registers.write_reg(dest.index, value, ready)
+        elif isinstance(dest, PredicateOperand):
+            if not dest.is_pt:
+                warp.registers.write_pred(dest.index, bool(value), ready)
+        elif isinstance(dest, UniformRegisterOperand):
+            if not dest.is_urz:
+                warp.registers.write_ureg(dest.index, value, ready)
+        # Secondary destinations (e.g. the second predicate of ISETP, the
+        # carry predicate of IADD3.X) are written as "don't care" values.
+        for extra in dests[1:]:
+            if isinstance(extra, PredicateOperand) and not extra.is_pt:
+                warp.registers.write_pred(extra.index, False, ready)
+            elif isinstance(extra, RegisterOperand) and not extra.is_rz:
+                warp.registers.write_reg(extra.index, 0, ready)
+
+    # ------------------------------------------------------------------
+    # The main step function
+    # ------------------------------------------------------------------
+    def step(self, warp: WarpState, issue_cycle: int) -> StepOutcome:
+        """Issue the instruction at ``warp.pc`` at ``issue_cycle``."""
+        from repro.sass.instruction import Label  # local import to avoid cycle
+
+        while warp.pc < len(self.lines) and isinstance(self.lines[warp.pc], Label):
+            warp.pc += 1
+        if warp.pc >= len(self.lines):
+            warp.finished = True
+            return StepOutcome(
+                instruction=Instruction("EXIT"),
+                issue_cycle=issue_cycle,
+                completion_cycle=issue_cycle,
+                exited=True,
+            )
+
+        instr: Instruction = self.lines[warp.pc]
+        control = instr.control
+
+        # Wait barriers stall the issue until the scoreboard slots clear.
+        if control.wait_mask:
+            issue_cycle = max(issue_cycle, warp.barrier_clear_cycle(control.wait_mask))
+
+        warp.issued += 1
+        outcome = StepOutcome(instruction=instr, issue_cycle=issue_cycle, completion_cycle=issue_cycle)
+
+        # Guard predicate: a predicated-off instruction still occupies the
+        # issue slot (and its stall count) but has no architectural effect.
+        if instr.predicate is not None:
+            pred_value = self._eval(instr.predicate, warp, issue_cycle)
+            if not pred_value:
+                outcome.predicated_off = True
+                warp.pc += 1
+                warp.next_issue = issue_cycle + max(control.stall, 1)
+                return outcome
+
+        base = _base_opcode(instr)
+        handler = _HANDLERS.get(base, None)
+        if handler is None:
+            raise ExecutionError(f"unmodelled opcode {instr.opcode!r}")
+        handler(self, instr, warp, issue_cycle, outcome)
+
+        if not outcome.branched and not outcome.exited:
+            warp.pc += 1
+        warp.next_issue = issue_cycle + max(control.stall, 1)
+
+        # Scoreboard barriers set by this instruction.
+        if control.write_barrier is not None:
+            warp.set_barrier(control.write_barrier, outcome.completion_cycle)
+        if control.read_barrier is not None:
+            # Source operands are consumed a few cycles after issue (the
+            # request leaves the register file for the LSU).
+            warp.set_barrier(control.read_barrier, issue_cycle + 10)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Memory helpers
+    # ------------------------------------------------------------------
+    def _memory_latency(self, request: MemoryRequest, instr: Instruction, issue_cycle: int) -> int:
+        if self.memory_latency is not None:
+            return self.memory_latency(request, issue_cycle)
+        return execution_latency(instr.opcode)
+
+    def _fragment_from_bytes(self, raw: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        return raw.view(dtype).astype(np.float32)
+
+    def _fragment_to_bytes(self, fragment, dtype: np.dtype, nbytes: int) -> np.ndarray:
+        array = np.asarray(fragment, dtype=np.float32).reshape(-1)
+        out = array.astype(dtype)
+        needed = nbytes // dtype.itemsize
+        if out.size < needed:
+            out = np.concatenate([out, np.zeros(needed - out.size, dtype=dtype)])
+        return out[:needed]
+
+
+
+
+# ---------------------------------------------------------------------------
+# Uncached instruction-metadata replicas (seed cost structure)
+# ---------------------------------------------------------------------------
+def _opcode_info(instr: Instruction):
+    return _opcodes_mod.lookup(instr.opcode)
+
+
+def _base_opcode(instr: Instruction) -> str:
+    return instr.opcode.split(".", 1)[0]
+
+
+def _modifiers(instr: Instruction) -> tuple:
+    return tuple(instr.opcode.split(".")[1:])
+
+
+def _dest_operands(instr: Instruction) -> tuple:
+    remaining = _opcode_info(instr).dest_count
+    dests = []
+    for op in instr.operands:
+        if remaining == 0:
+            break
+        if isinstance(op, (RegisterOperand, PredicateOperand, UniformRegisterOperand)):
+            dests.append(op)
+            remaining -= 1
+        else:
+            break
+    return tuple(dests)
+
+
+def _source_operands(instr: Instruction) -> tuple:
+    dests = set(id(op) for op in _dest_operands(instr))
+    return tuple(op for op in instr.operands if id(op) not in dests)
+
+
+def _dest_width_registers(instr: Instruction) -> int:
+    mods = _modifiers(instr)
+    if "WIDE" in mods:
+        return 2
+    if "128" in mods:
+        return 4
+    if "64" in mods:
+        return 2
+    return 1
+
+
+def _written_registers(instr: Instruction) -> frozenset:
+    regs = set()
+    width = _dest_width_registers(instr)
+    for op in _dest_operands(instr):
+        if isinstance(op, RegisterOperand):
+            regs |= op.registers()
+            if width > 1 and not op.is_rz:
+                regs |= {op.index + i for i in range(width)}
+    return frozenset(regs)
+
+
+def _read_registers(instr: Instruction) -> frozenset:
+    regs = set()
+    width = _dest_width_registers(instr) if _opcode_info(instr).writes_memory else 1
+    for op in _source_operands(instr):
+        regs |= op.registers()
+        if (
+            width > 1
+            and isinstance(op, RegisterOperand)
+            and not op.is_rz
+            and not op.is64
+        ):
+            regs |= {op.index + i for i in range(width)}
+    for op in instr.operands:
+        if isinstance(op, MemoryOperand):
+            regs |= op.registers()
+    return frozenset(regs)
+
+
+# ---------------------------------------------------------------------------
+# Instruction handlers
+# ---------------------------------------------------------------------------
+def _as_int(value) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.reshape(-1)[0])
+    return int(value)
+
+
+def _fixed_ready(instr: Instruction, issue_cycle: int) -> int:
+    return issue_cycle + execution_latency(instr.opcode)
+
+
+def _handle_mov(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    value = ex._eval(_source_operands(instr)[0], warp, cycle)
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_s2r(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    value = ex._eval(_source_operands(instr)[0], warp, cycle)
+    ready = cycle + execution_latency(instr.opcode)
+    ex._write_dest(instr, warp, value, ready)
+    outcome.completion_cycle = ready
+
+
+def _handle_imad(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    if len(srcs) < 3:
+        srcs = srcs + [0] * (3 - len(srcs))
+    a, b, c = srcs[0], srcs[1], srcs[2]
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) or isinstance(c, np.ndarray):
+        value = np.asarray(a) * np.asarray(b) + np.asarray(c)
+    else:
+        value = _as_int(a) * _as_int(b) + _as_int(c)
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_iadd3(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    total = 0
+    for s in srcs:
+        if isinstance(s, bool):
+            continue
+        total = total + (_as_int(s) if not isinstance(s, np.ndarray) else s)
+    ex._write_dest(instr, warp, total, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_iabs(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    value = ex._eval(_source_operands(instr)[0], warp, cycle)
+    result = np.abs(value) if isinstance(value, np.ndarray) else abs(_as_int(value))
+    ex._write_dest(instr, warp, result, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_lea(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    a = _as_int(srcs[0]) if srcs else 0
+    b = _as_int(srcs[1]) if len(srcs) > 1 else 0
+    shift = _as_int(srcs[2]) if len(srcs) > 2 else 0
+    value = b + (a << shift)
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_shf(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    a = _as_int(srcs[0]) if srcs else 0
+    amount = _as_int(srcs[1]) if len(srcs) > 1 else 0
+    if "R" in _modifiers(instr):
+        value = a >> amount
+    else:
+        value = a << amount
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_lop3(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    ints = [_as_int(s) for s in srcs if not isinstance(s, bool)][:3]
+    while len(ints) < 2:
+        ints.append(0)
+    mods = _modifiers(instr)
+    if "OR" in mods:
+        value = ints[0] | ints[1]
+    elif "XOR" in mods:
+        value = ints[0] ^ ints[1]
+    else:
+        value = ints[0] & ints[1]
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+_CMP_FUNCS = {
+    "GE": lambda a, b: a >= b,
+    "GT": lambda a, b: a > b,
+    "LT": lambda a, b: a < b,
+    "LE": lambda a, b: a <= b,
+    "EQ": lambda a, b: a == b,
+    "NE": lambda a, b: a != b,
+}
+
+
+def _handle_isetp(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    numeric = [s for s in srcs if not isinstance(s, bool)]
+    a = _as_int(numeric[0]) if numeric else 0
+    b = _as_int(numeric[1]) if len(numeric) > 1 else 0
+    cmp_fn = None
+    for mod in _modifiers(instr):
+        if mod in _CMP_FUNCS:
+            cmp_fn = _CMP_FUNCS[mod]
+            break
+    result = bool(cmp_fn(a, b)) if cmp_fn is not None else False
+    # Combine with the trailing source predicate (".AND" semantics).
+    pred_srcs = [s for s in srcs if isinstance(s, bool)]
+    if pred_srcs:
+        if "OR" in _modifiers(instr):
+            result = result or pred_srcs[-1]
+        else:
+            result = result and pred_srcs[-1]
+    ex._write_dest(instr, warp, result, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_imnmx(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    numeric = [s for s in srcs if not isinstance(s, bool)]
+    a, b = _as_int(numeric[0]), _as_int(numeric[1])
+    use_min = True
+    for s in srcs:
+        if isinstance(s, bool):
+            use_min = s
+    value = min(a, b) if use_min else max(a, b)
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_sel(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    numeric = [s for s in srcs if not isinstance(s, bool)]
+    preds = [s for s in srcs if isinstance(s, bool)]
+    a = numeric[0] if numeric else 0
+    b = numeric[1] if len(numeric) > 1 else 0
+    condition = preds[-1] if preds else True
+    value = a if condition else b
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _binary_float(op):
+    def handler(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+        srcs = [ex._eval(s, warp, cycle) for s in _source_operands(instr)]
+        arrays = [np.asarray(s, dtype=np.float32) if not isinstance(s, bool) else s for s in srcs]
+        numeric = [a for a in arrays if not isinstance(a, bool)]
+        a = numeric[0] if numeric else np.float32(0)
+        b = numeric[1] if len(numeric) > 1 else np.float32(0)
+        value = op(a, b)
+        ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+        outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+    return handler
+
+
+def _handle_ffma(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(s, warp, cycle) for s in _source_operands(instr)]
+    numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
+    while len(numeric) < 3:
+        numeric.append(np.float32(0))
+    value = numeric[0] * numeric[1] + numeric[2]
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_fmnmx(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    srcs = [ex._eval(s, warp, cycle) for s in _source_operands(instr)]
+    numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
+    preds = [s for s in srcs if isinstance(s, bool)]
+    a = numeric[0] if numeric else np.float32(0)
+    b = numeric[1] if len(numeric) > 1 else np.float32(0)
+    use_min = preds[-1] if preds else True
+    value = np.minimum(a, b) if use_min else np.maximum(a, b)
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_mufu(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    source = ex._eval(_source_operands(instr)[0], warp, cycle)
+    x = np.asarray(source, dtype=np.float32)
+    mods = _modifiers(instr)
+    if "RCP" in mods:
+        value = np.where(x != 0, 1.0 / np.where(x == 0, 1.0, x), np.float32(np.inf))
+    elif "EX2" in mods:
+        value = np.exp2(x)
+    elif "LG2" in mods:
+        value = np.log2(np.maximum(x, np.float32(1e-30)))
+    elif "RSQ" in mods:
+        value = 1.0 / np.sqrt(np.maximum(x, np.float32(1e-30)))
+    elif "SQRT" in mods:
+        value = np.sqrt(np.maximum(x, np.float32(0)))
+    else:
+        value = x
+    ready = cycle + execution_latency(instr.opcode)
+    ex._write_dest(instr, warp, value, ready)
+    outcome.completion_cycle = ready
+
+
+def _handle_convert(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    source = ex._eval(_source_operands(instr)[0], warp, cycle)
+    base = _base_opcode(instr)
+    if base == "I2F":
+        value = np.float32(_as_int(source)) if not isinstance(source, np.ndarray) else source.astype(np.float32)
+    elif base == "F2I":
+        value = (
+            int(np.asarray(source, dtype=np.float32))
+            if not isinstance(source, np.ndarray)
+            else source.astype(np.int64)
+        )
+    else:  # F2F / I2I: representation changes we do not model numerically
+        value = source
+    ready = cycle + execution_latency(instr.opcode)
+    ex._write_dest(instr, warp, value, ready)
+    outcome.completion_cycle = ready
+
+
+def _hmma_shapes(instr: Instruction) -> tuple[int, int, int]:
+    """Decode the (m, n, k) shape from an HMMA modifier.
+
+    Two encodings are accepted: the explicit ``M_N_K`` form emitted by the
+    mini-Triton backend (``HMMA.16_8_16``) and the classic concatenated names
+    used in real Ampere listings (``HMMA.16816``).
+    """
+    known = {"16816": (16, 8, 16), "1688": (16, 8, 8), "884": (8, 8, 4), "161616": (16, 16, 16)}
+    for mod in _modifiers(instr):
+        if "_" in mod:
+            parts = mod.split("_")
+            if len(parts) == 3 and all(p.isdigit() for p in parts):
+                return (int(parts[0]), int(parts[1]), int(parts[2]))
+        if mod in known:
+            return known[mod]
+    return (16, 8, 16)
+
+
+def _handle_hmma(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    m, n, k = _hmma_shapes(instr)
+    srcs = [ex._eval(s, warp, cycle) for s in _source_operands(instr)]
+    numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
+    while len(numeric) < 3:
+        numeric.append(np.zeros(1, dtype=np.float32))
+    a = _reshape_fragment(numeric[0], (m, k))
+    if "TB" in _modifiers(instr):
+        # B fragment stored (n, k) row-major; transpose before the multiply.
+        b = _reshape_fragment(numeric[1], (n, k)).T
+    else:
+        b = _reshape_fragment(numeric[1], (k, n))
+    c = _reshape_fragment(numeric[2], (m, n))
+    value = (a @ b + c).reshape(-1)
+    ready = cycle + execution_latency(instr.opcode)
+    ex._write_dest(instr, warp, value, ready)
+    outcome.completion_cycle = ready
+
+
+def _reshape_fragment(array: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    needed = shape[0] * shape[1]
+    flat = np.asarray(array, dtype=np.float32).reshape(-1)
+    if flat.size == needed:
+        return flat.reshape(shape)
+    if flat.size > needed:
+        return flat[:needed].reshape(shape)
+    out = np.zeros(needed, dtype=np.float32)
+    out[: flat.size] = flat
+    return out.reshape(shape)
+
+
+def _row_layout(instr: Instruction, nbytes: int) -> tuple[int, int]:
+    """Optional (row_bytes, row_stride) trailing immediates of a memory access.
+
+    Real memory instructions address 32 lanes individually, which lets one
+    instruction gather/scatter a strided 2-D tile.  The mini-Triton backend
+    encodes that per-lane layout as two trailing immediates; contiguous
+    accesses omit them.
+    """
+    from repro.sass.operands import ImmediateOperand as _Imm
+
+    imms = [op for op in instr.operands if isinstance(op, _Imm) and not op.is_float]
+    if len(imms) >= 2:
+        row_bytes = int(imms[-2].value)
+        row_stride = int(imms[-1].value)
+        if 0 < row_bytes <= nbytes and row_stride > 0:
+            return row_bytes, row_stride
+    return nbytes, nbytes
+
+
+def _gather_global(ex: ReferenceWarpExecutor, address: int, nbytes: int, row_bytes: int, stride: int) -> np.ndarray:
+    rows = max(1, nbytes // row_bytes)
+    if rows == 1:
+        return ex.launch.global_memory.read_bytes(address, nbytes)
+    chunks = [ex.launch.global_memory.read_bytes(address + r * stride, row_bytes) for r in range(rows)]
+    return np.concatenate(chunks)
+
+
+def _scatter_global(ex: ReferenceWarpExecutor, address: int, data: np.ndarray, row_bytes: int, stride: int) -> None:
+    data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    rows = max(1, len(data) // row_bytes)
+    if rows == 1:
+        ex.launch.global_memory.write_bytes(address, data)
+        return
+    for r in range(rows):
+        ex.launch.global_memory.write_bytes(address + r * stride, data[r * row_bytes : (r + 1) * row_bytes])
+
+
+def _gather_shared(ex: ReferenceWarpExecutor, offset: int, nbytes: int, row_bytes: int, stride: int) -> np.ndarray:
+    rows = max(1, nbytes // row_bytes)
+    if rows == 1:
+        return ex.shared.read_bytes(offset, nbytes)
+    chunks = [ex.shared.read_bytes(offset + r * stride, row_bytes) for r in range(rows)]
+    return np.concatenate(chunks)
+
+
+def _scatter_shared(ex: ReferenceWarpExecutor, offset: int, data: np.ndarray, row_bytes: int, stride: int) -> None:
+    data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    rows = max(1, len(data) // row_bytes)
+    if rows == 1:
+        ex.shared.write_bytes(offset, data)
+        return
+    for r in range(rows):
+        ex.shared.write_bytes(offset + r * stride, data[r * row_bytes : (r + 1) * row_bytes])
+
+
+def _handle_ldg(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    mem_ops = instr.memory_operands()
+    address = ex._address(mem_ops[0], warp, cycle)
+    nbytes = access_bytes(instr)
+    row_bytes, stride = _row_layout(instr, nbytes)
+    request = MemoryRequest(space="global", address=address, nbytes=nbytes, is_store=False)
+    latency = ex._memory_latency(request, instr, cycle)
+    dtype = ex.launch.global_memory.dtype_at(address)
+    raw = _gather_global(ex, address, nbytes, row_bytes, stride)
+    fragment = ex._fragment_from_bytes(raw, dtype)
+    ready = cycle + latency
+    ex._write_dest(instr, warp, fragment, ready)
+    outcome.is_memory = True
+    outcome.memory_request = request
+    outcome.completion_cycle = ready
+
+
+def _handle_stg(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    mem_ops = instr.memory_operands()
+    address = ex._address(mem_ops[0], warp, cycle)
+    nbytes = access_bytes(instr)
+    row_bytes, stride = _row_layout(instr, nbytes)
+    data_ops = [op for op in _source_operands(instr) if isinstance(op, RegisterOperand)]
+    fragment = ex._eval(data_ops[-1], warp, cycle) if data_ops else 0
+    dtype = ex.launch.global_memory.dtype_at(address)
+    payload = ex._fragment_to_bytes(fragment, dtype, nbytes)
+    _scatter_global(ex, address, payload, row_bytes, stride)
+    request = MemoryRequest(space="global", address=address, nbytes=nbytes, is_store=True)
+    latency = ex._memory_latency(request, instr, cycle)
+    outcome.is_memory = True
+    outcome.memory_request = request
+    outcome.completion_cycle = cycle + latency
+
+
+def _handle_lds(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    mem_ops = instr.memory_operands()
+    offset = ex._address(mem_ops[0], warp, cycle)
+    nbytes = access_bytes(instr)
+    row_bytes, stride = _row_layout(instr, nbytes)
+    request = MemoryRequest(space="shared", address=offset, nbytes=nbytes, is_store=False)
+    latency = ex._memory_latency(request, instr, cycle)
+    raw = _gather_shared(ex, offset, nbytes, row_bytes, stride)
+    fragment = ex._fragment_from_bytes(raw, np.dtype(np.float16))
+    ready = cycle + latency
+    ex._write_dest(instr, warp, fragment, ready)
+    outcome.is_memory = True
+    outcome.memory_request = request
+    outcome.completion_cycle = ready
+
+
+def _handle_sts(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    mem_ops = instr.memory_operands()
+    offset = ex._address(mem_ops[0], warp, cycle)
+    nbytes = access_bytes(instr)
+    row_bytes, stride = _row_layout(instr, nbytes)
+    data_ops = [op for op in _source_operands(instr) if isinstance(op, RegisterOperand)]
+    fragment = ex._eval(data_ops[-1], warp, cycle) if data_ops else 0
+    payload = ex._fragment_to_bytes(fragment, np.dtype(np.float16), nbytes)
+    _scatter_shared(ex, offset, payload, row_bytes, stride)
+    request = MemoryRequest(space="shared", address=offset, nbytes=nbytes, is_store=True)
+    latency = ex._memory_latency(request, instr, cycle)
+    outcome.is_memory = True
+    outcome.memory_request = request
+    outcome.completion_cycle = cycle + latency
+
+
+def _handle_ldgsts(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    mem_ops = instr.memory_operands()
+    if len(mem_ops) < 2:
+        raise ExecutionError(f"LDGSTS needs a shared and a global address: {instr.render()}")
+    shared_offset = ex._address(mem_ops[0], warp, cycle)
+    global_address = ex._address(mem_ops[1], warp, cycle)
+    nbytes = access_bytes(instr)
+    row_bytes, stride = _row_layout(instr, nbytes)
+    raw = _gather_global(ex, global_address, nbytes, row_bytes, stride)
+    ex.shared.write_bytes(shared_offset, raw)
+    request = MemoryRequest(space="async_copy", address=global_address, nbytes=nbytes, is_store=False)
+    latency = ex._memory_latency(request, instr, cycle)
+    outcome.is_memory = True
+    outcome.memory_request = request
+    outcome.completion_cycle = cycle + latency
+
+
+def _handle_bra(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    target = None
+    for op in instr.operands:
+        if isinstance(op, LabelOperand):
+            target = op.name
+    if target is None or target not in ex.labels:
+        raise ExecutionError(f"branch to unknown label in {instr.render()}")
+    warp.pc = ex.labels[target] + 1
+    outcome.branched = True
+    outcome.completion_cycle = cycle + 2
+
+
+def _handle_exit(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    warp.finished = True
+    outcome.exited = True
+
+
+def _handle_bar(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    outcome.hit_block_barrier = True
+    outcome.completion_cycle = cycle + execution_latency(instr.opcode)
+
+
+def _handle_nop(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    outcome.completion_cycle = cycle + 1
+
+
+def _handle_depbar(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    # DEPBAR / LDGDEPBAR: wait for outstanding scoreboard slots named in the
+    # wait mask (already handled) plus the slot operand if present.
+    outcome.completion_cycle = cycle + 2
+
+
+def _handle_cs2r(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    value = ex._eval(_source_operands(instr)[0], warp, cycle)
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_redux(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    """Row-wise reduction of a fragment.
+
+    ``REDUX.MAX Rd, Rs, 0x40`` reduces every row of length 0x40 in the source
+    fragment; a row length of 0 (or omitted) reduces the whole fragment to a
+    scalar.  Supported modifiers: MAX, MIN, ADD.
+    """
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    fragment = np.asarray(srcs[0], dtype=np.float32).reshape(-1)
+    row = _as_int(srcs[1]) if len(srcs) > 1 else 0
+    mods = _modifiers(instr)
+    if row and fragment.size % row == 0 and fragment.size > row:
+        grid = fragment.reshape(-1, row)
+        axis = 1
+    else:
+        grid = fragment.reshape(1, -1)
+        axis = 1
+    if "ADD" in mods or "SUM" in mods:
+        value = grid.sum(axis=axis)
+    elif "MIN" in mods:
+        value = grid.min(axis=axis)
+    else:
+        value = grid.max(axis=axis)
+    if value.size == 1:
+        value = np.float32(value[0])
+    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+def _handle_fbcast(ex: ReferenceWarpExecutor, instr, warp, cycle, outcome) -> None:
+    """Row-broadcast arithmetic: combine a fragment with a per-row vector.
+
+    ``FBCAST.SUB Rd, Rfrag, Rrow, 0x40`` computes ``frag[i, :] op row[i]`` for
+    rows of length 0x40.  Supported modifiers: ADD, SUB, MUL, DIV.
+    """
+    srcs = [ex._eval(op, warp, cycle) for op in _source_operands(instr)]
+    fragment = np.asarray(srcs[0], dtype=np.float32).reshape(-1)
+    rowvec = np.asarray(srcs[1], dtype=np.float32).reshape(-1)
+    row = _as_int(srcs[2]) if len(srcs) > 2 else fragment.size
+    row = row or fragment.size
+    if fragment.size < row or fragment.size % row:
+        # A scalar (or not-yet-materialised) fragment broadcasts to the full
+        # (rows, row) tile implied by the per-row vector.
+        fragment = np.full(max(rowvec.size, 1) * row, fragment.reshape(-1)[0], dtype=np.float32)
+    grid = fragment.reshape(-1, row)
+    col = rowvec.reshape(-1, 1) if rowvec.size == grid.shape[0] else rowvec.reshape(1, -1)
+    mods = _modifiers(instr)
+    if "SUB" in mods:
+        value = grid - col
+    elif "MUL" in mods:
+        value = grid * col
+    elif "DIV" in mods:
+        value = grid / np.where(col == 0, np.float32(1.0), col)
+    else:
+        value = grid + col
+    ex._write_dest(instr, warp, value.reshape(-1), _fixed_ready(instr, cycle))
+    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+
+_HANDLERS = {
+    "MOV": _handle_mov,
+    "UMOV": _handle_mov,
+    "S2R": _handle_s2r,
+    "CS2R": _handle_cs2r,
+    "IMAD": _handle_imad,
+    "UIMAD": _handle_imad,
+    "IADD3": _handle_iadd3,
+    "UIADD3": _handle_iadd3,
+    "IABS": _handle_iabs,
+    "LEA": _handle_lea,
+    "ULEA": _handle_lea,
+    "SHF": _handle_shf,
+    "USHF": _handle_shf,
+    "SHL": _handle_shf,
+    "SHR": _handle_shf,
+    "LOP3": _handle_lop3,
+    "ULOP3": _handle_lop3,
+    "ISETP": _handle_isetp,
+    "IMNMX": _handle_imnmx,
+    "SEL": _handle_sel,
+    "USEL": _handle_sel,
+    "FSEL": _handle_sel,
+    "FADD": _binary_float(lambda a, b: a + b),
+    "FMUL": _binary_float(lambda a, b: a * b),
+    "HADD2": _binary_float(lambda a, b: a + b),
+    "HMUL2": _binary_float(lambda a, b: a * b),
+    "FFMA": _handle_ffma,
+    "HFMA2": _handle_ffma,
+    "FMNMX": _handle_fmnmx,
+    "HMNMX2": _handle_fmnmx,
+    "MUFU": _handle_mufu,
+    "I2F": _handle_convert,
+    "F2I": _handle_convert,
+    "F2F": _handle_convert,
+    "I2I": _handle_convert,
+    "HMMA": _handle_hmma,
+    "IMMA": _handle_hmma,
+    "REDUX": _handle_redux,
+    "FBCAST": _handle_fbcast,
+    "LDG": _handle_ldg,
+    "LDL": _handle_ldg,
+    "LDC": _handle_ldg,
+    "STG": _handle_stg,
+    "STL": _handle_stg,
+    "LDS": _handle_lds,
+    "LDSM": _handle_lds,
+    "STS": _handle_sts,
+    "LDGSTS": _handle_ldgsts,
+    "BRA": _handle_bra,
+    "EXIT": _handle_exit,
+    "RET": _handle_exit,
+    "BAR": _handle_bar,
+    "WARPSYNC": _handle_nop,
+    "NOP": _handle_nop,
+    "DEPBAR": _handle_depbar,
+    "LDGDEPBAR": _handle_depbar,
+    "MEMBAR": _handle_depbar,
+    "YIELD": _handle_nop,
+}

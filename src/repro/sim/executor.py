@@ -53,7 +53,7 @@ def access_bytes(instr: Instruction) -> int:
     return _DEFAULT_ACCESS_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     """A register slot: current value, when it becomes visible, and the stale value."""
 
@@ -136,7 +136,7 @@ class WarpState:
         self.scoreboard[slot] = max(self.scoreboard.get(slot, 0), clear_cycle)
 
 
-@dataclass
+@dataclass(slots=True)
 class StepOutcome:
     """What happened when one instruction was issued."""
 
@@ -168,6 +168,7 @@ class WarpExecutor:
         *,
         label_positions: dict[str, int],
         memory_latency=None,
+        program=None,
     ) -> None:
         self.lines = lines
         self.launch = launch
@@ -176,6 +177,18 @@ class WarpExecutor:
         #: Callable (MemoryRequest, issue_cycle) -> latency; defaults to a
         #: fixed latency per opcode class when no timing model is attached.
         self.memory_latency = memory_latency
+        #: The :class:`repro.sim.program.DecodedProgram` driving :meth:`step`:
+        #: labels are skipped through the precomputed pc table and execution
+        #: dispatches through per-instruction compiled handlers instead of
+        #: re-scanning the listing and re-splitting opcodes per issue.  The
+        #: simulators pass their kernel's cached program; direct construction
+        #: from bare lines decodes one ad hoc.
+        if program is None:
+            # Deferred import: program.py imports this module at load time.
+            from repro.sim.program import build_program_from_lines
+
+            program = build_program_from_lines(lines)
+        self.program = program
 
     # ------------------------------------------------------------------
     # Operand evaluation
@@ -239,40 +252,15 @@ class WarpExecutor:
         return int(address)
 
     # ------------------------------------------------------------------
-    # Register writes
-    # ------------------------------------------------------------------
-    def _write_dest(self, instr: Instruction, warp: WarpState, value, ready: int) -> None:
-        dests = instr.dest_operands()
-        if not dests:
-            return
-        dest = dests[0]
-        if isinstance(dest, RegisterOperand):
-            if not dest.is_rz:
-                warp.registers.write_reg(dest.index, value, ready)
-        elif isinstance(dest, PredicateOperand):
-            if not dest.is_pt:
-                warp.registers.write_pred(dest.index, bool(value), ready)
-        elif isinstance(dest, UniformRegisterOperand):
-            if not dest.is_urz:
-                warp.registers.write_ureg(dest.index, value, ready)
-        # Secondary destinations (e.g. the second predicate of ISETP, the
-        # carry predicate of IADD3.X) are written as "don't care" values.
-        for extra in dests[1:]:
-            if isinstance(extra, PredicateOperand) and not extra.is_pt:
-                warp.registers.write_pred(extra.index, False, ready)
-            elif isinstance(extra, RegisterOperand) and not extra.is_rz:
-                warp.registers.write_reg(extra.index, 0, ready)
-
-    # ------------------------------------------------------------------
     # The main step function
     # ------------------------------------------------------------------
     def step(self, warp: WarpState, issue_cycle: int) -> StepOutcome:
         """Issue the instruction at ``warp.pc`` at ``issue_cycle``."""
-        from repro.sass.instruction import Label  # local import to avoid cycle
-
-        while warp.pc < len(self.lines) and isinstance(self.lines[warp.pc], Label):
-            warp.pc += 1
-        if warp.pc >= len(self.lines):
+        program = self.program
+        # Label skipping and control/handler metadata come from the decoded
+        # program instead of per-issue recomputation.
+        pc = program.next_instr_pc[warp.pc]
+        if pc >= program.num_lines:
             warp.finished = True
             return StepOutcome(
                 instruction=Instruction("EXIT"),
@@ -280,44 +268,47 @@ class WarpExecutor:
                 completion_cycle=issue_cycle,
                 exited=True,
             )
-
-        instr: Instruction = self.lines[warp.pc]
-        control = instr.control
+        warp.pc = pc
+        rec = program.decoded[pc]
+        instr: Instruction = rec.instr
+        wait_mask = rec.wait_mask
+        stall = rec.stall
+        predicate_fn = rec.predicate_fn
+        handler = rec.handler
+        write_barrier = rec.write_barrier
+        read_barrier = rec.read_barrier
 
         # Wait barriers stall the issue until the scoreboard slots clear.
-        if control.wait_mask:
-            issue_cycle = max(issue_cycle, warp.barrier_clear_cycle(control.wait_mask))
+        if wait_mask:
+            issue_cycle = max(issue_cycle, warp.barrier_clear_cycle(wait_mask))
 
         warp.issued += 1
         outcome = StepOutcome(instruction=instr, issue_cycle=issue_cycle, completion_cycle=issue_cycle)
 
         # Guard predicate: a predicated-off instruction still occupies the
         # issue slot (and its stall count) but has no architectural effect.
-        if instr.predicate is not None:
-            pred_value = self._eval(instr.predicate, warp, issue_cycle)
-            if not pred_value:
+        if predicate_fn is not None:
+            if not predicate_fn(self, warp, issue_cycle):
                 outcome.predicated_off = True
                 warp.pc += 1
-                warp.next_issue = issue_cycle + max(control.stall, 1)
+                warp.next_issue = issue_cycle + (stall if stall > 1 else 1)
                 return outcome
 
-        base = instr.base_opcode
-        handler = _HANDLERS.get(base, None)
         if handler is None:
             raise ExecutionError(f"unmodelled opcode {instr.opcode!r}")
-        handler(self, instr, warp, issue_cycle, outcome)
+        handler(self, warp, issue_cycle, outcome)
 
         if not outcome.branched and not outcome.exited:
             warp.pc += 1
-        warp.next_issue = issue_cycle + max(control.stall, 1)
+        warp.next_issue = issue_cycle + (stall if stall > 1 else 1)
 
         # Scoreboard barriers set by this instruction.
-        if control.write_barrier is not None:
-            warp.set_barrier(control.write_barrier, outcome.completion_cycle)
-        if control.read_barrier is not None:
+        if write_barrier is not None:
+            warp.set_barrier(write_barrier, outcome.completion_cycle)
+        if read_barrier is not None:
             # Source operands are consumed a few cycles after issue (the
             # request leaves the register file for the LSU).
-            warp.set_barrier(control.read_barrier, issue_cycle + 10)
+            warp.set_barrier(read_barrier, issue_cycle + 10)
         return outcome
 
     # ------------------------------------------------------------------
@@ -340,99 +331,385 @@ class WarpExecutor:
         return out[:needed]
 
 
+
+
 # ---------------------------------------------------------------------------
-# Instruction handlers
+# Instruction compilation
 # ---------------------------------------------------------------------------
+# Every static instruction is compiled once into a closure
+# ``handler(ex, warp, issue_cycle, outcome)`` capturing everything knowable
+# before execution: operand accessors, destination writers, result latency,
+# modifier decisions (shift direction, compare function, MMA shape, memory
+# access geometry).  The dynamic residue — register reads, memory traffic,
+# predicate values — is exactly the seed handlers' arithmetic, so compiled
+# execution is bit-identical to the dict-dispatch engine preserved in
+# :mod:`repro.sim._reference_executor`.  Closures are cached on the
+# (immutable) instruction objects, so the mutated schedules of a search
+# compile almost nothing new.
+
+
 def _as_int(value) -> int:
     if isinstance(value, np.ndarray):
         return int(value.reshape(-1)[0])
     return int(value)
 
 
-def _fixed_ready(instr: Instruction, issue_cycle: int) -> int:
-    return issue_cycle + execution_latency(instr.opcode)
+def _const(value):
+    def fn(ex, warp, cycle):
+        return value
+
+    return fn
 
 
-def _handle_mov(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    value = ex._eval(instr.source_operands()[0], warp, cycle)
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+_CONST_ZERO = _const(0)
 
 
-def _handle_s2r(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    value = ex._eval(instr.source_operands()[0], warp, cycle)
-    ready = cycle + execution_latency(instr.opcode)
-    ex._write_dest(instr, warp, value, ready)
-    outcome.completion_cycle = ready
+# ---------------------------------------------------------------------------
+# Operand access compilation (mirrors WarpExecutor._eval branch by branch)
+# ---------------------------------------------------------------------------
+def _compile_register_eval(op: RegisterOperand):
+    if op.is_rz:
+        # abs(0) / -0 are still 0, so modifiers collapse away.
+        return _CONST_ZERO
+    index = op.index
+    if op.absolute and op.negated:
 
+        def fn(ex, warp, cycle):
+            value = warp.registers.read_reg(index, cycle)
+            value = np.abs(value) if isinstance(value, np.ndarray) else abs(value)
+            return -value
 
-def _handle_imad(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    if len(srcs) < 3:
-        srcs = srcs + [0] * (3 - len(srcs))
-    a, b, c = srcs[0], srcs[1], srcs[2]
-    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) or isinstance(c, np.ndarray):
-        value = np.asarray(a) * np.asarray(b) + np.asarray(c)
+    elif op.absolute:
+
+        def fn(ex, warp, cycle):
+            value = warp.registers.read_reg(index, cycle)
+            return np.abs(value) if isinstance(value, np.ndarray) else abs(value)
+
+    elif op.negated:
+
+        def fn(ex, warp, cycle):
+            return -warp.registers.read_reg(index, cycle)
+
     else:
-        value = _as_int(a) * _as_int(b) + _as_int(c)
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+
+        def fn(ex, warp, cycle):
+            return warp.registers.read_reg(index, cycle)
+
+    return fn
 
 
-def _handle_iadd3(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    total = 0
-    for s in srcs:
-        if isinstance(s, bool):
-            continue
-        total = total + (_as_int(s) if not isinstance(s, np.ndarray) else s)
-    ex._write_dest(instr, warp, total, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+def _compile_address(op: MemoryOperand):
+    """Compiled replica of :meth:`WarpExecutor._address`."""
+    offset = op.offset
+    base_index = None
+    if op.base is not None and not op.base.is_rz:
+        base_index = op.base.index
+    uniform_index = None
+    if op.uniform_base is not None and not op.uniform_base.is_urz:
+        uniform_index = op.uniform_base.index
 
+    if base_index is not None and uniform_index is not None:
 
-def _handle_iabs(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    value = ex._eval(instr.source_operands()[0], warp, cycle)
-    result = np.abs(value) if isinstance(value, np.ndarray) else abs(_as_int(value))
-    ex._write_dest(instr, warp, result, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+        def fn(ex, warp, cycle):
+            return int(
+                offset
+                + int(warp.registers.read_reg(base_index, cycle))
+                + int(warp.registers.read_ureg(uniform_index, cycle))
+            )
 
+    elif base_index is not None:
 
-def _handle_lea(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    a = _as_int(srcs[0]) if srcs else 0
-    b = _as_int(srcs[1]) if len(srcs) > 1 else 0
-    shift = _as_int(srcs[2]) if len(srcs) > 2 else 0
-    value = b + (a << shift)
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+        def fn(ex, warp, cycle):
+            return int(offset + int(warp.registers.read_reg(base_index, cycle)))
 
+    elif uniform_index is not None:
 
-def _handle_shf(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    a = _as_int(srcs[0]) if srcs else 0
-    amount = _as_int(srcs[1]) if len(srcs) > 1 else 0
-    if "R" in instr.modifiers:
-        value = a >> amount
+        def fn(ex, warp, cycle):
+            return int(offset + int(warp.registers.read_ureg(uniform_index, cycle)))
+
     else:
-        value = a << amount
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+        return _const(int(offset))
+    return fn
 
 
-def _handle_lop3(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    ints = [_as_int(s) for s in srcs if not isinstance(s, bool)][:3]
-    while len(ints) < 2:
-        ints.append(0)
+def compile_operand_eval(op: Operand):
+    """Compile one operand into an accessor ``fn(ex, warp, cycle) -> value``."""
+    kind = type(op)
+    if kind is RegisterOperand:
+        return _compile_register_eval(op)
+    if kind is UniformRegisterOperand:
+        if op.is_urz:
+            return _CONST_ZERO
+        index = op.index
+
+        def fn(ex, warp, cycle):
+            return warp.registers.read_ureg(index, cycle)
+
+        return fn
+    if kind is PredicateOperand:
+        if op.is_pt:
+            return _const(not op.negated)
+        index = op.index
+        if op.negated:
+
+            def fn(ex, warp, cycle):
+                return not warp.registers.read_pred(index, cycle)
+
+        else:
+
+            def fn(ex, warp, cycle):
+                return warp.registers.read_pred(index, cycle)
+
+        return fn
+    if kind is ImmediateOperand:
+        return _const(op.value)
+    if kind is ConstantMemoryOperand:
+        bank, offset = op.bank, op.offset
+
+        def fn(ex, warp, cycle):
+            return ex.launch.constant(bank, offset)
+
+        return fn
+    if kind is SpecialRegisterOperand:
+        name = op.name
+
+        def fn(ex, warp, cycle):
+            return ex._special_register(name, warp, cycle)
+
+        return fn
+    if kind is MemoryOperand:
+        return _compile_address(op)
+    if kind is LabelOperand:
+        return _const(op.name)
+
+    # Operand subclasses / future types: exact fallback through _eval.
+    def fn(ex, warp, cycle):
+        return ex._eval(op, warp, cycle)
+
+    return fn
+
+
+def compiled_predicate(instr: Instruction):
+    """Compiled guard-predicate accessor of an instruction (``None`` if unguarded)."""
+    if instr.predicate is None:
+        return None
+    cached = instr.__dict__.get("_cached_predicate_fn")
+    if cached is None:
+        cached = instr._cache("_cached_predicate_fn", compile_operand_eval(instr.predicate))
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Destination write compilation (mirrors the seed _write_dest)
+# ---------------------------------------------------------------------------
+def _write_noop(warp, value, ready):
+    return None
+
+
+def _compile_write(instr: Instruction):
+    """Compile the destination writes into ``write(warp, value, ready)``."""
+    dests = instr.dest_operands()
+    writers = []
+    if dests:
+        dest = dests[0]
+        if isinstance(dest, RegisterOperand):
+            if not dest.is_rz:
+                index = dest.index
+
+                def primary(warp, value, ready, _i=index):
+                    warp.registers.write_reg(_i, value, ready)
+
+                writers.append(primary)
+        elif isinstance(dest, PredicateOperand):
+            if not dest.is_pt:
+                index = dest.index
+
+                def primary(warp, value, ready, _i=index):
+                    warp.registers.write_pred(_i, bool(value), ready)
+
+                writers.append(primary)
+        elif isinstance(dest, UniformRegisterOperand):
+            if not dest.is_urz:
+                index = dest.index
+
+                def primary(warp, value, ready, _i=index):
+                    warp.registers.write_ureg(_i, value, ready)
+
+                writers.append(primary)
+        # Secondary destinations (e.g. the second predicate of ISETP, the
+        # carry predicate of IADD3.X) are written as "don't care" values.
+        for extra in dests[1:]:
+            if isinstance(extra, PredicateOperand) and not extra.is_pt:
+
+                def secondary(warp, value, ready, _i=extra.index):
+                    warp.registers.write_pred(_i, False, ready)
+
+                writers.append(secondary)
+            elif isinstance(extra, RegisterOperand) and not extra.is_rz:
+
+                def secondary(warp, value, ready, _i=extra.index):
+                    warp.registers.write_reg(_i, 0, ready)
+
+                writers.append(secondary)
+    if not writers:
+        return _write_noop
+    if len(writers) == 1:
+        return writers[0]
+
+    def write_all(warp, value, ready):
+        for writer in writers:
+            writer(warp, value, ready)
+
+    return write_all
+
+
+def _source_evals(instr: Instruction) -> tuple:
+    return tuple(compile_operand_eval(op) for op in instr.source_operands())
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode compilers
+# ---------------------------------------------------------------------------
+def _compile_mov(instr: Instruction):
+    fn0 = compile_operand_eval(instr.source_operands()[0])
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        value = fn0(ex, warp, cycle)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+# S2R/CS2R share the mov shape (eval one source, fixed result latency).
+_compile_s2r = _compile_mov
+_compile_cs2r = _compile_mov
+
+
+def _compile_imad(instr: Instruction):
+    fns = list(_source_evals(instr))
+    while len(fns) < 3:
+        fns.append(_CONST_ZERO)
+    fn_a, fn_b, fn_c = fns[0], fns[1], fns[2]
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        a = fn_a(ex, warp, cycle)
+        b = fn_b(ex, warp, cycle)
+        c = fn_c(ex, warp, cycle)
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) or isinstance(c, np.ndarray):
+            value = np.asarray(a) * np.asarray(b) + np.asarray(c)
+        else:
+            value = _as_int(a) * _as_int(b) + _as_int(c)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_iadd3(instr: Instruction):
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        total = 0
+        for fn in fns:
+            s = fn(ex, warp, cycle)
+            if isinstance(s, bool):
+                continue
+            total = total + (_as_int(s) if not isinstance(s, np.ndarray) else s)
+        ready = cycle + latency
+        write(warp, total, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_iabs(instr: Instruction):
+    fn0 = compile_operand_eval(instr.source_operands()[0])
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        value = fn0(ex, warp, cycle)
+        result = np.abs(value) if isinstance(value, np.ndarray) else abs(_as_int(value))
+        ready = cycle + latency
+        write(warp, result, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_lea(instr: Instruction):
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        a = _as_int(srcs[0]) if srcs else 0
+        b = _as_int(srcs[1]) if len(srcs) > 1 else 0
+        shift = _as_int(srcs[2]) if len(srcs) > 2 else 0
+        value = b + (a << shift)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_shf(instr: Instruction):
+    fns = _source_evals(instr)
+    shift_right = "R" in instr.modifiers
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        a = _as_int(srcs[0]) if srcs else 0
+        amount = _as_int(srcs[1]) if len(srcs) > 1 else 0
+        value = (a >> amount) if shift_right else (a << amount)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_lop3(instr: Instruction):
+    fns = _source_evals(instr)
     mods = instr.modifiers
     if "OR" in mods:
-        value = ints[0] | ints[1]
+        logic = 0
     elif "XOR" in mods:
-        value = ints[0] ^ ints[1]
+        logic = 1
     else:
-        value = ints[0] & ints[1]
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+        logic = 2
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        ints = [_as_int(s) for s in srcs if not isinstance(s, bool)][:3]
+        while len(ints) < 2:
+            ints.append(0)
+        if logic == 0:
+            value = ints[0] | ints[1]
+        elif logic == 1:
+            value = ints[0] ^ ints[1]
+        else:
+            value = ints[0] & ints[1]
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
 _CMP_FUNCS = {
@@ -445,126 +722,219 @@ _CMP_FUNCS = {
 }
 
 
-def _handle_isetp(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    numeric = [s for s in srcs if not isinstance(s, bool)]
-    a = _as_int(numeric[0]) if numeric else 0
-    b = _as_int(numeric[1]) if len(numeric) > 1 else 0
+def _compile_isetp(instr: Instruction):
+    fns = _source_evals(instr)
     cmp_fn = None
     for mod in instr.modifiers:
         if mod in _CMP_FUNCS:
             cmp_fn = _CMP_FUNCS[mod]
             break
-    result = bool(cmp_fn(a, b)) if cmp_fn is not None else False
-    # Combine with the trailing source predicate (".AND" semantics).
-    pred_srcs = [s for s in srcs if isinstance(s, bool)]
-    if pred_srcs:
-        if "OR" in instr.modifiers:
-            result = result or pred_srcs[-1]
-        else:
-            result = result and pred_srcs[-1]
-    ex._write_dest(instr, warp, result, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+    or_mode = "OR" in instr.modifiers
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        numeric = [s for s in srcs if not isinstance(s, bool)]
+        a = _as_int(numeric[0]) if numeric else 0
+        b = _as_int(numeric[1]) if len(numeric) > 1 else 0
+        result = bool(cmp_fn(a, b)) if cmp_fn is not None else False
+        # Combine with the trailing source predicate (".AND" semantics).
+        pred_srcs = [s for s in srcs if isinstance(s, bool)]
+        if pred_srcs:
+            if or_mode:
+                result = result or pred_srcs[-1]
+            else:
+                result = result and pred_srcs[-1]
+        ready = cycle + latency
+        write(warp, result, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
-def _handle_imnmx(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    numeric = [s for s in srcs if not isinstance(s, bool)]
-    a, b = _as_int(numeric[0]), _as_int(numeric[1])
-    use_min = True
-    for s in srcs:
-        if isinstance(s, bool):
-            use_min = s
-    value = min(a, b) if use_min else max(a, b)
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+def _compile_imnmx(instr: Instruction):
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        numeric = [s for s in srcs if not isinstance(s, bool)]
+        a, b = _as_int(numeric[0]), _as_int(numeric[1])
+        use_min = True
+        for s in srcs:
+            if isinstance(s, bool):
+                use_min = s
+        value = min(a, b) if use_min else max(a, b)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
-def _handle_sel(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    numeric = [s for s in srcs if not isinstance(s, bool)]
-    preds = [s for s in srcs if isinstance(s, bool)]
-    a = numeric[0] if numeric else 0
-    b = numeric[1] if len(numeric) > 1 else 0
-    condition = preds[-1] if preds else True
-    value = a if condition else b
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+def _compile_sel(instr: Instruction):
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        numeric = [s for s in srcs if not isinstance(s, bool)]
+        preds = [s for s in srcs if isinstance(s, bool)]
+        a = numeric[0] if numeric else 0
+        b = numeric[1] if len(numeric) > 1 else 0
+        condition = preds[-1] if preds else True
+        value = a if condition else b
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
 def _binary_float(op):
-    def handler(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-        srcs = [ex._eval(s, warp, cycle) for s in instr.source_operands()]
-        arrays = [np.asarray(s, dtype=np.float32) if not isinstance(s, bool) else s for s in srcs]
-        numeric = [a for a in arrays if not isinstance(a, bool)]
+    def compiler(instr: Instruction):
+        fns = _source_evals(instr)
+        write = _compile_write(instr)
+        latency = execution_latency(instr.opcode)
+
+        def run(ex, warp, cycle, outcome):
+            srcs = [fn(ex, warp, cycle) for fn in fns]
+            numeric = [
+                np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)
+            ]
+            a = numeric[0] if numeric else np.float32(0)
+            b = numeric[1] if len(numeric) > 1 else np.float32(0)
+            value = op(a, b)
+            ready = cycle + latency
+            write(warp, value, ready)
+            outcome.completion_cycle = ready
+
+        return run
+
+    return compiler
+
+
+def _compile_ffma(instr: Instruction):
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
+        while len(numeric) < 3:
+            numeric.append(np.float32(0))
+        value = numeric[0] * numeric[1] + numeric[2]
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_fmnmx(instr: Instruction):
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
+        preds = [s for s in srcs if isinstance(s, bool)]
         a = numeric[0] if numeric else np.float32(0)
         b = numeric[1] if len(numeric) > 1 else np.float32(0)
-        value = op(a, b)
-        ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-        outcome.completion_cycle = _fixed_ready(instr, cycle)
+        use_min = preds[-1] if preds else True
+        value = np.minimum(a, b) if use_min else np.maximum(a, b)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
 
-    return handler
-
-
-def _handle_ffma(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(s, warp, cycle) for s in instr.source_operands()]
-    numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
-    while len(numeric) < 3:
-        numeric.append(np.float32(0))
-    value = numeric[0] * numeric[1] + numeric[2]
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+    return run
 
 
-def _handle_fmnmx(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    srcs = [ex._eval(s, warp, cycle) for s in instr.source_operands()]
-    numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
-    preds = [s for s in srcs if isinstance(s, bool)]
-    a = numeric[0] if numeric else np.float32(0)
-    b = numeric[1] if len(numeric) > 1 else np.float32(0)
-    use_min = preds[-1] if preds else True
-    value = np.minimum(a, b) if use_min else np.maximum(a, b)
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
+def _mufu_rcp(x):
+    return np.where(x != 0, 1.0 / np.where(x == 0, 1.0, x), np.float32(np.inf))
 
 
-def _handle_mufu(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    source = ex._eval(instr.source_operands()[0], warp, cycle)
-    x = np.asarray(source, dtype=np.float32)
+def _mufu_rsq(x):
+    return 1.0 / np.sqrt(np.maximum(x, np.float32(1e-30)))
+
+
+def _mufu_lg2(x):
+    return np.log2(np.maximum(x, np.float32(1e-30)))
+
+
+def _mufu_sqrt(x):
+    return np.sqrt(np.maximum(x, np.float32(0)))
+
+
+def _mufu_identity(x):
+    return x
+
+
+def _compile_mufu(instr: Instruction):
+    fn0 = compile_operand_eval(instr.source_operands()[0])
     mods = instr.modifiers
     if "RCP" in mods:
-        value = np.where(x != 0, 1.0 / np.where(x == 0, 1.0, x), np.float32(np.inf))
+        func = _mufu_rcp
     elif "EX2" in mods:
-        value = np.exp2(x)
+        func = np.exp2
     elif "LG2" in mods:
-        value = np.log2(np.maximum(x, np.float32(1e-30)))
+        func = _mufu_lg2
     elif "RSQ" in mods:
-        value = 1.0 / np.sqrt(np.maximum(x, np.float32(1e-30)))
+        func = _mufu_rsq
     elif "SQRT" in mods:
-        value = np.sqrt(np.maximum(x, np.float32(0)))
+        func = _mufu_sqrt
     else:
-        value = x
-    ready = cycle + execution_latency(instr.opcode)
-    ex._write_dest(instr, warp, value, ready)
-    outcome.completion_cycle = ready
+        func = _mufu_identity
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        source = fn0(ex, warp, cycle)
+        value = func(np.asarray(source, dtype=np.float32))
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
-def _handle_convert(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    source = ex._eval(instr.source_operands()[0], warp, cycle)
+def _compile_convert(instr: Instruction):
+    fn0 = compile_operand_eval(instr.source_operands()[0])
     base = instr.base_opcode
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
     if base == "I2F":
-        value = np.float32(_as_int(source)) if not isinstance(source, np.ndarray) else source.astype(np.float32)
+
+        def convert(source):
+            if not isinstance(source, np.ndarray):
+                return np.float32(_as_int(source))
+            return source.astype(np.float32)
+
     elif base == "F2I":
-        value = (
-            int(np.asarray(source, dtype=np.float32))
-            if not isinstance(source, np.ndarray)
-            else source.astype(np.int64)
-        )
+
+        def convert(source):
+            if not isinstance(source, np.ndarray):
+                return int(np.asarray(source, dtype=np.float32))
+            return source.astype(np.int64)
+
     else:  # F2F / I2I: representation changes we do not model numerically
-        value = source
-    ready = cycle + execution_latency(instr.opcode)
-    ex._write_dest(instr, warp, value, ready)
-    outcome.completion_cycle = ready
+
+        def convert(source):
+            return source
+
+    def run(ex, warp, cycle, outcome):
+        value = convert(fn0(ex, warp, cycle))
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
 def _hmma_shapes(instr: Instruction) -> tuple[int, int, int]:
@@ -585,23 +955,31 @@ def _hmma_shapes(instr: Instruction) -> tuple[int, int, int]:
     return (16, 8, 16)
 
 
-def _handle_hmma(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
+def _compile_hmma(instr: Instruction):
     m, n, k = _hmma_shapes(instr)
-    srcs = [ex._eval(s, warp, cycle) for s in instr.source_operands()]
-    numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
-    while len(numeric) < 3:
-        numeric.append(np.zeros(1, dtype=np.float32))
-    a = _reshape_fragment(numeric[0], (m, k))
-    if "TB" in instr.modifiers:
-        # B fragment stored (n, k) row-major; transpose before the multiply.
-        b = _reshape_fragment(numeric[1], (n, k)).T
-    else:
-        b = _reshape_fragment(numeric[1], (k, n))
-    c = _reshape_fragment(numeric[2], (m, n))
-    value = (a @ b + c).reshape(-1)
-    ready = cycle + execution_latency(instr.opcode)
-    ex._write_dest(instr, warp, value, ready)
-    outcome.completion_cycle = ready
+    transpose_b = "TB" in instr.modifiers
+    fns = _source_evals(instr)
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        numeric = [np.asarray(s, dtype=np.float32) for s in srcs if not isinstance(s, bool)]
+        while len(numeric) < 3:
+            numeric.append(np.zeros(1, dtype=np.float32))
+        a = _reshape_fragment(numeric[0], (m, k))
+        if transpose_b:
+            # B fragment stored (n, k) row-major; transpose before the multiply.
+            b = _reshape_fragment(numeric[1], (n, k)).T
+        else:
+            b = _reshape_fragment(numeric[1], (k, n))
+        c = _reshape_fragment(numeric[2], (m, n))
+        value = (a @ b + c).reshape(-1)
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
 
 
 def _reshape_fragment(array: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
@@ -616,6 +994,96 @@ def _reshape_fragment(array: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     return out.reshape(shape)
 
 
+def _compile_redux(instr: Instruction):
+    """Row-wise reduction of a fragment.
+
+    ``REDUX.MAX Rd, Rs, 0x40`` reduces every row of length 0x40 in the source
+    fragment; a row length of 0 (or omitted) reduces the whole fragment to a
+    scalar.  Supported modifiers: MAX, MIN, ADD.
+    """
+    fns = _source_evals(instr)
+    mods = instr.modifiers
+    if "ADD" in mods or "SUM" in mods:
+        reduce_kind = 0
+    elif "MIN" in mods:
+        reduce_kind = 1
+    else:
+        reduce_kind = 2
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        fragment = np.asarray(srcs[0], dtype=np.float32).reshape(-1)
+        row = _as_int(srcs[1]) if len(srcs) > 1 else 0
+        if row and fragment.size % row == 0 and fragment.size > row:
+            grid = fragment.reshape(-1, row)
+        else:
+            grid = fragment.reshape(1, -1)
+        if reduce_kind == 0:
+            value = grid.sum(axis=1)
+        elif reduce_kind == 1:
+            value = grid.min(axis=1)
+        else:
+            value = grid.max(axis=1)
+        if value.size == 1:
+            value = np.float32(value[0])
+        ready = cycle + latency
+        write(warp, value, ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_fbcast(instr: Instruction):
+    """Row-broadcast arithmetic: combine a fragment with a per-row vector.
+
+    ``FBCAST.SUB Rd, Rfrag, Rrow, 0x40`` computes ``frag[i, :] op row[i]`` for
+    rows of length 0x40.  Supported modifiers: ADD, SUB, MUL, DIV.
+    """
+    fns = _source_evals(instr)
+    mods = instr.modifiers
+    if "SUB" in mods:
+        combine_kind = 0
+    elif "MUL" in mods:
+        combine_kind = 1
+    elif "DIV" in mods:
+        combine_kind = 2
+    else:
+        combine_kind = 3
+    write = _compile_write(instr)
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        srcs = [fn(ex, warp, cycle) for fn in fns]
+        fragment = np.asarray(srcs[0], dtype=np.float32).reshape(-1)
+        rowvec = np.asarray(srcs[1], dtype=np.float32).reshape(-1)
+        row = _as_int(srcs[2]) if len(srcs) > 2 else fragment.size
+        row = row or fragment.size
+        if fragment.size < row or fragment.size % row:
+            # A scalar (or not-yet-materialised) fragment broadcasts to the full
+            # (rows, row) tile implied by the per-row vector.
+            fragment = np.full(max(rowvec.size, 1) * row, fragment.reshape(-1)[0], dtype=np.float32)
+        grid = fragment.reshape(-1, row)
+        col = rowvec.reshape(-1, 1) if rowvec.size == grid.shape[0] else rowvec.reshape(1, -1)
+        if combine_kind == 0:
+            value = grid - col
+        elif combine_kind == 1:
+            value = grid * col
+        elif combine_kind == 2:
+            value = grid / np.where(col == 0, np.float32(1.0), col)
+        else:
+            value = grid + col
+        ready = cycle + latency
+        write(warp, value.reshape(-1), ready)
+        outcome.completion_cycle = ready
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Memory instruction compilers
+# ---------------------------------------------------------------------------
 def _row_layout(instr: Instruction, nbytes: int) -> tuple[int, int]:
     """Optional (row_bytes, row_stride) trailing immediates of a memory access.
 
@@ -624,9 +1092,7 @@ def _row_layout(instr: Instruction, nbytes: int) -> tuple[int, int]:
     encodes that per-lane layout as two trailing immediates; contiguous
     accesses omit them.
     """
-    from repro.sass.operands import ImmediateOperand as _Imm
-
-    imms = [op for op in instr.operands if isinstance(op, _Imm) and not op.is_float]
+    imms = [op for op in instr.operands if isinstance(op, ImmediateOperand) and not op.is_float]
     if len(imms) >= 2:
         row_bytes = int(imms[-2].value)
         row_stride = int(imms[-1].value)
@@ -671,243 +1137,283 @@ def _scatter_shared(ex: WarpExecutor, offset: int, data: np.ndarray, row_bytes: 
         ex.shared.write_bytes(offset + r * stride, data[r * row_bytes : (r + 1) * row_bytes])
 
 
-def _handle_ldg(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    mem_ops = instr.memory_operands()
-    address = ex._address(mem_ops[0], warp, cycle)
+def _memory_geometry(instr: Instruction) -> tuple[int, int, int]:
     nbytes = access_bytes(instr)
     row_bytes, stride = _row_layout(instr, nbytes)
-    request = MemoryRequest(space="global", address=address, nbytes=nbytes, is_store=False)
-    latency = ex._memory_latency(request, instr, cycle)
-    dtype = ex.launch.global_memory.dtype_at(address)
-    raw = _gather_global(ex, address, nbytes, row_bytes, stride)
-    fragment = ex._fragment_from_bytes(raw, dtype)
-    ready = cycle + latency
-    ex._write_dest(instr, warp, fragment, ready)
-    outcome.is_memory = True
-    outcome.memory_request = request
-    outcome.completion_cycle = ready
+    return nbytes, row_bytes, stride
 
 
-def _handle_stg(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    mem_ops = instr.memory_operands()
-    address = ex._address(mem_ops[0], warp, cycle)
-    nbytes = access_bytes(instr)
-    row_bytes, stride = _row_layout(instr, nbytes)
+def _compile_ldg(instr: Instruction):
+    address_fn = _compile_address(instr.memory_operands()[0])
+    nbytes, row_bytes, stride = _memory_geometry(instr)
+    write = _compile_write(instr)
+    fallback_latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        address = address_fn(ex, warp, cycle)
+        request = MemoryRequest(space="global", address=address, nbytes=nbytes, is_store=False)
+        model = ex.memory_latency
+        latency = model(request, cycle) if model is not None else fallback_latency
+        dtype = ex.launch.global_memory.dtype_at(address)
+        raw = _gather_global(ex, address, nbytes, row_bytes, stride)
+        fragment = raw.view(dtype).astype(np.float32)
+        ready = cycle + latency
+        write(warp, fragment, ready)
+        outcome.is_memory = True
+        outcome.memory_request = request
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_stg(instr: Instruction):
+    address_fn = _compile_address(instr.memory_operands()[0])
+    nbytes, row_bytes, stride = _memory_geometry(instr)
     data_ops = [op for op in instr.source_operands() if isinstance(op, RegisterOperand)]
-    fragment = ex._eval(data_ops[-1], warp, cycle) if data_ops else 0
-    dtype = ex.launch.global_memory.dtype_at(address)
-    payload = ex._fragment_to_bytes(fragment, dtype, nbytes)
-    _scatter_global(ex, address, payload, row_bytes, stride)
-    request = MemoryRequest(space="global", address=address, nbytes=nbytes, is_store=True)
-    latency = ex._memory_latency(request, instr, cycle)
-    outcome.is_memory = True
-    outcome.memory_request = request
-    outcome.completion_cycle = cycle + latency
+    data_fn = compile_operand_eval(data_ops[-1]) if data_ops else _CONST_ZERO
+    fallback_latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        address = address_fn(ex, warp, cycle)
+        fragment = data_fn(ex, warp, cycle)
+        dtype = ex.launch.global_memory.dtype_at(address)
+        payload = ex._fragment_to_bytes(fragment, dtype, nbytes)
+        _scatter_global(ex, address, payload, row_bytes, stride)
+        request = MemoryRequest(space="global", address=address, nbytes=nbytes, is_store=True)
+        model = ex.memory_latency
+        latency = model(request, cycle) if model is not None else fallback_latency
+        outcome.is_memory = True
+        outcome.memory_request = request
+        outcome.completion_cycle = cycle + latency
+
+    return run
 
 
-def _handle_lds(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    mem_ops = instr.memory_operands()
-    offset = ex._address(mem_ops[0], warp, cycle)
-    nbytes = access_bytes(instr)
-    row_bytes, stride = _row_layout(instr, nbytes)
-    request = MemoryRequest(space="shared", address=offset, nbytes=nbytes, is_store=False)
-    latency = ex._memory_latency(request, instr, cycle)
-    raw = _gather_shared(ex, offset, nbytes, row_bytes, stride)
-    fragment = ex._fragment_from_bytes(raw, np.dtype(np.float16))
-    ready = cycle + latency
-    ex._write_dest(instr, warp, fragment, ready)
-    outcome.is_memory = True
-    outcome.memory_request = request
-    outcome.completion_cycle = ready
+_LDS_DTYPE = np.dtype(np.float16)
 
 
-def _handle_sts(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    mem_ops = instr.memory_operands()
-    offset = ex._address(mem_ops[0], warp, cycle)
-    nbytes = access_bytes(instr)
-    row_bytes, stride = _row_layout(instr, nbytes)
+def _compile_lds(instr: Instruction):
+    address_fn = _compile_address(instr.memory_operands()[0])
+    nbytes, row_bytes, stride = _memory_geometry(instr)
+    write = _compile_write(instr)
+    fallback_latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        offset = address_fn(ex, warp, cycle)
+        request = MemoryRequest(space="shared", address=offset, nbytes=nbytes, is_store=False)
+        model = ex.memory_latency
+        latency = model(request, cycle) if model is not None else fallback_latency
+        raw = _gather_shared(ex, offset, nbytes, row_bytes, stride)
+        fragment = raw.view(_LDS_DTYPE).astype(np.float32)
+        ready = cycle + latency
+        write(warp, fragment, ready)
+        outcome.is_memory = True
+        outcome.memory_request = request
+        outcome.completion_cycle = ready
+
+    return run
+
+
+def _compile_sts(instr: Instruction):
+    address_fn = _compile_address(instr.memory_operands()[0])
+    nbytes, row_bytes, stride = _memory_geometry(instr)
     data_ops = [op for op in instr.source_operands() if isinstance(op, RegisterOperand)]
-    fragment = ex._eval(data_ops[-1], warp, cycle) if data_ops else 0
-    payload = ex._fragment_to_bytes(fragment, np.dtype(np.float16), nbytes)
-    _scatter_shared(ex, offset, payload, row_bytes, stride)
-    request = MemoryRequest(space="shared", address=offset, nbytes=nbytes, is_store=True)
-    latency = ex._memory_latency(request, instr, cycle)
-    outcome.is_memory = True
-    outcome.memory_request = request
-    outcome.completion_cycle = cycle + latency
+    data_fn = compile_operand_eval(data_ops[-1]) if data_ops else _CONST_ZERO
+    fallback_latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        offset = address_fn(ex, warp, cycle)
+        fragment = data_fn(ex, warp, cycle)
+        payload = ex._fragment_to_bytes(fragment, _LDS_DTYPE, nbytes)
+        _scatter_shared(ex, offset, payload, row_bytes, stride)
+        request = MemoryRequest(space="shared", address=offset, nbytes=nbytes, is_store=True)
+        model = ex.memory_latency
+        latency = model(request, cycle) if model is not None else fallback_latency
+        outcome.is_memory = True
+        outcome.memory_request = request
+        outcome.completion_cycle = cycle + latency
+
+    return run
 
 
-def _handle_ldgsts(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
+def _compile_ldgsts(instr: Instruction):
     mem_ops = instr.memory_operands()
     if len(mem_ops) < 2:
-        raise ExecutionError(f"LDGSTS needs a shared and a global address: {instr.render()}")
-    shared_offset = ex._address(mem_ops[0], warp, cycle)
-    global_address = ex._address(mem_ops[1], warp, cycle)
-    nbytes = access_bytes(instr)
-    row_bytes, stride = _row_layout(instr, nbytes)
-    raw = _gather_global(ex, global_address, nbytes, row_bytes, stride)
-    ex.shared.write_bytes(shared_offset, raw)
-    request = MemoryRequest(space="async_copy", address=global_address, nbytes=nbytes, is_store=False)
-    latency = ex._memory_latency(request, instr, cycle)
-    outcome.is_memory = True
-    outcome.memory_request = request
-    outcome.completion_cycle = cycle + latency
+        message = f"LDGSTS needs a shared and a global address: {instr.render()}"
+
+        def fail(ex, warp, cycle, outcome):
+            raise ExecutionError(message)
+
+        return fail
+    shared_fn = _compile_address(mem_ops[0])
+    global_fn = _compile_address(mem_ops[1])
+    nbytes, row_bytes, stride = _memory_geometry(instr)
+    fallback_latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        shared_offset = shared_fn(ex, warp, cycle)
+        global_address = global_fn(ex, warp, cycle)
+        raw = _gather_global(ex, global_address, nbytes, row_bytes, stride)
+        ex.shared.write_bytes(shared_offset, raw)
+        request = MemoryRequest(space="async_copy", address=global_address, nbytes=nbytes, is_store=False)
+        model = ex.memory_latency
+        latency = model(request, cycle) if model is not None else fallback_latency
+        outcome.is_memory = True
+        outcome.memory_request = request
+        outcome.completion_cycle = cycle + latency
+
+    return run
 
 
-def _handle_bra(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
+# ---------------------------------------------------------------------------
+# Control flow compilers
+# ---------------------------------------------------------------------------
+def _compile_bra(instr: Instruction):
     target = None
     for op in instr.operands:
         if isinstance(op, LabelOperand):
             target = op.name
-    if target is None or target not in ex.labels:
-        raise ExecutionError(f"branch to unknown label in {instr.render()}")
-    warp.pc = ex.labels[target] + 1
-    outcome.branched = True
-    outcome.completion_cycle = cycle + 2
+    rendered = instr.render()
+
+    def run(ex, warp, cycle, outcome):
+        if target is None or target not in ex.labels:
+            raise ExecutionError(f"branch to unknown label in {rendered}")
+        warp.pc = ex.labels[target] + 1
+        outcome.branched = True
+        outcome.completion_cycle = cycle + 2
+
+    return run
 
 
-def _handle_exit(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    warp.finished = True
-    outcome.exited = True
+def _compile_exit(instr: Instruction):
+    def run(ex, warp, cycle, outcome):
+        warp.finished = True
+        outcome.exited = True
+
+    return run
 
 
-def _handle_bar(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    outcome.hit_block_barrier = True
-    outcome.completion_cycle = cycle + execution_latency(instr.opcode)
+def _compile_bar(instr: Instruction):
+    latency = execution_latency(instr.opcode)
+
+    def run(ex, warp, cycle, outcome):
+        outcome.hit_block_barrier = True
+        outcome.completion_cycle = cycle + latency
+
+    return run
 
 
-def _handle_nop(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    outcome.completion_cycle = cycle + 1
+def _compile_nop(instr: Instruction):
+    def run(ex, warp, cycle, outcome):
+        outcome.completion_cycle = cycle + 1
+
+    return run
 
 
-def _handle_depbar(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
+def _compile_depbar(instr: Instruction):
     # DEPBAR / LDGDEPBAR: wait for outstanding scoreboard slots named in the
     # wait mask (already handled) plus the slot operand if present.
-    outcome.completion_cycle = cycle + 2
+    def run(ex, warp, cycle, outcome):
+        outcome.completion_cycle = cycle + 2
+
+    return run
 
 
-def _handle_cs2r(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    value = ex._eval(instr.source_operands()[0], warp, cycle)
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
-
-
-def _handle_redux(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    """Row-wise reduction of a fragment.
-
-    ``REDUX.MAX Rd, Rs, 0x40`` reduces every row of length 0x40 in the source
-    fragment; a row length of 0 (or omitted) reduces the whole fragment to a
-    scalar.  Supported modifiers: MAX, MIN, ADD.
-    """
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    fragment = np.asarray(srcs[0], dtype=np.float32).reshape(-1)
-    row = _as_int(srcs[1]) if len(srcs) > 1 else 0
-    mods = instr.modifiers
-    if row and fragment.size % row == 0 and fragment.size > row:
-        grid = fragment.reshape(-1, row)
-        axis = 1
-    else:
-        grid = fragment.reshape(1, -1)
-        axis = 1
-    if "ADD" in mods or "SUM" in mods:
-        value = grid.sum(axis=axis)
-    elif "MIN" in mods:
-        value = grid.min(axis=axis)
-    else:
-        value = grid.max(axis=axis)
-    if value.size == 1:
-        value = np.float32(value[0])
-    ex._write_dest(instr, warp, value, _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
-
-
-def _handle_fbcast(ex: WarpExecutor, instr, warp, cycle, outcome) -> None:
-    """Row-broadcast arithmetic: combine a fragment with a per-row vector.
-
-    ``FBCAST.SUB Rd, Rfrag, Rrow, 0x40`` computes ``frag[i, :] op row[i]`` for
-    rows of length 0x40.  Supported modifiers: ADD, SUB, MUL, DIV.
-    """
-    srcs = [ex._eval(op, warp, cycle) for op in instr.source_operands()]
-    fragment = np.asarray(srcs[0], dtype=np.float32).reshape(-1)
-    rowvec = np.asarray(srcs[1], dtype=np.float32).reshape(-1)
-    row = _as_int(srcs[2]) if len(srcs) > 2 else fragment.size
-    row = row or fragment.size
-    if fragment.size < row or fragment.size % row:
-        # A scalar (or not-yet-materialised) fragment broadcasts to the full
-        # (rows, row) tile implied by the per-row vector.
-        fragment = np.full(max(rowvec.size, 1) * row, fragment.reshape(-1)[0], dtype=np.float32)
-    grid = fragment.reshape(-1, row)
-    col = rowvec.reshape(-1, 1) if rowvec.size == grid.shape[0] else rowvec.reshape(1, -1)
-    mods = instr.modifiers
-    if "SUB" in mods:
-        value = grid - col
-    elif "MUL" in mods:
-        value = grid * col
-    elif "DIV" in mods:
-        value = grid / np.where(col == 0, np.float32(1.0), col)
-    else:
-        value = grid + col
-    ex._write_dest(instr, warp, value.reshape(-1), _fixed_ready(instr, cycle))
-    outcome.completion_cycle = _fixed_ready(instr, cycle)
-
-
-_HANDLERS = {
-    "MOV": _handle_mov,
-    "UMOV": _handle_mov,
-    "S2R": _handle_s2r,
-    "CS2R": _handle_cs2r,
-    "IMAD": _handle_imad,
-    "UIMAD": _handle_imad,
-    "IADD3": _handle_iadd3,
-    "UIADD3": _handle_iadd3,
-    "IABS": _handle_iabs,
-    "LEA": _handle_lea,
-    "ULEA": _handle_lea,
-    "SHF": _handle_shf,
-    "USHF": _handle_shf,
-    "SHL": _handle_shf,
-    "SHR": _handle_shf,
-    "LOP3": _handle_lop3,
-    "ULOP3": _handle_lop3,
-    "ISETP": _handle_isetp,
-    "IMNMX": _handle_imnmx,
-    "SEL": _handle_sel,
-    "USEL": _handle_sel,
-    "FSEL": _handle_sel,
+_COMPILERS = {
+    "MOV": _compile_mov,
+    "UMOV": _compile_mov,
+    "S2R": _compile_s2r,
+    "CS2R": _compile_cs2r,
+    "IMAD": _compile_imad,
+    "UIMAD": _compile_imad,
+    "IADD3": _compile_iadd3,
+    "UIADD3": _compile_iadd3,
+    "IABS": _compile_iabs,
+    "LEA": _compile_lea,
+    "ULEA": _compile_lea,
+    "SHF": _compile_shf,
+    "USHF": _compile_shf,
+    "SHL": _compile_shf,
+    "SHR": _compile_shf,
+    "LOP3": _compile_lop3,
+    "ULOP3": _compile_lop3,
+    "ISETP": _compile_isetp,
+    "IMNMX": _compile_imnmx,
+    "SEL": _compile_sel,
+    "USEL": _compile_sel,
+    "FSEL": _compile_sel,
     "FADD": _binary_float(lambda a, b: a + b),
     "FMUL": _binary_float(lambda a, b: a * b),
     "HADD2": _binary_float(lambda a, b: a + b),
     "HMUL2": _binary_float(lambda a, b: a * b),
-    "FFMA": _handle_ffma,
-    "HFMA2": _handle_ffma,
-    "FMNMX": _handle_fmnmx,
-    "HMNMX2": _handle_fmnmx,
-    "MUFU": _handle_mufu,
-    "I2F": _handle_convert,
-    "F2I": _handle_convert,
-    "F2F": _handle_convert,
-    "I2I": _handle_convert,
-    "HMMA": _handle_hmma,
-    "IMMA": _handle_hmma,
-    "REDUX": _handle_redux,
-    "FBCAST": _handle_fbcast,
-    "LDG": _handle_ldg,
-    "LDL": _handle_ldg,
-    "LDC": _handle_ldg,
-    "STG": _handle_stg,
-    "STL": _handle_stg,
-    "LDS": _handle_lds,
-    "LDSM": _handle_lds,
-    "STS": _handle_sts,
-    "LDGSTS": _handle_ldgsts,
-    "BRA": _handle_bra,
-    "EXIT": _handle_exit,
-    "RET": _handle_exit,
-    "BAR": _handle_bar,
-    "WARPSYNC": _handle_nop,
-    "NOP": _handle_nop,
-    "DEPBAR": _handle_depbar,
-    "LDGDEPBAR": _handle_depbar,
-    "MEMBAR": _handle_depbar,
-    "YIELD": _handle_nop,
+    "FFMA": _compile_ffma,
+    "HFMA2": _compile_ffma,
+    "FMNMX": _compile_fmnmx,
+    "HMNMX2": _compile_fmnmx,
+    "MUFU": _compile_mufu,
+    "I2F": _compile_convert,
+    "F2I": _compile_convert,
+    "F2F": _compile_convert,
+    "I2I": _compile_convert,
+    "HMMA": _compile_hmma,
+    "IMMA": _compile_hmma,
+    "REDUX": _compile_redux,
+    "FBCAST": _compile_fbcast,
+    "LDG": _compile_ldg,
+    "LDL": _compile_ldg,
+    "LDC": _compile_ldg,
+    "STG": _compile_stg,
+    "STL": _compile_stg,
+    "LDS": _compile_lds,
+    "LDSM": _compile_lds,
+    "STS": _compile_sts,
+    "LDGSTS": _compile_ldgsts,
+    "BRA": _compile_bra,
+    "EXIT": _compile_exit,
+    "RET": _compile_exit,
+    "BAR": _compile_bar,
+    "WARPSYNC": _compile_nop,
+    "NOP": _compile_nop,
+    "DEPBAR": _compile_depbar,
+    "LDGDEPBAR": _compile_depbar,
+    "MEMBAR": _compile_depbar,
+    "YIELD": _compile_nop,
 }
+
+_HANDLER_ABSENT = object()
+
+
+def compile_instruction(instr: Instruction):
+    """Compile an instruction into its bound handler (``None`` if unmodelled).
+
+    The closure is cached on the (immutable) instruction; unmodelled opcodes
+    cache ``None`` so the executor raises only when such an instruction is
+    actually executed un-predicated, like the seed dict dispatch did.  A
+    compiler that fails eagerly (e.g. a degenerate operand list whose seed
+    handler would have raised at execution) compiles to a closure that
+    re-raises the same error at execution time.
+    """
+    cached = instr.__dict__.get("_cached_handler", _HANDLER_ABSENT)
+    if cached is not _HANDLER_ABSENT:
+        return cached
+    compiler = _COMPILERS.get(instr.base_opcode)
+    if compiler is None:
+        handler = None
+    else:
+        try:
+            handler = compiler(instr)
+        except Exception as exc:  # noqa: BLE001 - deferred to execution time
+            handler = _deferred_error(exc)
+    return instr._cache("_cached_handler", handler)
+
+
+def _deferred_error(exc: Exception):
+    # Re-raise a fresh instance per execution: the closure is cached on a
+    # shared instruction, and re-raising one exception object from concurrent
+    # measuring threads would race on its traceback (and pin compile frames).
+    exc_type, exc_args = type(exc), exc.args
+
+    def raise_at_execution(ex, warp, cycle, outcome):
+        raise exc_type(*exc_args)
+
+    return raise_at_execution

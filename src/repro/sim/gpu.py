@@ -93,6 +93,32 @@ class GPUSimulator:
         )
         return launch, allocations
 
+    def build_launch(
+        self,
+        grid: GridConfig,
+        tensors: dict[str, np.ndarray],
+        param_order: list[str],
+        scalars: dict[str, int] | None = None,
+    ) -> LaunchContext:
+        """Bind a workload's tensors once into a reusable launch context.
+
+        The returned launch snapshots its global memory so
+        :meth:`measure_with_launch` can measure any number of candidate
+        schedules against it — timing simulation resets the simulated device
+        *state* (dirtied tensors) between candidates instead of re-uploading
+        every input tensor per measurement.
+        """
+        memory = GlobalMemory()
+        params, _ = bind_tensors(memory, tensors, param_order, scalars)
+        launch = LaunchContext(
+            grid_config=grid,
+            params=params,
+            global_memory=memory,
+            shared_memory_bytes=0,
+        )
+        memory.snapshot()
+        return launch
+
     # ------------------------------------------------------------------
     # Functional execution
     # ------------------------------------------------------------------
@@ -157,9 +183,40 @@ class GPUSimulator:
         actually perturbs candidate rankings), while re-measuring the same
         schedule under the same seed reproduces the same value.
         """
+        launch = self.build_launch(grid, tensors, param_order, scalars)
+        return self.measure_with_launch(kernel, launch, measurement=measurement)
+
+    def time_block_with_launch(
+        self,
+        kernel: SassKernel,
+        launch: LaunchContext,
+        ctaid: tuple[int, int, int] = (0, 0, 0),
+    ) -> TimingResult:
+        """Timing-simulate one block against a reusable (pre-bound) launch.
+
+        The launch's global memory is restored to its snapshot first, so the
+        result is bit-identical to timing the kernel on a freshly bound
+        launch regardless of what earlier measurements stored.
+        """
+        launch.global_memory.restore()
+        launch.shared_memory_bytes = kernel.metadata.shared_memory_bytes
+        simulator = TimingSimulator(kernel, launch, self.config)
+        return simulator.run_block(ctaid)
+
+    def measure_with_launch(
+        self,
+        kernel: SassKernel,
+        launch: LaunchContext,
+        measurement: MeasurementConfig | None = None,
+    ) -> KernelTiming:
+        """Measure a candidate schedule against a reusable launch context.
+
+        This is the hot path of the assembly game: one
+        :meth:`build_launch` per workload, one call here per candidate.
+        """
         measurement = measurement or MeasurementConfig()
-        timing = self.time_block(kernel, grid, tensors, param_order, scalars)
-        waves = self.occupancy_waves(kernel, grid)
+        timing = self.time_block_with_launch(kernel, launch)
+        waves = self.occupancy_waves(kernel, launch.grid_config)
         total_cycles = timing.cycles * waves
         time_ms = self.config.cycles_to_ms(total_cycles)
         if measurement.noise_std > 0:

@@ -105,17 +105,27 @@ class _WorkloadMeasurer:
         self.measurement = measurement or MeasurementConfig()
         self.stats = MeasurementStats()
         self._lock = threading.Lock()
+        # The workload's tensors are bound into a launch context once per
+        # measuring thread (one total for ``inline``) and reused across every
+        # candidate: timing simulation restores the simulated memory snapshot
+        # instead of re-uploading all inputs per measurement.  Launches are
+        # thread-local because a launch's memory is mutated during a run.
+        self._thread_launches = threading.local()
+
+    def _workload_launch(self):
+        launch = getattr(self._thread_launches, "launch", None)
+        if launch is None:
+            launch = self.simulator.build_launch(
+                self.grid, self.tensors, self.param_order, self.scalars
+            )
+            self._thread_launches.launch = launch
+        return launch
 
     def _measure(self, candidate: SassKernel) -> KernelTiming:
         with self._lock:
             self.stats.measured += 1
-        return self.simulator.measure(
-            candidate,
-            self.grid,
-            self.tensors,
-            self.param_order,
-            self.scalars,
-            measurement=self.measurement,
+        return self.simulator.measure_with_launch(
+            candidate, self._workload_launch(), measurement=self.measurement
         )
 
     def measure_batch(self, candidates: Sequence[SassKernel]) -> list[KernelTiming]:
@@ -143,7 +153,7 @@ class InlineMeasurementBackend(_WorkloadMeasurer):
 class ThreadedMeasurementBackend(_WorkloadMeasurer):
     """Thread-pool fan-out: independent candidates measure concurrently.
 
-    Each simulator ``measure`` call builds its own launch context and memory,
+    Each worker thread binds its own reusable launch context (thread-local),
     so concurrent calls only share the (immutable) architecture config and the
     read-only input tensors.
     """
@@ -167,17 +177,24 @@ class ThreadedMeasurementBackend(_WorkloadMeasurer):
 #: Workload bound to each process-pool worker by the pool initializer, so a
 #: submission only ships the candidate schedule, not the input tensors.
 _PROCESS_WORKLOAD: tuple | None = None
+#: The worker's reusable launch, bound lazily from the workload on the first
+#: measurement and reused (memory restored) for every later candidate.
+_PROCESS_LAUNCH = None
 
 
 def _process_worker_init(workload: tuple) -> None:
-    global _PROCESS_WORKLOAD
+    global _PROCESS_WORKLOAD, _PROCESS_LAUNCH
     _PROCESS_WORKLOAD = workload
+    _PROCESS_LAUNCH = None
 
 
 def _process_measure(candidate: SassKernel) -> KernelTiming:
+    global _PROCESS_LAUNCH
     simulator, grid, tensors, param_order, scalars, measurement = _PROCESS_WORKLOAD
-    return simulator.measure(
-        candidate, grid, tensors, param_order, scalars, measurement=measurement
+    if _PROCESS_LAUNCH is None:
+        _PROCESS_LAUNCH = simulator.build_launch(grid, tensors, param_order, scalars)
+    return simulator.measure_with_launch(
+        candidate, _PROCESS_LAUNCH, measurement=measurement
     )
 
 

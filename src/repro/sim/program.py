@@ -1,0 +1,207 @@
+"""Decoded-program layer: per-kernel precomputation for the simulators.
+
+Every candidate measurement in the assembly game replays the same static
+instructions thousands of times, and the simulators used to re-derive the
+same facts on every dynamic issue: skip labels around the pc, rebuild the
+read/write register frozensets, re-split the opcode to find the handler and
+the tensor/memory classification.  This module computes all of it exactly
+once per *static* instruction and once per *kernel*:
+
+* :class:`DecodedInstr` — everything the issue loop needs about one
+  instruction: the bound opcode handler, sorted read registers, the
+  ``.reuse``-flagged operand registers, the written-register set, wait mask /
+  stall / barrier fields of the control code, and the memory / tensor-core
+  classification.  Records are cached on the (immutable) instruction object
+  itself, so the mutated schedules of a search — which share almost all
+  instruction objects with their parent — decode almost for free.
+* :class:`DecodedProgram` — the per-kernel view: label positions, a
+  ``next_instr_pc`` table with labels pre-skipped (what ``_peek`` used to do
+  per issued instruction) and the decoded record per listing index.
+
+Programs are cached in a digest-keyed, LRU-bounded module table shared by
+every simulator in the process (and additionally pinned on the kernel object
+for identity-level hits).  The cache is thread-safe: threaded measurement
+backends decode concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sass.instruction import Instruction, Label
+from repro.sass.kernel import SassKernel
+from repro.sass.operands import RegisterOperand
+from repro.sim.executor import compile_instruction, compiled_predicate
+
+#: Tensor-core opcodes throttled by the HMMA issue interval (see sm.py).
+TENSOR_OPCODES = frozenset({"HMMA", "IMMA"})
+
+#: Default bound of the module-level decoded-program LRU.
+DEFAULT_PROGRAM_CACHE_SIZE = 256
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedInstr:
+    """Issue-loop metadata of one static instruction, computed once."""
+
+    instr: Instruction
+    #: Compiled per-instruction handler closure, or ``None`` for unmodelled
+    #: opcodes (the executor raises only when such an instruction actually
+    #: executes un-predicated, exactly like the dict-dispatch path did).
+    handler: Callable | None
+    #: Compiled guard-predicate accessor, or ``None`` when unguarded.
+    predicate_fn: Callable | None
+    #: Sorted general-purpose registers read (operand-collector fetch set).
+    read_regs: tuple[int, ...]
+    #: Sorted registers carrying the ``.reuse`` flag.
+    reuse_regs: tuple[int, ...]
+    #: Registers written (reuse-cache invalidation set).
+    written_regs: frozenset[int]
+    #: Scoreboard slots waited on before issue.
+    wait_mask: tuple[int, ...]
+    stall: int
+    read_barrier: int | None
+    write_barrier: int | None
+    is_memory: bool
+    is_tensor: bool
+    base_opcode: str
+
+
+def decode_instruction(instr: Instruction) -> DecodedInstr:
+    """Decode one instruction, caching the record on the instruction object."""
+    cached = instr.__dict__.get("_cached_decoded")
+    if cached is not None:
+        return cached
+    control = instr.control
+    base = instr.base_opcode
+    record = DecodedInstr(
+        instr=instr,
+        handler=compile_instruction(instr),
+        predicate_fn=compiled_predicate(instr),
+        read_regs=tuple(sorted(instr.read_registers())),
+        reuse_regs=tuple(
+            sorted(
+                op.index
+                for op in instr.operands
+                if isinstance(op, RegisterOperand) and op.reuse and not op.is_rz
+            )
+        ),
+        written_regs=instr.written_registers(),
+        wait_mask=tuple(sorted(control.wait_mask)),
+        stall=control.stall,
+        read_barrier=control.read_barrier,
+        write_barrier=control.write_barrier,
+        is_memory=instr.is_memory,
+        is_tensor=base in TENSOR_OPCODES,
+        base_opcode=base,
+    )
+    return instr._cache("_cached_decoded", record)
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedProgram:
+    """Per-kernel precomputation shared by every simulation of the kernel."""
+
+    lines: tuple
+    num_lines: int
+    #: Label name -> listing index (branch targets).
+    label_positions: dict
+    #: ``next_instr_pc[pc]`` is the listing index of the first instruction at
+    #: or after ``pc`` (labels pre-skipped), or ``num_lines`` when none is
+    #: left.  Length ``num_lines + 1`` so ``pc == num_lines`` is a valid key.
+    next_instr_pc: tuple[int, ...]
+    #: Decoded record per listing index (``None`` on label lines).
+    decoded: tuple
+
+
+def build_program_from_lines(lines) -> DecodedProgram:
+    """Uncached decode of a bare line sequence.
+
+    For callers that construct a :class:`~repro.sim.executor.WarpExecutor`
+    directly from lines, without a kernel to key the digest cache on.  The
+    per-instruction records still hit their caches on the instruction objects.
+    """
+    lines = tuple(lines)
+    num_lines = len(lines)
+    label_positions = {
+        line.name: i for i, line in enumerate(lines) if isinstance(line, Label)
+    }
+    next_instr = [num_lines] * (num_lines + 1)
+    for i in range(num_lines - 1, -1, -1):
+        next_instr[i] = i if isinstance(lines[i], Instruction) else next_instr[i + 1]
+    decoded = tuple(
+        decode_instruction(line) if isinstance(line, Instruction) else None
+        for line in lines
+    )
+    return DecodedProgram(
+        lines=lines,
+        num_lines=num_lines,
+        label_positions=label_positions,
+        next_instr_pc=tuple(next_instr),
+        decoded=decoded,
+    )
+
+
+_CACHE: OrderedDict[str, DecodedProgram] = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_MAX = DEFAULT_PROGRAM_CACHE_SIZE
+_HITS = 0
+_MISSES = 0
+
+
+def decode_program(kernel: SassKernel) -> DecodedProgram:
+    """The decoded program of ``kernel``, from cache when possible.
+
+    Lookup is two-level: an identity hit on the kernel object costs one
+    attribute read; otherwise the digest-keyed LRU is consulted (two kernel
+    objects with the same listing share one program) and the result is pinned
+    on the kernel for next time.  Kernel objects are immutable-by-replacement,
+    so both levels are sound.
+    """
+    global _HITS, _MISSES
+    # Identity fast path: one attribute read, no lock — this runs once per
+    # candidate measurement.  ``hits``/``misses`` count digest-cache traffic.
+    cached = kernel.__dict__.get("_decoded_program")
+    if cached is not None:
+        return cached
+    digest = kernel.content_digest()
+    with _CACHE_LOCK:
+        program = _CACHE.get(digest)
+        if program is not None:
+            _CACHE.move_to_end(digest)
+            _HITS += 1
+    if program is None:
+        program = build_program_from_lines(kernel.lines)
+        with _CACHE_LOCK:
+            _MISSES += 1
+            _CACHE[digest] = program
+            _CACHE.move_to_end(digest)
+            while len(_CACHE) > _CACHE_MAX:
+                _CACHE.popitem(last=False)
+    kernel._decoded_program = program
+    return program
+
+
+def decoded_program_cache_info() -> dict:
+    """Counters of the digest-keyed program cache (for tests and benchmarks)."""
+    with _CACHE_LOCK:
+        return {
+            "entries": len(_CACHE),
+            "max_entries": _CACHE_MAX,
+            "hits": _HITS,
+            "misses": _MISSES,
+        }
+
+
+def clear_decoded_program_cache(max_entries: int | None = None) -> None:
+    """Empty the program cache (and optionally re-bound it)."""
+    global _CACHE_MAX, _HITS, _MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
+        if max_entries is not None:
+            _CACHE_MAX = int(max_entries)

@@ -12,6 +12,15 @@ Two drivers share the :class:`repro.sim.executor.WarpExecutor` semantics:
   barriers, load/store and tensor-core units have limited issue throughput,
   and the operand-reuse cache is invalidated whenever the scheduler switches
   warps.  Its cycle count is the reward signal of the assembly game.
+
+The timing loop is *event-driven*: each warp's next-candidate issue cycle is
+cached and recomputed only when one of its inputs changes (an issue in the
+warp's partition, a barrier release), instead of re-scanning and re-peeking
+every warp per issued instruction.  All static per-instruction facts come
+from the :mod:`repro.sim.program` decoded layer.  The loop is bit-identical
+to the seed engine preserved in :mod:`repro.sim._reference_sm` — the
+equivalence suite holds both to the same :class:`TimingResult` on every
+bundled workload.
 """
 
 from __future__ import annotations
@@ -21,19 +30,19 @@ from dataclasses import dataclass
 from repro.arch.ampere import A100, AmpereConfig
 from repro.arch.registers import RegisterBankModel
 from repro.errors import SimulatorError
-from repro.sass.instruction import Instruction, Label
 from repro.sass.kernel import SassKernel
-from repro.sass.operands import RegisterOperand
-from repro.sim.executor import StepOutcome, WarpExecutor, WarpState
+from repro.sim.executor import WarpExecutor, WarpState
 from repro.sim.launch import LaunchContext
 from repro.sim.memory import MemoryTimingModel, MemoryTimingStats
+from repro.sim.program import DecodedProgram, decode_program
 
 #: Safety valve against runaway schedules (branches that never exit, etc.).
 MAX_DYNAMIC_INSTRUCTIONS_PER_WARP = 2_000_000
 
-
-def _label_positions(kernel: SassKernel) -> dict[str, int]:
-    return {line.name: i for i, line in enumerate(kernel.lines) if isinstance(line, Label)}
+#: Distinct-issue-cycle tracking: evict cycles below the per-partition floor
+#: once the recent set grows past this bound.  Memory stays O(latency spread
+#: between partitions) instead of O(dynamic instructions).
+_ISSUE_CYCLE_EVICT_THRESHOLD = 4096
 
 
 # ---------------------------------------------------------------------------
@@ -45,6 +54,7 @@ class FunctionalRunner:
     def __init__(self, kernel: SassKernel, launch: LaunchContext):
         self.kernel = kernel
         self.launch = launch
+        self.program: DecodedProgram = decode_program(kernel)
 
     def run_block(self, ctaid: tuple[int, int, int]) -> int:
         """Execute one thread block; returns total dynamic instructions."""
@@ -53,7 +63,8 @@ class FunctionalRunner:
             self.kernel.lines,
             self.launch,
             shared,
-            label_positions=_label_positions(self.kernel),
+            label_positions=self.program.label_positions,
+            program=self.program,
         )
         warps = [
             WarpState(warp_id=w, ctaid=ctaid)
@@ -123,28 +134,42 @@ class TimingResult:
 
 
 class TimingSimulator:
-    """Cycle-approximate model of one SM executing one thread block."""
+    """Cycle-approximate model of one SM executing one thread block.
+
+    Event-driven: candidate issue cycles are cached per warp and invalidated
+    only by the events that can change them — an issue in the same partition
+    (partition free / LSU / tensor-unit cycles moved), the issuing warp's own
+    state (pc, stall, scoreboard), or a block-barrier release.  Scheduling
+    decisions are exactly those of the seed per-issue scan: the earliest
+    candidate wins, ties go to the lowest warp id.
+    """
 
     def __init__(self, kernel: SassKernel, launch: LaunchContext, config: AmpereConfig = A100):
         self.kernel = kernel
         self.launch = launch
         self.config = config
+        self.program: DecodedProgram = decode_program(kernel)
 
     def run_block(self, ctaid: tuple[int, int, int] = (0, 0, 0)) -> TimingResult:
         config = self.config
+        program = self.program
         shared = self.launch.new_shared_memory()
         memory_model = MemoryTimingModel(config)
         executor = WarpExecutor(
             self.kernel.lines,
             self.launch,
             shared,
-            label_positions=_label_positions(self.kernel),
+            label_positions=program.label_positions,
             memory_latency=memory_model.request_latency,
+            program=program,
         )
         num_warps = self.kernel.metadata.num_warps
         warps = [WarpState(warp_id=w, ctaid=ctaid) for w in range(num_warps)]
         partitions = config.partitions_per_sm
-        partition_of = {w.warp_id: w.warp_id % partitions for w in warps}
+        part_of = [w % partitions for w in range(num_warps)]
+        partition_warps = [
+            [w for w in range(num_warps) if part_of[w] == p] for p in range(partitions)
+        ]
 
         partition_free = [0] * partitions
         partition_mem_ok = [0] * partitions
@@ -155,8 +180,21 @@ class TimingSimulator:
             for _ in range(partitions)
         ]
 
+        # Cached per-warp scheduling state (the event-driven core).
+        candidate_cycle = [0] * num_warps
+        candidate_valid = [False] * num_warps
+        warp_rec = [None] * num_warps
+        unfinished = num_warps
+        waiting = 0
+        part_unfinished = [len(partition_warps[p]) for p in range(partitions)]
+
         issued = 0
-        issue_cycles: set[int] = set()
+        # Distinct issue cycles are counted incrementally: cycles below every
+        # active partition's floor can never repeat, so they are finalized
+        # into a counter and evicted from the (bounded) recent set.
+        finalized_issue_cycles = 0
+        recent_issue_cycles: set[int] = set()
+        evicted_below = 0
         memory_instructions = 0
         tensor_instructions = 0
         bank_conflict_stalls = 0
@@ -164,93 +202,141 @@ class TimingSimulator:
         last_completion = 0
         guard = 0
 
-        while any(not w.finished for w in warps):
+        next_instr_pc = program.next_instr_pc
+        decoded = program.decoded
+        num_lines = program.num_lines
+        lsu_issue_interval = config.memory.lsu_issue_interval
+        hmma_issue_interval = config.hmma_issue_interval
+
+        while unfinished > 0:
             guard += 1
             if guard > MAX_DYNAMIC_INSTRUCTIONS_PER_WARP:
                 raise SimulatorError("timing simulator exceeded the issue limit")
 
             # Barrier release: if every unfinished warp is parked at the block
             # barrier, release them all at the latest arrival time.
-            active = [w for w in warps if not w.finished]
-            if active and all(w.waiting_at_barrier for w in active):
-                release = max(w.next_issue for w in active) + 2
-                for w in active:
-                    w.waiting_at_barrier = False
-                    w.next_issue = release
+            if waiting == unfinished:
+                release = max(w.next_issue for w in warps if not w.finished) + 2
+                for w in warps:
+                    if not w.finished:
+                        w.waiting_at_barrier = False
+                        w.next_issue = release
+                waiting = 0
                 # Barrier invalidates the operand reuse caches.
                 for model in bank_models:
                     model.invalidate()
+                for wid in range(num_warps):
+                    candidate_valid[wid] = False
 
-            # Pick the (warp) with the earliest possible issue cycle.
-            best_warp: WarpState | None = None
-            best_cycle = None
-            best_instr: Instruction | None = None
-            for warp in warps:
+            # Refresh stale candidates and pick the earliest issue cycle.
+            # Ascending warp-id order reproduces the seed scan's tie-break.
+            best_wid = -1
+            best_cycle = 0
+            for wid in range(num_warps):
+                warp = warps[wid]
                 if warp.finished or warp.waiting_at_barrier:
                     continue
-                instr = self._peek(warp)
-                if instr is None:
-                    warp.finished = True
-                    continue
-                partition = partition_of[warp.warp_id]
-                candidate = max(warp.next_issue, partition_free[partition])
-                if instr.control.wait_mask:
-                    candidate = max(candidate, warp.barrier_clear_cycle(instr.control.wait_mask))
-                if instr.is_memory:
-                    candidate = max(candidate, partition_mem_ok[partition])
-                if instr.base_opcode in {"HMMA", "IMMA"}:
-                    candidate = max(candidate, partition_tensor_ok[partition])
-                if best_cycle is None or candidate < best_cycle or (
-                    candidate == best_cycle and best_warp is not None and warp.warp_id < best_warp.warp_id
-                ):
-                    best_cycle = candidate
-                    best_warp = warp
-                    best_instr = instr
-            if best_warp is None:
+                if not candidate_valid[wid]:
+                    pc = next_instr_pc[warp.pc]
+                    if pc >= num_lines:
+                        warp.finished = True
+                        unfinished -= 1
+                        part_unfinished[part_of[wid]] -= 1
+                        continue
+                    warp.pc = pc
+                    rec = decoded[pc]
+                    p = part_of[wid]
+                    cand = warp.next_issue
+                    free = partition_free[p]
+                    if free > cand:
+                        cand = free
+                    if rec.wait_mask:
+                        clear = warp.barrier_clear_cycle(rec.wait_mask)
+                        if clear > cand:
+                            cand = clear
+                    if rec.is_memory:
+                        mem_ok = partition_mem_ok[p]
+                        if mem_ok > cand:
+                            cand = mem_ok
+                    if rec.is_tensor:
+                        tensor_ok = partition_tensor_ok[p]
+                        if tensor_ok > cand:
+                            cand = tensor_ok
+                    candidate_cycle[wid] = cand
+                    warp_rec[wid] = rec
+                    candidate_valid[wid] = True
+                cycle = candidate_cycle[wid]
+                if best_wid < 0 or cycle < best_cycle:
+                    best_wid = wid
+                    best_cycle = cycle
+            if best_wid < 0:
                 break
 
-            partition = partition_of[best_warp.warp_id]
+            warp = warps[best_wid]
+            rec = warp_rec[best_wid]
+            partition = part_of[best_wid]
             bank_model = bank_models[partition]
             # A warp switch on the scheduler invalidates the operand reuse
             # cache (the §5.7.1 hypothesis for why the reordering wins).
-            if partition_last_warp[partition] != best_warp.warp_id:
+            if partition_last_warp[partition] != best_wid:
                 bank_model.invalidate()
-                partition_last_warp[partition] = best_warp.warp_id
+                partition_last_warp[partition] = best_wid
 
             # Operand fetch: bank conflicts / reuse cache.
-            read_regs = sorted(best_instr.read_registers())
-            reuse_regs = sorted(
-                op.index
-                for op in best_instr.operands
-                if isinstance(op, RegisterOperand) and op.reuse and not op.is_rz
-            )
-            conflict_stall = bank_model.operand_fetch_stalls(read_regs, reuse_regs)
+            conflict_stall = bank_model.operand_fetch_stalls_decoded(rec.read_regs, rec.reuse_regs)
             bank_conflict_stalls += conflict_stall
             issue_at = best_cycle + conflict_stall
 
-            outcome: StepOutcome = executor.step(best_warp, issue_at)
-            bank_model.notify_write(best_instr.written_registers())
+            outcome = executor.step(warp, issue_at)
+            bank_model.notify_write(rec.written_regs)
 
             issued += 1
-            issue_cycles.add(outcome.issue_cycle)
-            last_completion = max(last_completion, outcome.completion_cycle, best_warp.next_issue)
+            issue_cycle = outcome.issue_cycle
+            recent_issue_cycles.add(issue_cycle)
+            completion = outcome.completion_cycle
+            if completion > last_completion:
+                last_completion = completion
+            if warp.next_issue > last_completion:
+                last_completion = warp.next_issue
             if outcome.predicated_off:
                 predicated_off += 1
             if outcome.is_memory:
                 memory_instructions += 1
-                partition_mem_ok[partition] = outcome.issue_cycle + config.memory.lsu_issue_interval
-            if best_instr.base_opcode in {"HMMA", "IMMA"}:
+                partition_mem_ok[partition] = issue_cycle + lsu_issue_interval
+            if rec.is_tensor:
                 tensor_instructions += 1
-                partition_tensor_ok[partition] = outcome.issue_cycle + config.hmma_issue_interval
+                partition_tensor_ok[partition] = issue_cycle + hmma_issue_interval
             if outcome.hit_block_barrier:
-                best_warp.waiting_at_barrier = True
-            partition_free[partition] = outcome.issue_cycle + 1
+                warp.waiting_at_barrier = True
+                waiting += 1
+            partition_free[partition] = issue_cycle + 1
+            if warp.finished:
+                unfinished -= 1
+                part_unfinished[partition] -= 1
+
+            # The issue moved this partition's free/mem/tensor cycles and the
+            # issuing warp's own state; only those candidates are stale.
+            for wid in partition_warps[partition]:
+                candidate_valid[wid] = False
+
+            if len(recent_issue_cycles) > _ISSUE_CYCLE_EVICT_THRESHOLD:
+                floors = [
+                    partition_free[p] for p in range(partitions) if part_unfinished[p] > 0
+                ]
+                # Scan only when the watermark advanced since the last sweep,
+                # so a frozen floor (one partition parked at a barrier while
+                # others issue) cannot degrade into per-issue full scans.
+                if floors and min(floors) > evicted_below:
+                    evicted_below = min(floors)
+                    stale = {c for c in recent_issue_cycles if c < evicted_below}
+                    finalized_issue_cycles += len(stale)
+                    recent_issue_cycles -= stale
 
         cycles = max(last_completion, 1)
         return TimingResult(
             cycles=int(cycles),
             instructions_issued=issued,
-            issue_active_cycles=len(issue_cycles),
+            issue_active_cycles=finalized_issue_cycles + len(recent_issue_cycles),
             memory_instructions=memory_instructions,
             tensor_instructions=tensor_instructions,
             bank_conflict_stalls=bank_conflict_stalls,
@@ -259,14 +345,3 @@ class TimingSimulator:
             partitions=partitions,
             warps=num_warps,
         )
-
-    def _peek(self, warp: WarpState) -> Instruction | None:
-        lines = self.kernel.lines
-        pc = warp.pc
-        while pc < len(lines) and isinstance(lines[pc], Label):
-            pc += 1
-        if pc >= len(lines):
-            return None
-        warp.pc = pc
-        line = lines[pc]
-        return line if isinstance(line, Instruction) else None

@@ -88,12 +88,17 @@ def test_unknown_backend_rejected(compiled, simulator):
 # Memoization dedups repeated schedules (counting simulator stub)
 # ---------------------------------------------------------------------------
 class CountingSimulator:
-    """Simulator stub that counts raw measure() calls."""
+    """Simulator stub that counts raw measurements (new launch-reuse shape)."""
 
     def __init__(self):
         self.calls = 0
+        self.launches_built = 0
 
-    def measure(self, kernel, grid, tensors, param_order, scalars=None, measurement=None):
+    def build_launch(self, grid, tensors, param_order, scalars=None):
+        self.launches_built += 1
+        return object()  # opaque reusable launch token
+
+    def measure_with_launch(self, kernel, launch, measurement=None):
         self.calls += 1
         return KernelTiming(
             kernel_name=kernel.metadata.name,
