@@ -27,9 +27,15 @@ from repro.api.backends import (
     register_backend,
     resolve_backend,
 )
-from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig, PoolConfig
-from repro.api.report import PoolReport, RunReport, WorkerReport
-from repro.api.session import Session
+from repro.api.config import (
+    CacheConfig,
+    MeasurementPolicy,
+    OptimizationConfig,
+    PoolConfig,
+    ServeConfig,
+)
+from repro.api.report import JobRecord, JobStatus, PoolReport, RunReport, WorkerReport
+from repro.api.session import Session, SessionHooks
 from repro.api.strategies import (
     SearchStrategy,
     StrategyContext,
@@ -41,13 +47,17 @@ from repro.api.strategies import (
 
 __all__ = [
     "Session",
+    "SessionHooks",
     "RunReport",
     "PoolReport",
     "WorkerReport",
+    "JobStatus",
+    "JobRecord",
     "OptimizationConfig",
     "MeasurementPolicy",
     "CacheConfig",
     "PoolConfig",
+    "ServeConfig",
     "SearchStrategy",
     "StrategyContext",
     "StrategyOutcome",

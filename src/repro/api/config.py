@@ -51,6 +51,15 @@ class MeasurementPolicy:
     #: This session's identity in the shared table (cross-worker-hit
     #: accounting); meaningless without ``shared_memo``.
     memo_owner: str = ""
+    #: Cooperative cancellation checkpoint: a zero-argument callable the
+    #: measurement service invokes before issuing candidate (batches); raise
+    #: from it (e.g. :class:`repro.errors.JobCancelled`) to abort the search.
+    #: Installed per-run via :class:`~repro.api.session.SessionHooks`.
+    checkpoint: "object | None" = field(default=None, repr=False, compare=False)
+    #: Per-step progress callback ``progress(submitted: int)`` invoked after
+    #: every candidate submission with the cumulative submission count; the
+    #: serve layer turns these into streamed ``measured(n)`` events.
+    progress: "object | None" = field(default=None, repr=False, compare=False)
 
     def to_measurement_config(self) -> MeasurementConfig:
         """Lower to the :mod:`repro.sim` measurement record."""
@@ -99,6 +108,35 @@ class PoolConfig:
     memo_max_entries: int = 65536
 
     def replace(self, **overrides) -> "PoolConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Shape of a :class:`repro.serve.JobQueue` front door over a pool.
+
+    The queue owns one worker thread per pool worker plus a dispatcher that
+    feeds per-worker queues; these knobs control how aggressively idle
+    workers steal queued jobs from deep sibling queues and whether finished
+    ``(workload, backend)`` results are kept in a pool-level store so
+    re-submissions resolve instantly from their cache key.
+    """
+
+    #: Idle workers steal queued (unpinned, backend-compatible) jobs from the
+    #: tail of the deepest sibling queue instead of going idle.
+    steal: bool = True
+    #: Only steal from a sibling still holding at least this many queued jobs.
+    steal_min_depth: int = 1
+    #: Keep finished ``RunReport``\ s in a pool-level result store, keyed by
+    #: the §4.2 cache key, so re-submitted jobs skip optimization entirely.
+    result_store: bool = True
+    #: Size bound of the result store; ``None`` keeps it unbounded.
+    store_max_entries: int | None = None
+    #: Emit a ``measured(n)`` progress event every N candidate submissions.
+    progress_every: int = 1
+
+    def replace(self, **overrides) -> "ServeConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **overrides)
 

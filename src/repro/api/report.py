@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -51,6 +52,26 @@ class RunReport:
     #: surfaces per-job failures as reports instead of dropping the batch).
     error: str | None = None
 
+    @classmethod
+    def from_error(cls, kernel: str, gpu: str, strategy: str, error: str) -> "RunReport":
+        """The canonical failed report: one job's error in its result slot.
+
+        Shared by every path that converts an exception into a report —
+        ``Session.optimize_many``, the pool wrapper and the serve queue —
+        so the failure shape cannot drift between them.
+        """
+        return cls(
+            kernel=kernel,
+            gpu=gpu,
+            strategy=strategy,
+            shapes={},
+            config={},
+            baseline_time_ms=0.0,
+            best_time_ms=0.0,
+            evaluations=0,
+            error=error,
+        )
+
     @property
     def failed(self) -> bool:
         return self.error is not None
@@ -79,6 +100,84 @@ class RunReport:
 
     def to_json(self) -> str:
         return to_json_str(self.summary())
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle of one :class:`repro.serve.JobQueue` job.
+
+    ``queued → assigned → running → done/failed/cancelled``; ``cancelled``
+    can also follow ``queued``/``assigned`` directly when the job is pulled
+    back before a worker picks it up.
+    """
+
+    QUEUED = "queued"
+    ASSIGNED = "assigned"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Point-in-time snapshot of one serving job, JSON-able.
+
+    Returned by :meth:`repro.serve.JobHandle.record` and
+    :meth:`repro.serve.JobQueue.status`; the live state keeps moving, the
+    record does not.
+    """
+
+    #: Queue-unique job id (``j00042``).
+    job_id: str
+    #: Workload name (kernel spec name).
+    kernel: str
+    #: Backend the submission requested, or ``None`` for "any worker".
+    backend: str | None
+    #: Lifecycle state at snapshot time.
+    status: JobStatus
+    #: Name of the worker that ran (or is running) the job, if assigned.
+    worker: str | None
+    #: Relative cost estimate used for placement and backlog accounting.
+    cost: float
+    #: The job was stolen by an idle worker from a sibling's queue.
+    stolen: bool = False
+    #: The job resolved from the pool-level result store without optimizing.
+    from_store: bool = False
+    #: Candidate measurements issued so far (streamed ``measured(n)``).
+    measured: int = 0
+    #: Wall-clock timestamps (``time.time``); unset stages are ``None``.
+    submitted_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: ``"ExceptionType: message"`` for failed jobs.
+    error: str | None = None
+    #: §4.2 cache key of the result, once known.
+    cache_key: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kernel": self.kernel,
+            "backend": self.backend,
+            "status": self.status.value,
+            "worker": self.worker,
+            "cost": self.cost,
+            "stolen": self.stolen,
+            "from_store": self.from_store,
+            "measured": self.measured,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cache_key": self.cache_key,
+        }
+
+    def to_json(self) -> str:
+        return to_json_str(self.as_dict())
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,23 @@ from repro.utils.logging import get_logger
 _LOG = get_logger("api.session")
 
 
+@dataclasses.dataclass(frozen=True)
+class SessionHooks:
+    """Per-run hooks threaded into the strategy's measurement service.
+
+    ``checkpoint`` is a zero-argument cooperative cancellation gate invoked
+    between candidate submissions and batches — raising from it (typically
+    :class:`repro.errors.JobCancelled`) aborts the search within one
+    measurement batch.  ``progress(submitted)`` is invoked after every
+    candidate submission with the cumulative submission count; the serve
+    layer streams these as ``measured(n)`` events.  Hooks cover the schedule
+    search (stage 2); stage-1 autotuning is not cancellable.
+    """
+
+    checkpoint: "object | None" = None
+    progress: "object | None" = None
+
+
 class Session:
     """Facade over compilation, schedule search, verification and deployment."""
 
@@ -169,13 +186,16 @@ class Session:
         strategy: str | None = None,
         verify: bool | None = None,
         store: bool = True,
+        hooks: "SessionHooks | None" = None,
     ) -> RunReport:
         """Full hierarchical optimization of one workload, cached on success."""
         self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
         compiled = self.compile(spec, shapes=shapes)
-        return self.optimize_compiled(compiled, strategy=strategy, verify=verify, store=store)
+        return self.optimize_compiled(
+            compiled, strategy=strategy, verify=verify, store=store, hooks=hooks
+        )
 
     def optimize_compiled(
         self,
@@ -184,19 +204,29 @@ class Session:
         strategy: str | None = None,
         verify: bool | None = None,
         store: bool = True,
+        hooks: "SessionHooks | None" = None,
     ) -> RunReport:
-        """Stage 2 (§3): schedule search on an already-compiled kernel."""
+        """Stage 2 (§3): schedule search on an already-compiled kernel.
+
+        ``hooks`` installs per-run cancellation/progress callbacks into the
+        strategy's measurement service (see :class:`SessionHooks`).
+        """
         self._ensure_open()
         strategy_name = strategy or self.config.strategy
         verify = self.config.verify if verify is None else verify
+        policy = self.measurement
+        if hooks is not None and (hooks.checkpoint is not None or hooks.progress is not None):
+            policy = dataclasses.replace(
+                policy, checkpoint=hooks.checkpoint, progress=hooks.progress
+            )
         search_started = time.perf_counter()
         outcome = get_strategy(strategy_name).run(
             StrategyContext(
                 compiled=compiled,
                 simulator=self.simulator,
                 config=self.config,
-                measurement=self.measurement.to_measurement_config(),
-                measurement_policy=self.measurement,
+                measurement=policy.to_measurement_config(),
+                measurement_policy=policy,
             )
         )
         search_elapsed = time.perf_counter() - search_started
@@ -380,15 +410,10 @@ class Session:
                 return self.optimize(spec, strategy=strategy, verify=verify, store=store)
             except Exception as exc:
                 _LOG.warning("optimize_many: %s failed: %s", spec.name, exc)
-                return RunReport(
+                return RunReport.from_error(
                     kernel=spec.name,
                     gpu=self.gpu_name,
                     strategy=strategy or self.config.strategy,
-                    shapes={},
-                    config={},
-                    baseline_time_ms=0.0,
-                    best_time_ms=0.0,
-                    evaluations=0,
                     error=f"{type(exc).__name__}: {exc}",
                 )
 

@@ -134,6 +134,8 @@ class PPOStrategy:
             memoize=policy.memoize,
             shared_memo=policy.shared_memo,
             memo_owner=policy.memo_owner,
+            checkpoint=policy.checkpoint,
+            progress=policy.progress,
         )
         try:
             result = trainer.train(config.train_timesteps, verify=False)
@@ -177,6 +179,8 @@ class RandomSearchStrategy:
                 memoize=policy.memoize,
                 shared_memo=policy.shared_memo,
                 memo_owner=policy.memo_owner,
+                checkpoint=policy.checkpoint,
+                progress=policy.progress,
             )
         )
 
@@ -204,6 +208,8 @@ class GreedySearchStrategy:
                 memoize=policy.memoize,
                 shared_memo=policy.shared_memo,
                 memo_owner=policy.memo_owner,
+                checkpoint=policy.checkpoint,
+                progress=policy.progress,
             )
         )
 
@@ -234,5 +240,7 @@ class EvolutionarySearchStrategy:
                 memoize=policy.memoize,
                 shared_memo=policy.shared_memo,
                 memo_owner=policy.memo_owner,
+                checkpoint=policy.checkpoint,
+                progress=policy.progress,
             )
         )

@@ -55,6 +55,8 @@ def _make_env(
     memoize: bool = False,
     shared_memo=None,
     memo_owner: str = "",
+    checkpoint=None,
+    progress=None,
 ) -> AssemblyGame:
     return AssemblyGame(
         compiled,
@@ -67,6 +69,8 @@ def _make_env(
         memoize=memoize,
         shared_memo=shared_memo,
         memo_owner=memo_owner,
+        checkpoint=checkpoint,
+        progress=progress,
     )
 
 
@@ -84,11 +88,14 @@ def run_random_search(
     memoize: bool = False,
     shared_memo=None,
     memo_owner: str = "",
+    checkpoint=None,
+    progress=None,
 ) -> ScheduleSearchResult:
     """Uniform random valid moves until the evaluation budget is exhausted."""
     env = _make_env(
         compiled, simulator, episode_length, measurement,
         backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
+        checkpoint, progress,
     )
     try:
         rng = as_rng(seed)
@@ -136,6 +143,8 @@ def run_greedy_search(
     memoize: bool = False,
     shared_memo=None,
     memo_owner: str = "",
+    checkpoint=None,
+    progress=None,
 ) -> ScheduleSearchResult:
     """Greedy hill-climbing: at every step take the single move that improves
     the runtime the most; stop when no move improves or the budget runs out.
@@ -153,6 +162,7 @@ def run_greedy_search(
     env = _make_env(
         compiled, simulator, episode_length, measurement,
         backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
+        checkpoint, progress,
     )
     try:
         env.reset()
@@ -218,6 +228,8 @@ def run_evolutionary_search(
     memoize: bool = False,
     shared_memo=None,
     memo_owner: str = "",
+    checkpoint=None,
+    progress=None,
 ) -> ScheduleSearchResult:
     """(mu + lambda)-style evolutionary search over move sequences (§7).
 
@@ -230,6 +242,7 @@ def run_evolutionary_search(
     env = _make_env(
         compiled, simulator, episode_length, measurement,
         backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
+        checkpoint, progress,
     )
     try:
         rng = as_rng(seed)

@@ -68,6 +68,8 @@ class AssemblyGame(Env):
         memoize: bool = False,
         shared_memo=None,
         memo_owner: str = "",
+        checkpoint=None,
+        progress=None,
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
@@ -101,30 +103,40 @@ class AssemblyGame(Env):
                 input_seed,
             ),
             memo_owner=memo_owner,
+            checkpoint=checkpoint,
+            progress=progress,
         )
 
-        # Pre-game static analysis on the -O3 schedule (§3.2).
-        self.initial_kernel: SassKernel = compiled.kernel
-        # Warm the decoded-program cache for the -O3 schedule: the baseline
-        # measurement below and every mutated candidate (which shares almost
-        # all instruction objects with the baseline) decode against it.
-        decode_program(self.initial_kernel)
-        self.analysis: PreGameAnalysis = run_pre_game_analysis(
-            self.initial_kernel, stall_table=stall_table
-        )
-        if not self.analysis.candidate_indices:
-            raise EnvironmentError_(
-                f"kernel {self.initial_kernel.metadata.name!r} has no actionable memory instructions"
+        try:
+            # Pre-game static analysis on the -O3 schedule (§3.2).
+            self.initial_kernel: SassKernel = compiled.kernel
+            # Warm the decoded-program cache for the -O3 schedule: the baseline
+            # measurement below and every mutated candidate (which shares almost
+            # all instruction objects with the baseline) decode against it.
+            decode_program(self.initial_kernel)
+            self.analysis: PreGameAnalysis = run_pre_game_analysis(
+                self.initial_kernel, stall_table=stall_table
             )
-        self.embedder = StateEmbedder(self.initial_kernel, self.analysis.embedding)
-        self.action_space_map = ActionSpace(self.initial_kernel, self.analysis.candidate_indices)
-        self.masker = ActionMasker(self.action_space_map, self.analysis.stalls)
+            if not self.analysis.candidate_indices:
+                raise EnvironmentError_(
+                    f"kernel {self.initial_kernel.metadata.name!r} has no actionable memory instructions"
+                )
+            self.embedder = StateEmbedder(self.initial_kernel, self.analysis.embedding)
+            self.action_space_map = ActionSpace(
+                self.initial_kernel, self.analysis.candidate_indices
+            )
+            self.masker = ActionMasker(self.action_space_map, self.analysis.stalls)
 
-        self.observation_space = Box(self.embedder.shape)
-        self.action_space = Discrete(self.action_space_map.n)
+            self.observation_space = Box(self.embedder.shape)
+            self.action_space = Discrete(self.action_space_map.n)
 
-        # Baseline runtime T0 of the -O3 schedule.
-        self.baseline_time_ms = self.measure_candidate(self.initial_kernel)
+            # Baseline runtime T0 of the -O3 schedule.
+            self.baseline_time_ms = self.measure_candidate(self.initial_kernel)
+        except BaseException:
+            # A failed (or cancelled) setup must still release the service's
+            # workers; nobody else holds a reference yet.
+            self.measure_service.close()
+            raise
         self.best_time_ms = self.baseline_time_ms
         self.best_kernel = self.initial_kernel
         self.episodes: list[EpisodeRecord] = []

@@ -86,6 +86,8 @@ class CuAsmRLTrainer:
         memoize: bool = False,
         shared_memo=None,
         memo_owner: str = "",
+        checkpoint=None,
+        progress=None,
     ):
         self.compiled = compiled
         self.simulator = simulator or GPUSimulator()
@@ -102,6 +104,8 @@ class CuAsmRLTrainer:
             memoize=memoize,
             shared_memo=shared_memo,
             memo_owner=memo_owner,
+            checkpoint=checkpoint,
+            progress=progress,
         )
         self.agent = PPOTrainer(self.env, self.ppo_config)
 

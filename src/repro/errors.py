@@ -113,5 +113,15 @@ class OptimizationError(ReproError):
     """The high-level CuAsmRL optimizer failed."""
 
 
+class JobCancelled(ReproError):
+    """A serving job was cancelled before it produced a result.
+
+    Raised by the cooperative cancellation checkpoints the serve layer
+    installs into the measurement service (see :mod:`repro.serve`): a
+    strategy mid-search observes it as an ordinary exception unwinding the
+    run, and :meth:`repro.serve.JobHandle.result` re-raises it to the caller.
+    """
+
+
 class VerificationError(ReproError):
     """Probabilistic testing detected an output mismatch."""

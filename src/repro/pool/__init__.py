@@ -9,6 +9,10 @@ Scale the single-``Session`` workflow out to many workers:
   extend with :func:`register_scheduler`.
 * :class:`SharedMemoTable` — cross-session measurement memoization, so a
   schedule measured by one worker is a hit for all siblings.
+
+The async serving front door over the pool — job handles, progress events,
+cancellation, work stealing, result store — lives in :mod:`repro.serve`;
+``SessionPool.serve()`` is the entry point.
 """
 
 from repro.api.config import PoolConfig

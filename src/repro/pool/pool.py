@@ -22,23 +22,35 @@ Workers are isolated where it matters and shared where it pays:
   (unless ``PoolConfig.share_memo`` is off), so a schedule measured by one
   worker is a memo hit for every sibling on the same workload;
 * a job that raises becomes a failed ``RunReport`` in its input-order slot
-  without poisoning sibling workers, reusing ``Session.optimize_many``'s
+  without poisoning sibling workers, matching ``Session.optimize_many``'s
   ``on_error="report"/"raise"`` semantics pool-wide.
+
+Since PR 5 the pool also exposes an async serving front door —
+``pool.serve()`` returns a :class:`repro.serve.JobQueue` with ``submit()``
+handles, streamed progress events, cancellation, work stealing and a
+persistent result store — and ``optimize_many`` itself is a thin synchronous
+wrapper over that queue (jobs pinned to their scheduler-assigned workers),
+so both paths share one event-driven execution pipeline.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.api.backends import backend_spec, resolve_backend
-from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig, PoolConfig
+from repro.api.config import (
+    CacheConfig,
+    MeasurementPolicy,
+    OptimizationConfig,
+    PoolConfig,
+    ServeConfig,
+)
 from repro.api.report import PoolReport, RunReport, WorkerReport
 from repro.api.session import Session
-from repro.errors import OptimizationError
+from repro.errors import JobCancelled, OptimizationError
 from repro.pool.scheduler import PoolJob, get_scheduler
 from repro.pool.shared_memo import SharedMemoTable
 from repro.triton.spec import KernelSpec
@@ -55,7 +67,11 @@ class PoolWorker:
         self.session = session
         self.backend = session.gpu_name
         self.name = f"w{index}:{session.gpu_name}"
-        #: Accumulated cost of everything ever assigned (scheduler-visible).
+        #: Outstanding cost: everything assigned (queued or running) minus
+        #: everything settled on completion, steal-consistent — a stolen job's
+        #: cost moves from the victim to the thief.  Scheduler-visible; an
+        #: idle worker's backlog drains back to zero instead of growing
+        #: without bound across calls (which skewed ``least_loaded`` forever).
         self.backlog = 0.0
         self.jobs_run = 0
         self.failures = 0
@@ -130,6 +146,7 @@ class SessionPool:
             )
             self.workers.append(PoolWorker(index, session))
         self._closed = False
+        self._queue = None
         _LOG.info(
             "pool up: %d workers (%s), scheduler=%s, shared_memo=%s",
             len(self.workers),
@@ -153,14 +170,34 @@ class SessionPool:
         return self._closed
 
     def close(self) -> None:
-        """Tear every worker session down.  Idempotent."""
+        """Tear the serve queue and every worker session down.  Idempotent.
+
+        A worker whose ``close()`` raises must not leak its siblings: every
+        worker is still closed and the shared memo cleared, then the first
+        error is re-raised.
+        """
         if self._closed:
             return
         self._closed = True
-        for worker in self.workers:
-            worker.session.close()
-        if self.shared_memo is not None:
-            self.shared_memo.clear()
+        first_error: BaseException | None = None
+        try:
+            if self._queue is not None:
+                try:
+                    self._queue.close()
+                except Exception as exc:  # pragma: no cover - defensive
+                    first_error = exc
+            for worker in self.workers:
+                try:
+                    worker.session.close()
+                except Exception as exc:
+                    _LOG.warning("closing %s failed: %s", worker.name, exc)
+                    if first_error is None:
+                        first_error = exc
+        finally:
+            if self.shared_memo is not None:
+                self.shared_memo.clear()
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "SessionPool":
         self._ensure_open()
@@ -181,6 +218,7 @@ class SessionPool:
     # ------------------------------------------------------------------
     def worker_for(self, backend: str) -> PoolWorker:
         """The first worker targeting ``backend`` (canonical name or alias)."""
+        self._ensure_open()
         canonical = backend_spec(backend).name
         for worker in self.workers:
             if worker.backend == canonical:
@@ -196,7 +234,35 @@ class SessionPool:
         return self.worker_for(backend).session.deploy(spec, shapes=shapes)
 
     # ------------------------------------------------------------------
-    # Sharded batch optimization
+    # Serving front door
+    # ------------------------------------------------------------------
+    def serve(self, serve: ServeConfig | None = None):
+        """The pool's async :class:`repro.serve.JobQueue` front door.
+
+        Created on first use (with ``serve`` shaping it) and cached — one
+        *live* queue per pool, shared by every later ``serve()`` call and by
+        the :meth:`optimize_many` compatibility wrapper; ``close()`` tears it
+        down with the pool.  A queue the caller closed is replaced by a fresh
+        one (worker sessions survive a queue teardown), so closing a queue
+        never bricks the pool.  Passing a *different* ``ServeConfig`` while
+        a live queue exists is an error.
+        """
+        self._ensure_open()
+        from repro.serve.queue import JobQueue
+
+        if self._queue is not None and self._queue.closed:
+            self._queue.close()  # join any straggler threads before re-serving
+            self._queue = None
+        if self._queue is None:
+            self._queue = JobQueue(self, serve=serve)
+        elif serve is not None and serve != self._queue.serve_config:
+            raise OptimizationError(
+                "this pool already serves a JobQueue with a different ServeConfig"
+            )
+        return self._queue
+
+    # ------------------------------------------------------------------
+    # Sharded batch optimization (synchronous wrapper over the queue)
     # ------------------------------------------------------------------
     def optimize_many(
         self,
@@ -210,12 +276,16 @@ class SessionPool:
     ) -> PoolReport:
         """Shard the workloads across the pool's workers and run them.
 
-        The configured scheduler assigns each job to a worker; every worker
-        runs its shard on its own thread (jobs within a shard run in input
-        order) through ``Session.optimize_many``, so per-job failure capture
-        and report shapes match the single-session path exactly.  ``costs``
-        optionally gives a relative cost estimate per job for load-aware
-        schedulers.
+        The configured scheduler statically assigns each job to a worker;
+        the jobs then run through the pool's serve queue (see :meth:`serve`)
+        pinned to their assigned workers, which preserves the historical
+        sharding semantics — deterministic assignment, per-shard input
+        order, per-job failure capture — over the event-driven execution
+        path.  ``costs`` optionally gives a relative cost estimate per job
+        for load-aware schedulers.  A worker that fails *outside* a job (a
+        closed session, an internal error) yields failed reports for its
+        jobs instead of poisoning the batch, and every input keeps its
+        input-order slot.
 
         With ``on_error="report"`` (the default) failed jobs come back as
         failed :class:`RunReport`\\ s in their input-order slots; with
@@ -247,52 +317,50 @@ class SessionPool:
             raise OptimizationError(
                 f"scheduler {scheduler.name!r} produced an invalid assignment: {assignment}"
             )
-        for job, target in zip(jobs, assignment):
-            self.workers[target].backlog += job.cost
 
-        shards: dict[int, list[int]] = {}
-        for job, target in zip(jobs, assignment):
-            shards.setdefault(target, []).append(job.index)
-
-        def run_shard(worker: PoolWorker, indices: list[int]) -> list[RunReport]:
-            shard_started = time.perf_counter()
-            reports = worker.session.optimize_many(
-                [resolved[index] for index in indices],
-                jobs=1,
+        queue = self.serve()
+        started = time.perf_counter()
+        snapshots = [worker.snapshot() for worker in self.workers]
+        handles = [
+            queue.submit(
+                spec,
                 strategy=strategy,
                 verify=verify,
                 store=store,
-                on_error="report",
+                cost=job.cost,
+                pin_worker=target,
+                use_store=False,  # historical semantics: every call re-runs
             )
-            worker.busy_s += time.perf_counter() - shard_started
-            worker.jobs_run += len(indices)
-            worker.failures += sum(report.failed for report in reports)
-            worker.evaluations += sum(report.evaluations for report in reports)
-            return reports
+            for spec, job, target in zip(resolved, jobs, assignment)
+        ]
 
-        started = time.perf_counter()
-        snapshots = [worker.snapshot() for worker in self.workers]
         slots: list[RunReport | None] = [None] * len(jobs)
-        if len(shards) <= 1:
-            for target, indices in shards.items():
-                for index, report in zip(indices, run_shard(self.workers[target], indices)):
-                    slots[index] = report
-        else:
-            with ThreadPoolExecutor(
-                max_workers=len(shards), thread_name_prefix="pool-worker"
-            ) as executor:
-                futures = {
-                    executor.submit(run_shard, self.workers[target], indices): indices
-                    for target, indices in shards.items()
-                }
-                for future, indices in futures.items():
-                    for index, report in zip(indices, future.result()):
-                        slots[index] = report
+        ran_on: list[str] = []
+        for position, (handle, job, target) in enumerate(zip(handles, jobs, assignment)):
+            try:
+                slots[position] = handle.result()
+            except JobCancelled:
+                slots[position] = self._failed_report(
+                    job.name, target, strategy, "JobCancelled: job was cancelled"
+                )
+            record = handle.record()
+            ran_on.append(record.worker or self.workers[target].name)
+        # Slot completeness: the old sharded path silently dropped a slot
+        # when a worker returned fewer reports than jobs; any gap is now a
+        # failed report in its input-order position.
+        for position, slot in enumerate(slots):
+            if slot is None:  # pragma: no cover - queue guarantees a report
+                slots[position] = self._failed_report(
+                    jobs[position].name,
+                    assignment[position],
+                    strategy,
+                    "OptimizationError: worker produced no report for this job",
+                )
         elapsed = time.perf_counter() - started
 
         result = PoolReport(
-            reports=[report for report in slots if report is not None],
-            assignments=tuple(self.workers[target].name for target in assignment),
+            reports=slots,
+            assignments=tuple(ran_on),
             scheduler=scheduler.name,
             workers=[
                 worker.report_since(snapshot)
@@ -305,7 +373,7 @@ class SessionPool:
             "pool run: %d jobs on %d workers in %.2fs (%.1f evals/s, %d failures, "
             "%d cross-worker memo hits)",
             len(result),
-            len(shards),
+            len(set(assignment)),
             elapsed,
             result.evaluations_per_sec,
             len(result.failures),
@@ -320,3 +388,14 @@ class SessionPool:
             error.pool_report = result
             raise error
         return result
+
+    def _failed_report(
+        self, kernel: str, target: int, strategy: str | None, error: str
+    ) -> RunReport:
+        worker = self.workers[target]
+        return RunReport.from_error(
+            kernel=kernel,
+            gpu=worker.backend,
+            strategy=strategy or worker.session.config.strategy,
+            error=error,
+        )

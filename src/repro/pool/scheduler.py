@@ -36,7 +36,8 @@ class WorkerView(Protocol):
 
     name: str
     backend: str
-    #: Accumulated cost of everything ever assigned to this worker.
+    #: Outstanding cost on this worker: assigned (queued or running) jobs
+    #: whose completion has not yet settled them.  An idle worker sits at 0.
     backlog: float
 
 
@@ -102,10 +103,11 @@ class RoundRobinScheduler:
 class LeastLoadedScheduler:
     """Greedy balancing: each job goes to the worker with the least total load.
 
-    Load is the worker's carried-over backlog (cost of everything assigned in
-    earlier calls) plus what this call has assigned so far, so heterogeneous
-    job costs and repeated ``optimize_many`` calls both even out.  Ties break
-    toward the lowest worker index, keeping the assignment deterministic.
+    Load is the worker's outstanding backlog (jobs still queued or running —
+    completed jobs have settled theirs) plus what this call has assigned so
+    far, so heterogeneous job costs and concurrent batches both even out.
+    Ties break toward the lowest worker index, keeping the assignment
+    deterministic.
     """
 
     name: str = "least_loaded"

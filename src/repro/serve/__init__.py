@@ -1,0 +1,38 @@
+"""Serving front door: async job queue, progress events, result store.
+
+The ROADMAP's next scale step after :class:`repro.pool.SessionPool`:
+instead of blocking on whole synchronous batches, callers ``submit()``
+workloads and get :class:`JobHandle`\\ s back immediately —
+``result(timeout=)``, ``cancel()``, ``done()``, ``status`` — while a
+dispatcher feeds per-worker queues, idle workers steal from deep sibling
+queues, every job streams :class:`ProgressEvent`\\ s
+(``queued → assigned → running → measured(n) → done/failed/cancelled``)
+and finished results persist in a pool-level :class:`ResultStore` keyed by
+the §4.2 cache key.
+
+Entry point: ``SessionPool.serve()`` (one queue per pool) or
+``JobQueue(pool, serve=ServeConfig(...))`` directly.
+"""
+
+from repro.api.config import ServeConfig
+from repro.api.report import JobRecord, JobStatus
+from repro.api.session import SessionHooks
+from repro.errors import JobCancelled
+from repro.serve.events import EventBus, EventSubscription, ProgressEvent
+from repro.serve.queue import JobHandle, JobQueue
+from repro.serve.store import ResultStore, ResultStoreStats
+
+__all__ = [
+    "JobQueue",
+    "JobHandle",
+    "JobStatus",
+    "JobRecord",
+    "JobCancelled",
+    "ServeConfig",
+    "SessionHooks",
+    "ProgressEvent",
+    "EventBus",
+    "EventSubscription",
+    "ResultStore",
+    "ResultStoreStats",
+]

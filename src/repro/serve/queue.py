@@ -1,0 +1,643 @@
+"""The serving front door: an async job queue over a :class:`SessionPool`.
+
+``submit()`` returns a :class:`JobHandle` immediately; a dispatcher thread
+places each job on a per-worker queue (respecting backend constraints and
+outstanding backlog), one worker thread per pool worker drains its own queue
+in FIFO order, and — the part static sharding cannot do — an **idle worker
+steals** queued jobs from the tail of the deepest compatible sibling queue,
+so a skewed batch no longer leaves half the pool idle behind one long job.
+
+Callers interleave optimization with deployment instead of blocking on the
+whole batch::
+
+    with SessionPool(["A100-sim", "A100-sim"]) as pool:
+        queue = pool.serve()
+        handles = queue.submit_many(["bmm", "softmax", "rmsnorm"])
+        for event in queue.subscribe():          # pool-wide progress stream
+            print(event.kind, event.job_id)
+        report = handles[0].result(timeout=60)   # or .cancel(), .done()
+
+Three more serving behaviors ride on the queue:
+
+* **cancellation** — ``handle.cancel()`` pulls a queued job back instantly;
+  a running job is stopped cooperatively at the next measurement-service
+  checkpoint, i.e. within one candidate batch;
+* **progress events** — every job streams
+  ``queued → assigned → running → measured(n) → done/failed/cancelled``
+  (see :mod:`repro.serve.events`), subscribable per-job and pool-wide;
+* **result store** — finished reports are kept per §4.2 cache key for the
+  pool's lifetime, so a re-submitted ``(workload, backend)`` pair resolves
+  instantly without re-optimizing (see :mod:`repro.serve.store`).
+
+:meth:`repro.pool.SessionPool.optimize_many` is a thin synchronous wrapper
+over this queue: it pins each job to the worker the configured scheduler
+chose and waits for every handle, which preserves the historical sharding
+semantics exactly while sharing one execution path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.api.backends import backend_spec
+from repro.api.config import ServeConfig
+from repro.api.report import JobRecord, JobStatus, RunReport
+from repro.api.session import SessionHooks
+from repro.errors import JobCancelled, OptimizationError
+from repro.serve.events import EventBus, EventSubscription, ProgressEvent
+from repro.serve.store import ResultStore
+from repro.triton.spec import KernelSpec
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("serve.queue")
+
+
+class _Job:
+    """Mutable queue-internal job state; callers see it through JobHandle."""
+
+    __slots__ = (
+        "id", "spec", "name", "shapes", "strategy", "verify", "store", "cost",
+        "backend", "pin", "use_store", "status", "cancel_event", "done_event",
+        "report", "error", "worker_index", "worker", "stolen", "from_store",
+        "measured", "last_progress_emit", "submitted_at", "started_at",
+        "finished_at", "cache_key", "events",
+    )
+
+    def __init__(self, job_id, spec, name, shapes, strategy, verify, store,
+                 cost, backend, pin, use_store):
+        self.id = job_id
+        self.spec = spec
+        self.name = name
+        self.shapes = shapes
+        self.strategy = strategy
+        self.verify = verify
+        self.store = store
+        self.cost = cost
+        self.backend = backend
+        self.pin = pin
+        self.use_store = use_store
+        self.status = JobStatus.QUEUED
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+        self.report: RunReport | None = None
+        self.error: str | None = None
+        self.worker_index: int | None = None
+        self.worker: str | None = None
+        self.stolen = False
+        self.from_store = False
+        self.measured = 0
+        self.last_progress_emit = 0
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.cache_key: str | None = None
+        self.events: list[ProgressEvent] = []
+
+    def record(self) -> JobRecord:
+        return JobRecord(
+            job_id=self.id,
+            kernel=self.name,
+            backend=self.backend,
+            status=self.status,
+            worker=self.worker,
+            cost=self.cost,
+            stolen=self.stolen,
+            from_store=self.from_store,
+            measured=self.measured,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            error=self.error,
+            cache_key=self.cache_key,
+        )
+
+
+class JobHandle:
+    """Caller-side view of one submitted job: poll, wait, cancel, observe."""
+
+    def __init__(self, queue: "JobQueue", job: _Job):
+        self._queue = queue
+        self._job = job
+
+    @property
+    def job_id(self) -> str:
+        return self._job.id
+
+    @property
+    def status(self) -> JobStatus:
+        return self._job.status
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state (done/failed/cancelled)."""
+        return self._job.done_event.is_set()
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``False`` if the job already finished.
+
+        A queued job is pulled back immediately; a running one stops at its
+        next measurement-service checkpoint (within one candidate batch).
+        """
+        return self._queue._cancel(self._job)
+
+    def result(self, timeout: float | None = None) -> RunReport:
+        """Block for the job's :class:`RunReport` (failed jobs return a
+        failed report, matching ``optimize_many`` semantics).
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first and
+        :class:`repro.errors.JobCancelled` for cancelled jobs.
+        """
+        if not self._job.done_event.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} did not finish within {timeout}s")
+        if self._job.status is JobStatus.CANCELLED:
+            raise JobCancelled(f"job {self.job_id} ({self._job.name}) was cancelled")
+        return self._job.report
+
+    def record(self) -> JobRecord:
+        """Point-in-time :class:`~repro.api.report.JobRecord` snapshot."""
+        with self._queue._work:
+            return self._job.record()
+
+    def events(self) -> list[ProgressEvent]:
+        """Snapshot of every progress event emitted for this job so far."""
+        with self._queue._work:
+            return list(self._job.events)
+
+    def subscribe(self) -> EventSubscription:
+        """Live event feed for this job; past events are replayed first."""
+        return self._queue.subscribe(self.job_id)
+
+    @property
+    def stolen(self) -> bool:
+        return self._job.stolen
+
+    @property
+    def from_store(self) -> bool:
+        return self._job.from_store
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JobHandle({self.job_id!r}, {self._job.name!r}, {self.status.value})"
+
+
+class JobQueue:
+    """Async job-queue front door over a :class:`repro.pool.SessionPool`.
+
+    The queue does not own the pool (``SessionPool.close`` tears down its
+    queue, not the other way around); closing the queue stops its threads
+    and cancels still-pending jobs but leaves the worker sessions usable.
+    """
+
+    def __init__(self, pool, *, serve: ServeConfig | None = None):
+        if pool.closed:
+            raise OptimizationError("cannot serve from a closed session pool")
+        self.pool = pool
+        self.serve_config = serve or ServeConfig()
+        self.store = (
+            ResultStore(self.serve_config.store_max_entries)
+            if self.serve_config.result_store
+            else None
+        )
+        self._bus = EventBus()
+        self._work = threading.Condition(threading.Lock())
+        self._inbox: "deque[_Job]" = deque()
+        self._queues: "list[deque[_Job]]" = [deque() for _ in pool.workers]
+        self._jobs: dict[str, _Job] = {}
+        self._counter = 0
+        self._closed = False
+        self._joined = False
+        self._stats = {
+            "submitted": 0, "done": 0, "failed": 0, "cancelled": 0,
+            "stolen": 0, "store_hits": 0,
+        }
+        self._threads = [
+            threading.Thread(target=self._dispatch_loop, name="serve-dispatch", daemon=True)
+        ]
+        self._threads.extend(
+            threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"serve-{worker.name}", daemon=True,
+            )
+            for index, worker in enumerate(pool.workers)
+        )
+        for thread in self._threads:
+            thread.start()
+        _LOG.info(
+            "serve queue up: %d workers, steal=%s, result_store=%s",
+            len(pool.workers), self.serve_config.steal, self.store is not None,
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: str | KernelSpec,
+        *,
+        backend: str | None = None,
+        shapes: dict | None = None,
+        strategy: str | None = None,
+        verify: bool | None = None,
+        store: bool = True,
+        cost: float = 1.0,
+        use_store: bool = True,
+        pin_worker: int | None = None,
+    ) -> JobHandle:
+        """Queue one workload and return its handle immediately.
+
+        ``backend`` restricts the job to workers of that GPU target (it stays
+        stealable between them); ``pin_worker`` (used by the
+        ``optimize_many`` compatibility wrapper) nails it to one worker index
+        and exempts it from stealing.  ``use_store=False`` forces a fresh
+        optimization even when the result store already holds this key.
+        """
+        canonical = None
+        if backend is not None:
+            canonical = backend_spec(backend).name
+            if not any(worker.backend == canonical for worker in self.pool.workers):
+                raise KeyError(
+                    f"no pool worker targets backend {canonical!r}; "
+                    f"workers: {[worker.name for worker in self.pool.workers]}"
+                )
+        if pin_worker is not None and not 0 <= pin_worker < len(self.pool.workers):
+            raise ValueError(f"pin_worker {pin_worker} out of range")
+        name = spec if isinstance(spec, str) else spec.name
+        with self._work:
+            if self._closed:
+                raise OptimizationError("job queue is closed")
+            self._counter += 1
+            job = _Job(
+                job_id=f"j{self._counter:05d}",
+                spec=spec, name=name, shapes=shapes, strategy=strategy,
+                verify=verify, store=store, cost=float(cost),
+                backend=canonical, pin=pin_worker, use_store=use_store,
+            )
+            self._jobs[job.id] = job
+            self._stats["submitted"] += 1
+            self._inbox.append(job)
+            self._emit(job, "queued")
+            self._work.notify_all()
+        return JobHandle(self, job)
+
+    def submit_many(
+        self,
+        specs: Iterable[str | KernelSpec],
+        *,
+        costs: Sequence[float] | None = None,
+        **options,
+    ) -> list[JobHandle]:
+        """Queue a batch of workloads; one handle per workload, input order."""
+        resolved = list(specs)
+        if costs is not None and len(costs) != len(resolved):
+            raise ValueError(
+                f"costs must match the workload count: {len(costs)} != {len(resolved)}"
+            )
+        return [
+            self.submit(
+                spec,
+                cost=float(costs[index]) if costs is not None else 1.0,
+                **options,
+            )
+            for index, spec in enumerate(resolved)
+        ]
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def subscribe(self, job_id: str | None = None) -> EventSubscription:
+        """Live event feed: one job (history replayed, completes at its
+        terminal event) or pool-wide (until the queue closes)."""
+        if job_id is None:
+            return self._bus.subscribe()
+        with self._work:
+            job = self._jobs[job_id]
+        # Hand the live history to the bus: replay and registration happen
+        # under the bus lock, so no event can slip between them.
+        return self._bus.subscribe(job_id, job.events)
+
+    def status(self, job_id: str) -> JobRecord:
+        with self._work:
+            return self._jobs[job_id].record()
+
+    def jobs(self) -> list[JobRecord]:
+        """Snapshot of every job this queue has seen, submission order."""
+        with self._work:
+            return [job.record() for job in self._jobs.values()]
+
+    @property
+    def stats(self) -> dict:
+        """Queue counters plus the result-store snapshot (if enabled)."""
+        with self._work:
+            stats = dict(self._stats)
+        stats["store"] = {} if self.store is None else self.store.snapshot()
+        return stats
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until every job submitted so far reached a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._work:
+            pending = list(self._jobs.values())
+        for job in pending:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not job.done_event.wait(remaining):
+                raise TimeoutError(f"job {job.id} did not finish within {timeout}s")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, wait: bool = True) -> None:
+        """Cancel pending jobs, stop accepting new ones, stop the threads.
+
+        Running jobs get their cancel flag set and stop at the next
+        measurement-service checkpoint; ``wait=True`` (the default) joins
+        every queue thread and completes open event subscriptions.
+        """
+        with self._work:
+            if not self._closed:
+                self._closed = True
+                for job in list(self._inbox):
+                    job.cancel_event.set()
+                    self._finalize_locked(job, JobStatus.CANCELLED)
+                self._inbox.clear()
+                for index, pending in enumerate(self._queues):
+                    for job in list(pending):
+                        job.cancel_event.set()
+                        worker = self.pool.workers[index]
+                        worker.backlog = max(0.0, worker.backlog - job.cost)
+                        self._finalize_locked(job, JobStatus.CANCELLED)
+                    pending.clear()
+                for job in self._jobs.values():
+                    if not job.status.terminal:
+                        job.cancel_event.set()
+                self._work.notify_all()
+        if wait and not self._joined:
+            self._joined = True
+            for thread in self._threads:
+                thread.join()
+            self._bus.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals: dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._inbox and not self._closed:
+                    self._work.wait()
+                if not self._inbox:
+                    return  # closed and drained
+                job = self._inbox.popleft()
+                if job.cancel_event.is_set():
+                    if not job.status.terminal:
+                        self._finalize_locked(job, JobStatus.CANCELLED)
+                    continue
+                target = self._place_locked(job)
+                job.worker_index = target
+                job.worker = self.pool.workers[target].name
+                job.status = JobStatus.ASSIGNED
+                self.pool.workers[target].backlog += job.cost
+                self._queues[target].append(job)
+                self._emit(job, "assigned", worker=job.worker)
+                self._work.notify_all()
+
+    def _place_locked(self, job: _Job) -> int:
+        """Pick the worker for a freshly dispatched job (lock held)."""
+        if job.pin is not None:
+            return job.pin
+        eligible = [
+            index
+            for index, worker in enumerate(self.pool.workers)
+            if job.backend is None or worker.backend == job.backend
+        ]
+        return min(
+            eligible,
+            key=lambda index: (
+                self.pool.workers[index].backlog,
+                len(self._queues[index]),
+                index,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals: workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        worker = self.pool.workers[index]
+        while True:
+            with self._work:
+                job = self._claim_locked(index)
+                while job is None:
+                    if self._closed and not self._queues[index] and not self._inbox:
+                        return
+                    self._work.wait(timeout=0.2)
+                    job = self._claim_locked(index)
+            self._run_job(worker, job)
+
+    def _claim_locked(self, index: int) -> _Job | None:
+        """Next job for worker ``index``: own queue first, then a steal."""
+        own = self._queues[index]
+        if own:
+            return own.popleft()
+        config = self.serve_config
+        if not config.steal or self._closed:
+            return None
+        thief = self.pool.workers[index]
+        min_depth = max(1, config.steal_min_depth)
+        victims = sorted(
+            (
+                victim
+                for victim in range(len(self._queues))
+                if victim != index and len(self._queues[victim]) >= min_depth
+            ),
+            key=lambda victim: -len(self._queues[victim]),
+        )
+        for victim in victims:
+            backlog_queue = self._queues[victim]
+            # Steal from the tail: the victim keeps draining its head in
+            # submission order while the thief absorbs the newest overflow.
+            for position in range(len(backlog_queue) - 1, -1, -1):
+                job = backlog_queue[position]
+                if job.pin is not None:
+                    continue
+                if job.backend is not None and thief.backend != job.backend:
+                    continue
+                del backlog_queue[position]
+                victim_worker = self.pool.workers[victim]
+                victim_worker.backlog = max(0.0, victim_worker.backlog - job.cost)
+                thief.backlog += job.cost
+                job.stolen = True
+                job.worker_index = index
+                job.worker = thief.name
+                self._stats["stolen"] += 1
+                self._emit(
+                    job, "assigned", worker=thief.name, stolen=True,
+                    detail=f"stolen from {victim_worker.name}",
+                )
+                return job
+        return None
+
+    def _run_job(self, worker, job: _Job) -> None:
+        if job.cancel_event.is_set():
+            with self._work:
+                worker.backlog = max(0.0, worker.backlog - job.cost)
+                if not job.status.terminal:
+                    self._finalize_locked(job, JobStatus.CANCELLED)
+            return
+        session = worker.session
+        job.started_at = time.time()
+        started = time.perf_counter()
+
+        if self.store is not None and job.use_store:
+            key = self._store_key(session, job)
+            hit = None if key is None else self.store.get(key)
+            if hit is not None:
+                with self._work:
+                    job.from_store = True
+                    job.cache_key = key
+                    self._stats["store_hits"] += 1
+                    worker.jobs_run += 1
+                    worker.busy_s += time.perf_counter() - started
+                    worker.backlog = max(0.0, worker.backlog - job.cost)
+                    self._finalize_locked(job, JobStatus.DONE, report=hit, detail="store-hit")
+                return
+
+        with self._work:
+            job.status = JobStatus.RUNNING
+            self._emit(job, "running", worker=worker.name)
+
+        report: RunReport | None = None
+        cancelled = False
+        try:
+            report = session.optimize(
+                job.spec,
+                shapes=job.shapes,
+                strategy=job.strategy,
+                verify=job.verify,
+                store=job.store,
+                hooks=SessionHooks(
+                    checkpoint=self._checkpoint_for(job),
+                    progress=self._progress_for(job),
+                ),
+            )
+            if report is None:
+                # Slot-completeness guard: a misbehaving worker path must
+                # surface as a failed report, never as a silently lost job.
+                raise OptimizationError(
+                    f"worker {worker.name} produced no report for {job.name}"
+                )
+        except JobCancelled:
+            cancelled = True
+        except Exception as exc:  # noqa: BLE001 - jobs fail as reports
+            _LOG.warning("job %s (%s) failed on %s: %s", job.id, job.name, worker.name, exc)
+            report = RunReport.from_error(
+                kernel=job.name,
+                gpu=session.gpu_name,
+                strategy=job.strategy or session.config.strategy,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        elapsed = time.perf_counter() - started
+
+        with self._work:
+            worker.busy_s += elapsed
+            worker.backlog = max(0.0, worker.backlog - job.cost)
+            if cancelled:
+                self._finalize_locked(job, JobStatus.CANCELLED)
+                return
+            worker.jobs_run += 1
+            worker.failures += 1 if report.failed else 0
+            worker.evaluations += report.evaluations
+            job.cache_key = report.cache_key
+        if not report.failed and self.store is not None:
+            key = report.cache_key or self._store_key(session, job)
+            if key is not None:
+                self.store.put(key, report)
+        with self._work:
+            self._finalize_locked(
+                job,
+                JobStatus.FAILED if report.failed else JobStatus.DONE,
+                report=report,
+                detail=report.error or "",
+            )
+
+    # ------------------------------------------------------------------
+    # Internals: shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _store_key(session, job: _Job) -> str | None:
+        try:
+            return session.key_for(job.spec, job.shapes)
+        except Exception:
+            return None  # unknown spec: let the run itself surface the error
+
+    def _checkpoint_for(self, job: _Job):
+        def checkpoint() -> None:
+            if job.cancel_event.is_set():
+                raise JobCancelled(f"job {job.id} ({job.name}) was cancelled")
+
+        return checkpoint
+
+    def _progress_for(self, job: _Job):
+        every = max(1, self.serve_config.progress_every)
+
+        def progress(submitted: int) -> None:
+            job.measured = submitted
+            if submitted == 1 or submitted - job.last_progress_emit >= every:
+                job.last_progress_emit = submitted
+                self._emit(job, "measured", worker=job.worker, measured=submitted)
+
+        return progress
+
+    def _cancel(self, job: _Job) -> bool:
+        with self._work:
+            if job.status.terminal:
+                return False
+            job.cancel_event.set()
+            if job.status is JobStatus.QUEUED:
+                try:
+                    self._inbox.remove(job)
+                except ValueError:
+                    pass  # the dispatcher holds it; it re-checks the flag
+                else:
+                    self._finalize_locked(job, JobStatus.CANCELLED)
+                return True
+            if job.status is JobStatus.ASSIGNED and job.worker_index is not None:
+                pending = self._queues[job.worker_index]
+                try:
+                    pending.remove(job)
+                except ValueError:
+                    pass  # a worker already claimed it; it re-checks the flag
+                else:
+                    assigned = self.pool.workers[job.worker_index]
+                    assigned.backlog = max(0.0, assigned.backlog - job.cost)
+                    self._finalize_locked(job, JobStatus.CANCELLED)
+            # RUNNING: cooperative — the measurement-service checkpoint
+            # raises JobCancelled within one candidate batch.
+            return True
+
+    def _finalize_locked(self, job: _Job, status: JobStatus, *, report=None, detail="") -> None:
+        job.status = status
+        job.finished_at = time.time()
+        if report is not None:
+            job.report = report
+            if report.failed:
+                job.error = report.error
+        self._stats[status.value] += 1
+        self._emit(
+            job, status.value, worker=job.worker, measured=job.measured,
+            stolen=job.stolen, detail=detail,
+        )
+        job.done_event.set()
+
+    def _emit(self, job: _Job, kind: str, **fields) -> None:
+        self._bus.publish(job.events, job_id=job.id, kind=kind, **fields)

@@ -96,6 +96,9 @@ class _WorkloadMeasurer:
         param_order: list[str],
         scalars: dict | None = None,
         measurement: MeasurementConfig | None = None,
+        *,
+        checkpoint=None,
+        progress=None,
     ):
         self.simulator = simulator
         self.grid = grid
@@ -104,6 +107,13 @@ class _WorkloadMeasurer:
         self.scalars = scalars
         self.measurement = measurement or MeasurementConfig()
         self.stats = MeasurementStats()
+        #: Cooperative cancellation checkpoint, run before every candidate
+        #: submission and batch; raising from it aborts the search between
+        #: measurements (see :class:`repro.errors.JobCancelled`).
+        self.checkpoint = checkpoint
+        #: ``progress(submitted)`` callback, run after every submission with
+        #: the cumulative submission count (memo hits included by wrappers).
+        self.progress = progress
         self._lock = threading.Lock()
         # The workload's tensors are bound into a launch context once per
         # measuring thread (one total for ``inline``) and reused across every
@@ -128,7 +138,19 @@ class _WorkloadMeasurer:
             candidate, self._workload_launch(), measurement=self.measurement
         )
 
+    def _tick(self) -> None:
+        """Per-submission hooks: cancellation checkpoint, then progress."""
+        if self.checkpoint is not None:
+            self.checkpoint()
+        with self._lock:
+            self.stats.submitted += 1
+            submitted = self.stats.submitted
+        if self.progress is not None:
+            self.progress(submitted)
+
     def measure_batch(self, candidates: Sequence[SassKernel]) -> list[KernelTiming]:
+        if self.checkpoint is not None:
+            self.checkpoint()
         futures = [self.submit(candidate) for candidate in candidates]
         return [future.result() for future in futures]
 
@@ -140,8 +162,7 @@ class InlineMeasurementBackend(_WorkloadMeasurer):
     """Synchronous measurement, one simulator call per candidate (the default)."""
 
     def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
-        with self._lock:
-            self.stats.submitted += 1
+        self._tick()
         future: Future[KernelTiming] = Future()
         try:
             future.set_result(self._measure(candidate))
@@ -166,8 +187,7 @@ class ThreadedMeasurementBackend(_WorkloadMeasurer):
         )
 
     def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
-        with self._lock:
-            self.stats.submitted += 1
+        self._tick()
         return self._pool.submit(self._measure, candidate)
 
     def close(self) -> None:
@@ -254,8 +274,8 @@ class ProcessMeasurementBackend(_WorkloadMeasurer):
         )
 
     def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        self._tick()
         with self._lock:
-            self.stats.submitted += 1
             self.stats.measured += 1
         return self._pool.submit(_process_measure, candidate)
 
@@ -303,6 +323,11 @@ class MemoizedMeasurementBackend:
         self.table = table
         self.scope = scope
         self.owner = owner
+        # Memo hits never reach the inner backend, so the wrapper runs the
+        # same per-submission hooks itself: a cancelled job must stop even
+        # when every remaining candidate would be answered from the table.
+        self.checkpoint = getattr(inner, "checkpoint", None)
+        self.progress = getattr(inner, "progress", None)
         self._futures: dict[str, Future[KernelTiming]] = {}
         self._lock = threading.Lock()
 
@@ -310,23 +335,30 @@ class MemoizedMeasurementBackend:
         digest = candidate.content_digest()
         return f"{self.scope}|{digest}" if self.scope else digest
 
+    def _tick_hit(self) -> None:
+        with self._lock:
+            self.stats.submitted += 1
+            self.stats.memo_hits += 1
+            submitted = self.stats.submitted
+        if self.progress is not None:
+            self.progress(submitted)
+
     def submit(self, candidate: SassKernel) -> "Future[KernelTiming]":
+        if self.checkpoint is not None:
+            self.checkpoint()
         key = self._key(candidate)
         if self.table is not None:
             cached = self.table.get(key, owner=self.owner)
             if cached is not None:
-                with self._lock:
-                    self.stats.submitted += 1
-                    self.stats.memo_hits += 1
+                self._tick_hit()
                 return cached
             future = self.inner.submit(candidate)
             return self.table.put(key, future, owner=self.owner)
         with self._lock:
             cached = self._futures.get(key)
-            if cached is not None:
-                self.stats.submitted += 1
-                self.stats.memo_hits += 1
-                return cached
+        if cached is not None:
+            self._tick_hit()
+            return cached
         future = self.inner.submit(candidate)
         with self._lock:
             while len(self._futures) >= self.max_entries:
@@ -402,6 +434,8 @@ def create_measurement_service(
     shared_memo=None,
     memo_scope: str = "",
     memo_owner: str = "",
+    checkpoint=None,
+    progress=None,
 ) -> MeasurementBackend:
     """Build the measurement backend stack for one workload.
 
@@ -410,6 +444,10 @@ def create_measurement_service(
     Passing ``shared_memo`` (a cross-session table; see
     :class:`~repro.pool.shared_memo.SharedMemoTable`) implies memoization and
     requires ``memo_scope`` to namespace this workload's entries.
+    ``checkpoint`` installs a cooperative cancellation hook run between
+    candidate submissions/batches (raise from it to abort the search);
+    ``progress`` streams cumulative submission counts — both ride along on
+    :class:`~repro.api.config.MeasurementPolicy` and survive memo wrapping.
     """
     try:
         backend_cls = _MEASUREMENT_BACKENDS[backend]
@@ -418,7 +456,7 @@ def create_measurement_service(
             f"unknown measurement backend {backend!r}; "
             f"available: {list(available_measurement_backends())}"
         ) from exc
-    kwargs: dict = {}
+    kwargs: dict = {"checkpoint": checkpoint, "progress": progress}
     if backend_cls is ThreadedMeasurementBackend:
         kwargs["max_workers"] = max_workers
     elif backend_cls is ProcessMeasurementBackend:

@@ -273,3 +273,62 @@ def test_env_measure_candidates_is_public_and_consistent(compiled, simulator):
     assert batch == single
     assert env.measurement_stats.measured >= 2 * len(kernels)
     env.close()
+
+
+# ---------------------------------------------------------------------------
+# Cancellation checkpoints and progress callbacks (the serve-layer hooks)
+# ---------------------------------------------------------------------------
+def test_checkpoint_aborts_between_candidates(compiled, simulator):
+    kernels = _candidates(compiled, simulator)
+    calls = []
+
+    def checkpoint():
+        calls.append(len(calls))
+        if len(calls) > 2:
+            raise RuntimeError("cancelled")
+
+    service = create_measurement_service(
+        simulator, compiled.grid, compiled.make_inputs(0), compiled.param_order,
+        checkpoint=checkpoint,
+    )
+    with pytest.raises(RuntimeError, match="cancelled"):
+        service.measure_batch(kernels)
+    # The batch stopped part-way: the batch-level checkpoint plus one per
+    # submission, never the whole batch.
+    assert service.stats.measured < len(kernels)
+
+
+def test_checkpoint_fires_on_memo_hits_too(compiled, simulator):
+    kernels = _candidates(compiled, simulator, count=2)
+    cancelled = []
+
+    def checkpoint():
+        if cancelled:
+            raise RuntimeError("cancelled")
+
+    service = create_measurement_service(
+        simulator, compiled.grid, compiled.make_inputs(0), compiled.param_order,
+        memoize=True, checkpoint=checkpoint,
+    )
+    service.measure_batch(kernels)
+    cancelled.append(True)
+    # Re-measuring a memoized schedule must still consult the checkpoint: a
+    # cancelled search stops even when every answer would come from the memo.
+    with pytest.raises(RuntimeError, match="cancelled"):
+        service.submit(kernels[0])
+
+
+def test_progress_reports_cumulative_submissions(compiled, simulator):
+    kernels = _candidates(compiled, simulator)
+    counts = []
+    service = create_measurement_service(
+        simulator, compiled.grid, compiled.make_inputs(0), compiled.param_order,
+        memoize=True, progress=counts.append,
+    )
+    service.measure_batch(kernels)
+    assert counts == list(range(1, len(kernels) + 1))
+    service.measure_batch(kernels)  # pure memo hits still count as progress
+    assert counts == list(range(1, 2 * len(kernels) + 1))
+    # At least one full batch of hits (two mutations may already collide:
+    # swapping i up and i+1 down produce the same schedule).
+    assert service.stats.memo_hits >= len(kernels)

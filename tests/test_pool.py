@@ -80,8 +80,9 @@ def test_pool_worker_stats_are_per_run():
     assert [worker.jobs for worker in second.workers] == [1, 0]
     for result in (first, second):
         assert sum(worker.evaluations for worker in result.workers) == result.evaluations
-    # The scheduler-visible backlog, by contrast, is cumulative by design.
-    assert [worker.backlog for worker in pool.workers] == [2.0, 1.0]
+    # The scheduler-visible backlog settles as jobs complete: an idle pool
+    # carries none (it used to accumulate forever, skewing least_loaded).
+    assert [worker.backlog for worker in pool.workers] == [0.0, 0.0]
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +200,95 @@ def test_pool_rejects_bad_arguments():
             pool.optimize_many(["softmax"], on_error="explode")
         with pytest.raises(ValueError):
             pool.optimize_many(["softmax"], costs=[1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Regression tests: pool robustness bugfixes (PR 5)
+# ---------------------------------------------------------------------------
+def test_pool_closed_worker_session_fails_jobs_not_batch():
+    """A worker whose session died must not poison the batch.
+
+    Before the fix, the closed session's error propagated out of the shard
+    thread and ``optimize_many`` raised even under ``on_error="report"``,
+    abandoning the sibling workers' results.
+    """
+    with SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        pool.workers[1].session.close()
+        result = pool.optimize_many(["softmax", "softmax", "rmsnorm", "rmsnorm"])
+        # Every input keeps its slot; round_robin puts odd jobs on the dead worker.
+        assert [report.kernel for report in result] == [
+            "softmax", "softmax", "rmsnorm", "rmsnorm",
+        ]
+        assert not result[0].failed and not result[2].failed
+        assert result[1].failed and "closed" in result[1].error
+        assert result[3].failed and "closed" in result[3].error
+        # The sibling worker still produced real results.
+        assert result[0].best_time_ms > 0
+        # on_error="raise" still runs everything and carries the full report.
+        with pytest.raises(OptimizationError) as excinfo:
+            pool.optimize_many(["softmax", "softmax"], on_error="raise")
+        assert len(excinfo.value.pool_report) == 2
+        assert [report.kernel for report in excinfo.value.reports] == ["softmax"]
+
+
+def test_pool_never_drops_result_slots():
+    """A worker path that yields no report becomes a failed slot, not a gap.
+
+    Before the fix, ``optimize_many`` filtered ``None`` slots out of the
+    report list, silently shrinking (and misaligning) the results whenever a
+    worker returned fewer reports than jobs.
+    """
+    with SessionPool(["A100-sim"], config=_FAST, cache=_NO_CACHE) as pool:
+        pool.workers[0].session.optimize = lambda *args, **kwargs: None
+        result = pool.optimize_many(["softmax", "rmsnorm"])
+    assert len(result) == 2
+    assert [report.kernel for report in result] == ["softmax", "rmsnorm"]
+    assert all(report.failed for report in result)
+    assert all("no report" in report.error for report in result)
+
+
+def test_pool_backlog_settles_and_does_not_skew_least_loaded():
+    """Completed (and failed) jobs settle their backlog.
+
+    Before the fix the backlog grew unboundedly across calls — three jobs on
+    worker 0 versus one on worker 1 would steer every later ``least_loaded``
+    batch away from worker 0 forever, failed jobs included at full cost.
+    """
+    pool_config = PoolConfig(scheduler="least_loaded")
+    with SessionPool(
+        ["A100-sim", "A100-sim"], pool=pool_config, config=_FAST, cache=_NO_CACHE
+    ) as pool:
+        first = pool.optimize_many(
+            ["softmax", "rmsnorm", "softmax"], strategy="pool-fail-on-rmsnorm"
+        )
+        assert len(first.failures) == 1  # the failed job settles too
+        assert [worker.backlog for worker in pool.workers] == [0.0, 0.0]
+        # A settled pool packs fresh: the tie breaks to worker 0 again.  With
+        # the old cumulative backlog ([2.0, 1.0]) this job went to worker 1.
+        second = pool.optimize_many(["softmax"])
+        assert second.assignments == ("w0:A100-80GB-PCIe",)
+        assert [worker.backlog for worker in pool.workers] == [0.0, 0.0]
+
+
+def test_pool_close_survives_a_failing_worker_close():
+    """One worker's failing ``close()`` must not leak its siblings.
+
+    Before the fix the loop aborted at the raising worker, leaving every
+    later session (and the shared memo) alive.
+    """
+    pool = SessionPool(["A100-sim", "A30-sim"], config=_FAST, cache=_NO_CACHE)
+
+    def explode():
+        raise RuntimeError("injected close failure")
+
+    pool.workers[0].session.close = explode
+    with pytest.raises(RuntimeError, match="injected close failure"):
+        pool.close()
+    assert pool.closed
+    assert pool.workers[1].session.closed  # the sibling was still torn down
+    pool.close()  # idempotent: a second close neither raises nor re-runs
+    with pytest.raises(OptimizationError):
+        pool.worker_for("A100-sim")  # closed pools refuse worker lookups too
 
 
 # ---------------------------------------------------------------------------
