@@ -10,10 +10,24 @@ the disassembled SASS listing:
   output of a fixed-latency instruction — resolved from the built-in table,
   inferred from the original (always-valid) schedule, or deny-listed;
 * the operand/memory tables used by the state embedding.
+
+On top of the pre-game passes, :mod:`repro.analysis.verify` provides an
+independent whole-schedule semantic verifier (with structured diagnostics
+from :mod:`repro.analysis.diagnostics` over the dependence graph built by
+:mod:`repro.analysis.deps`) and ``python -m repro.analysis.lint`` exposes it
+as a linter for CI.
 """
 
 from repro.analysis.cfg import BasicBlock, ControlFlowInfo, build_cfg
 from repro.analysis.defuse import DefUseChains, RegisterAccess, build_def_use
+from repro.analysis.deps import (
+    DepEdge,
+    DependenceGraph,
+    StallConstraint,
+    build_dependence_graph,
+    may_alias,
+)
+from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity, worst_severity
 from repro.analysis.memory_table import EmbeddingTables, build_embedding_tables
 from repro.analysis.passes import PreGameAnalysis, run_pre_game_analysis
 from repro.analysis.stall_inference import (
@@ -21,6 +35,12 @@ from repro.analysis.stall_inference import (
     StallDependence,
     StallInferenceResult,
     infer_stall_counts,
+)
+from repro.analysis.verify import (
+    ScheduleVerifier,
+    VerificationResult,
+    check_scoreboard_protocol,
+    verify_schedule,
 )
 
 __all__ = [
@@ -30,6 +50,16 @@ __all__ = [
     "DefUseChains",
     "RegisterAccess",
     "build_def_use",
+    "DepEdge",
+    "DependenceGraph",
+    "StallConstraint",
+    "build_dependence_graph",
+    "may_alias",
+    "RULES",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "worst_severity",
     "EmbeddingTables",
     "build_embedding_tables",
     "Resolution",
@@ -38,4 +68,8 @@ __all__ = [
     "infer_stall_counts",
     "PreGameAnalysis",
     "run_pre_game_analysis",
+    "ScheduleVerifier",
+    "VerificationResult",
+    "check_scoreboard_protocol",
+    "verify_schedule",
 ]

@@ -1,0 +1,317 @@
+"""Whole-program dependence graph of a SASS listing.
+
+This is the seed-side half of the schedule verifier: a *second, independent*
+implementation of the legality rules that :mod:`repro.core.masking` enforces
+one swap at a time.  Where masking answers "may these two adjacent lines
+swap?", the graph records every ordered pair of instructions whose relative
+order carries meaning, so any whole schedule can be audited as a
+dependence-preserving permutation without replaying the move sequence.
+
+Edges are classified by the diagnostic rule they would fire when inverted
+(:mod:`repro.analysis.diagnostics`):
+
+* register dependences (RAW/WAR/WAW on general, predicate and uniform
+  registers) — ``V101``..``V105``;
+* scoreboard set/wait pairs — ``V201``;
+* the Ampere LDGSTS shared-base hazard — ``V401``;
+* conservative memory aliasing between accesses to the same address space —
+  ``V402`` (warning severity: the action mask does not enforce this, so an
+  inversion is advice, not an error).
+
+Besides order edges the graph precomputes the quantitative constraints that
+cannot be expressed as a pair ordering: minimum stall counts between every
+fixed-latency producer and its consumers (Algorithm 1, using the seed's
+effective stall table), and the stall slack in front of every denylisted
+memory instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.cfg import ControlFlowInfo, build_cfg
+from repro.analysis.stall_inference import StallInferenceResult, infer_stall_counts
+from repro.sass.instruction import Instruction
+from repro.sass.kernel import SassKernel
+from repro.sass.opcodes import OpcodeCategory
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """An ordered pair of seed listing indices: ``src`` must stay before ``dst``."""
+
+    src: int
+    dst: int
+    rule: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class StallConstraint:
+    """Minimum accumulated stall between a fixed-latency producer and a consumer.
+
+    The constraint is satisfied when the sum of the stall counts of every line
+    from ``producer`` (inclusive) up to ``consumer`` (exclusive) is at least
+    ``min_stall`` — exactly the quantity Algorithm 1's backward scan computes.
+    """
+
+    producer: int
+    consumer: int
+    register: int
+    min_stall: int
+
+
+@dataclass
+class DependenceGraph:
+    """Result of :func:`build_dependence_graph`."""
+
+    kernel: SassKernel
+    cfg: ControlFlowInfo
+    stalls: StallInferenceResult
+    #: ``(src, dst)`` -> edge; one (strongest) edge per ordered pair.
+    edges: dict[tuple[int, int], DepEdge] = field(default_factory=dict)
+    stall_constraints: list[StallConstraint] = field(default_factory=list)
+    #: Denylisted listing index -> accumulated stall from its block start.
+    denylist_slack: dict[int, int] = field(default_factory=dict)
+
+    def iter_edges(self) -> Iterator[DepEdge]:
+        return iter(self.edges.values())
+
+    def edges_by_rule(self, rule: str) -> list[DepEdge]:
+        return [edge for edge in self.edges.values() if edge.rule == rule]
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for edge in self.edges.values():
+            counts[edge.rule] = counts.get(edge.rule, 0) + 1
+        return {
+            "edges": len(self.edges),
+            "stall_constraints": len(self.stall_constraints),
+            "denylisted": len(self.denylist_slack),
+            **{f"edges_{rule}": count for rule, count in sorted(counts.items())},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Memory-space classification for the aliasing heuristic
+# ---------------------------------------------------------------------------
+_SHARED_CATEGORIES = {OpcodeCategory.LOAD_SHARED, OpcodeCategory.STORE_SHARED}
+_GLOBAL_CATEGORIES = {OpcodeCategory.LOAD_GLOBAL, OpcodeCategory.STORE_GLOBAL}
+
+
+def _memory_spaces(instr: Instruction) -> frozenset[str]:
+    """Address spaces an instruction may touch (empty for non-memory)."""
+    category = instr.info.category
+    if category in _SHARED_CATEGORIES:
+        return frozenset({"shared"})
+    if category in _GLOBAL_CATEGORIES:
+        return frozenset({"global"})
+    if category is OpcodeCategory.ASYNC_COPY:
+        # LDGSTS reads global and writes shared.
+        return frozenset({"global", "shared"})
+    if category is OpcodeCategory.ATOMIC:
+        return frozenset({"shared"}) if instr.base_opcode == "ATOMS" else frozenset({"global"})
+    return frozenset()
+
+
+def _access_width(instr: Instruction) -> int:
+    """Bytes touched per address, from the vector-width opcode modifier."""
+    mods = instr.modifiers
+    if "128" in mods:
+        return 16
+    if "64" in mods:
+        return 8
+    if "32" in mods:
+        return 4
+    if "16" in mods:
+        return 2
+    if "8" in mods:
+        return 1
+    return 4
+
+
+def _base_key(op) -> tuple:
+    """A hashable identity for the symbolic base address of a memory operand."""
+    return (
+        frozenset(op.base.registers()) if op.base is not None else frozenset(),
+        op.uniform_base.index if op.uniform_base is not None else None,
+        op.descriptor.index if op.descriptor is not None else None,
+    )
+
+
+def may_alias(a: Instruction, b: Instruction) -> bool:
+    """Conservative may-alias test between two memory instructions.
+
+    Accesses in disjoint address spaces never alias.  Within a space, two
+    operands with the *same* symbolic base are disjoint when their offsets are
+    farther apart than the wider access; operands with different symbolic
+    bases are assumed disjoint (Triton-generated kernels derive distinct
+    pointers for distinct tensors).  This is deliberately heuristic — it backs
+    the warning-severity ``V402`` rule, not an error.
+    """
+    if not (_memory_spaces(a) & _memory_spaces(b)):
+        return False
+    a_ops = a.memory_operands()
+    b_ops = b.memory_operands()
+    if not a_ops or not b_ops:
+        # A memory instruction without an address operand: stay conservative.
+        return True
+    width = max(_access_width(a), _access_width(b))
+    for op_a in a_ops:
+        for op_b in b_ops:
+            if _base_key(op_a) != _base_key(op_b):
+                continue
+            if abs(op_a.offset - op_b.offset) < width:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _LineFacts:
+    """Per-instruction def/use facts, precomputed once for the pair scan."""
+
+    index: int
+    instr: Instruction
+    writes: frozenset[int]
+    reads: frozenset[int]
+    pred_writes: frozenset[int]
+    pred_reads: frozenset[int]
+    ureg_writes: frozenset[int]
+    ureg_reads: frozenset[int]
+    sets: frozenset[int]
+    waits: frozenset[int]
+    is_ldgsts: bool
+    mem_regs: frozenset[int]
+    reads_memory: bool
+    writes_memory: bool
+
+
+def _facts(index: int, instr: Instruction) -> _LineFacts:
+    mem_regs: set[int] = set()
+    for op in instr.memory_operands():
+        mem_regs |= op.registers()
+    return _LineFacts(
+        index=index,
+        instr=instr,
+        writes=instr.written_registers(),
+        reads=instr.read_registers(),
+        pred_writes=instr.written_predicates(),
+        pred_reads=instr.read_predicates(),
+        ureg_writes=instr.written_uniform_registers(),
+        ureg_reads=instr.read_uniform_registers(),
+        sets=instr.control.set_barriers,
+        waits=instr.control.wait_mask,
+        is_ldgsts=instr.base_opcode == "LDGSTS",
+        mem_regs=frozenset(mem_regs),
+        reads_memory=instr.info.reads_memory,
+        writes_memory=instr.info.writes_memory,
+    )
+
+
+def _classify_pair(a: _LineFacts, b: _LineFacts) -> tuple[str, str] | None:
+    """Rule + detail for the ordered pair ``(a before b)``, or ``None``.
+
+    The first matching rule wins; all error-severity rules demand the same
+    thing (keep the order), so one edge per pair is enough.
+    """
+    raw = a.writes & b.reads
+    if raw:
+        return "V101", f"R{min(raw)} written above, read below"
+    waw = a.writes & b.writes
+    if waw:
+        return "V103", f"R{min(waw)} written by both"
+    war = a.reads & b.writes
+    if war:
+        return "V102", f"R{min(war)} read above, written below"
+    if a.pred_writes & (b.pred_reads | b.pred_writes) or b.pred_writes & a.pred_reads:
+        pred = min(a.pred_writes | b.pred_writes)
+        return "V104", f"P{pred} dependence"
+    if a.ureg_writes & (b.ureg_reads | b.ureg_writes) or b.ureg_writes & a.ureg_reads:
+        ureg = min(a.ureg_writes | b.ureg_writes)
+        return "V105", f"UR{ureg} dependence"
+    set_wait = (a.sets & b.waits) | (b.sets & a.waits)
+    if set_wait:
+        return "V201", f"scoreboard slot {min(set_wait)}"
+    if a.is_ldgsts and b.is_ldgsts and (a.mem_regs & b.mem_regs):
+        return "V401", f"shared base R{min(a.mem_regs & b.mem_regs)}"
+    if (a.writes_memory or b.writes_memory) and may_alias(a.instr, b.instr):
+        return "V402", "possibly overlapping addresses"
+    return None
+
+
+def build_dependence_graph(
+    kernel: SassKernel,
+    *,
+    cfg: ControlFlowInfo | None = None,
+    stalls: StallInferenceResult | None = None,
+) -> DependenceGraph:
+    """Build the full dependence graph of ``kernel`` (the seed listing)."""
+    cfg = cfg or build_cfg(kernel)
+    stalls = stalls if stalls is not None else infer_stall_counts(kernel, cfg=cfg)
+    graph = DependenceGraph(kernel=kernel, cfg=cfg, stalls=stalls)
+    table = stalls.effective_table
+    lines = kernel.lines
+
+    for block in cfg.blocks:
+        facts = [
+            _facts(i, line)
+            for i in range(block.start, block.end)
+            if isinstance(line := lines[i], Instruction)
+        ]
+        # Synchronizing instructions end their block and never move; they are
+        # boundary anchors in the verifier, not edge endpoints.
+        movable = [f for f in facts if not f.instr.is_sync]
+
+        # Pairwise order edges within the block.
+        for upper_pos, a in enumerate(movable):
+            for b in movable[upper_pos + 1 :]:
+                classified = _classify_pair(a, b)
+                if classified is not None:
+                    rule, detail = classified
+                    graph.edges[(a.index, b.index)] = DepEdge(a.index, b.index, rule, detail)
+
+        # Stall constraints: for every consumer, find the in-block defining
+        # instruction of each read register; fixed-latency producers with a
+        # known stall count yield a quantitative constraint (Algorithm 1).
+        for pos, consumer in enumerate(facts):
+            needed = set(consumer.reads)
+            if not needed:
+                continue
+            accumulated = 0
+            for producer in reversed(facts[:pos]):
+                accumulated += producer.instr.control.stall
+                defined = producer.writes & needed
+                if defined:
+                    needed -= defined
+                    if producer.instr.is_fixed_latency:
+                        min_stall = table.lookup(producer.instr.opcode)
+                        if min_stall is not None:
+                            graph.stall_constraints.append(
+                                StallConstraint(
+                                    producer=producer.index,
+                                    consumer=consumer.index,
+                                    register=min(defined),
+                                    min_stall=min_stall,
+                                )
+                            )
+                if not needed:
+                    break
+
+    # Stall slack ahead of denylisted instructions (their producers live
+    # outside the block, so the slack in the seed is all we can hold on to).
+    for index in stalls.denylist:
+        block = cfg.block_of(index)
+        if block is None:
+            continue
+        slack = sum(
+            line.control.stall
+            for i in range(block.start, index)
+            if isinstance(line := lines[i], Instruction)
+        )
+        graph.denylist_slack[index] = slack
+
+    return graph

@@ -133,6 +133,10 @@ class ServeConfig:
     result_store: bool = True
     #: Size bound of the result store; ``None`` keeps it unbounded.
     store_max_entries: int | None = None
+    #: Re-verify result-store hits with the static schedule verifier before
+    #: returning them; a hit that no longer verifies is invalidated and the
+    #: job re-optimizes instead of serving a stale/corrupt schedule.
+    verify_store_hits: bool = True
     #: Emit a ``measured(n)`` progress event every N candidate submissions.
     progress_every: int = 1
 
@@ -168,9 +172,14 @@ class OptimizationConfig:
     moves_per_individual: int = 8
     #: Grid-search the kernel configuration space first (stage 1 of §3.1).
     autotune: bool = True
-    #: Probabilistically test the best schedule and fall back to -O3 on
-    #: failure (§4.1).
-    verify: bool = True
+    #: Verification mode: ``"off"`` skips verification; ``"final"`` statically
+    #: verifies the best schedule against the seed's dependence graph and
+    #: probabilistically tests it (§4.1), falling back to -O3 on any failure;
+    #: ``"paranoid"`` additionally lints the seed listing and re-verifies the
+    #: schedule disassembled back out of the spliced cubin.  Booleans are
+    #: accepted for compatibility: ``True`` means ``"final"``, ``False`` means
+    #: ``"off"``.
+    verify: str | bool = "final"
     #: Trials of the probabilistic tester.
     verify_trials: int = 1
     #: Seed for strategy randomness (PPO init, random/evolutionary search).

@@ -38,8 +38,12 @@ class RunReport:
     best_time_ms: float
     #: Schedule evaluations spent (environment steps / measurements).
     evaluations: int
-    #: Probabilistic-testing outcome; ``None`` when verification was skipped.
+    #: Verification outcome (static verifier + probabilistic tester must both
+    #: pass); ``None`` when verification was skipped (``verify="off"``).
     verified: bool | None = None
+    #: Structured verifier findings (``Diagnostic.as_dict()`` payloads) from
+    #: the static schedule audit; empty when clean or not verified.
+    diagnostics: tuple = ()
     #: Deploy-cache key the artifact was stored under, if cached.
     cache_key: str | None = None
     #: Whether the artifact was written to the session cache.
@@ -93,6 +97,7 @@ class RunReport:
             "speedup": self.speedup,
             "evaluations": self.evaluations,
             "verified": self.verified,
+            "diagnostics": [dict(diag) for diag in self.diagnostics],
             "cache_key": self.cache_key,
             "cached": self.cached,
             "error": self.error,

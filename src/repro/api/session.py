@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.verify import ScheduleVerifier, VerificationResult
 from repro.api.backends import resolve_backend
 from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig
 from repro.api.report import RunReport
@@ -42,6 +43,26 @@ from repro.triton.spec import KernelSpec, get_spec
 from repro.utils.logging import get_logger
 
 _LOG = get_logger("api.session")
+
+#: Recognized verification modes, in increasing strictness.
+VERIFY_MODES = ("off", "final", "paranoid")
+
+
+def normalize_verify_mode(value: "str | bool | None", default: "str | bool" = "final") -> str:
+    """Normalize a ``verify=`` argument to one of :data:`VERIFY_MODES`.
+
+    Booleans are accepted for backwards compatibility: ``True`` is
+    ``"final"`` (static + probabilistic verification of the best schedule),
+    ``False`` is ``"off"``.  ``None`` falls through to ``default``.
+    """
+    if value is None:
+        value = default
+    if isinstance(value, bool):
+        return "final" if value else "off"
+    mode = str(value).lower()
+    if mode not in VERIFY_MODES:
+        raise ValueError(f"verify must be one of {VERIFY_MODES} or a bool, got {value!r}")
+    return mode
 
 
 @dataclasses.dataclass(frozen=True)
@@ -184,11 +205,16 @@ class Session:
         *,
         shapes: dict | None = None,
         strategy: str | None = None,
-        verify: bool | None = None,
+        verify: str | bool | None = None,
         store: bool = True,
         hooks: "SessionHooks | None" = None,
     ) -> RunReport:
-        """Full hierarchical optimization of one workload, cached on success."""
+        """Full hierarchical optimization of one workload, cached on success.
+
+        ``verify`` selects the verification mode (``"off"``, ``"final"`` or
+        ``"paranoid"``; bools are accepted as ``"off"``/``"final"``) and
+        defaults to the session config's mode.
+        """
         self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
@@ -202,7 +228,7 @@ class Session:
         compiled: CompiledKernel,
         *,
         strategy: str | None = None,
-        verify: bool | None = None,
+        verify: str | bool | None = None,
         store: bool = True,
         hooks: "SessionHooks | None" = None,
     ) -> RunReport:
@@ -213,7 +239,7 @@ class Session:
         """
         self._ensure_open()
         strategy_name = strategy or self.config.strategy
-        verify = self.config.verify if verify is None else verify
+        verify_mode = normalize_verify_mode(verify, default=self.config.verify)
         policy = self.measurement
         if hooks is not None and (hooks.checkpoint is not None or hooks.progress is not None):
             policy = dataclasses.replace(
@@ -234,19 +260,66 @@ class Session:
         verification: ProbabilisticTestResult | None = None
         best_kernel = outcome.best_kernel
         best_time_ms = outcome.best_time_ms
-        if verify:
-            verification = self.verify_kernel(compiled, best_kernel)
-            if not verification.passed:
+        diagnostics: list[dict] = []
+        verified: bool | None = None
+        verifier: ScheduleVerifier | None = None
+        if verify_mode != "off":
+            verifier = ScheduleVerifier(compiled.kernel)
+            verified = True
+            if verify_mode == "paranoid":
+                seed_lint = verifier.lint_seed()
+                if seed_lint.diagnostics:
+                    _LOG.warning(
+                        "%s: seed listing lint found %d finding(s):\n%s",
+                        compiled.kernel.metadata.name,
+                        len(seed_lint.diagnostics),
+                        seed_lint.render(compiled.kernel.metadata.name),
+                    )
+                    diagnostics.extend(d.as_dict() for d in seed_lint.diagnostics)
+            static = verifier.verify(best_kernel)
+            diagnostics.extend(d.as_dict() for d in static.diagnostics)
+            if not static.ok:
                 _LOG.warning(
-                    "%s/%s: best schedule failed probabilistic testing (%s); falling back to -O3",
+                    "%s/%s: best schedule failed static verification; falling back to -O3\n%s",
                     compiled.kernel.metadata.name,
                     strategy_name,
-                    verification.message,
+                    static.render(compiled.kernel.metadata.name),
                 )
                 best_kernel = compiled.kernel
                 best_time_ms = outcome.baseline_time_ms
+                verified = False
+            else:
+                verification = self.verify_kernel(compiled, best_kernel)
+                if not verification.passed:
+                    _LOG.warning(
+                        "%s/%s: best schedule failed probabilistic testing (%s); "
+                        "falling back to -O3",
+                        compiled.kernel.metadata.name,
+                        strategy_name,
+                        verification.message,
+                    )
+                    best_kernel = compiled.kernel
+                    best_time_ms = outcome.baseline_time_ms
+                    verified = False
 
         artifact = self._make_artifact(compiled, outcome, best_kernel, best_time_ms, verification)
+        if verify_mode == "paranoid" and verifier is not None and verified:
+            splice_audit = self._verify_spliced_artifact(compiled, artifact, verifier)
+            if splice_audit is not None and not splice_audit.ok:
+                _LOG.warning(
+                    "%s/%s: schedule disassembled from the spliced cubin failed "
+                    "re-verification; falling back to -O3\n%s",
+                    compiled.kernel.metadata.name,
+                    strategy_name,
+                    splice_audit.render(compiled.kernel.metadata.name),
+                )
+                diagnostics.extend(d.as_dict() for d in splice_audit.diagnostics)
+                best_kernel = compiled.kernel
+                best_time_ms = outcome.baseline_time_ms
+                verified = False
+                artifact = self._make_artifact(
+                    compiled, outcome, best_kernel, best_time_ms, verification
+                )
         key = self.key_for(compiled.spec, compiled.shapes)
         cached = False
         if store and self.cache is not None and not self.cache_config.readonly:
@@ -266,6 +339,7 @@ class Session:
         details["evaluations_per_sec"] = (
             outcome.evaluations / search_elapsed if search_elapsed > 0 else float("inf")
         )
+        details["verify_mode"] = verify_mode
         return RunReport(
             kernel=compiled.spec.name,
             gpu=self.gpu_name,
@@ -275,7 +349,8 @@ class Session:
             baseline_time_ms=outcome.baseline_time_ms,
             best_time_ms=best_time_ms,
             evaluations=outcome.evaluations,
-            verified=None if verification is None else verification.passed,
+            verified=verified,
+            diagnostics=tuple(diagnostics),
             cache_key=key,
             cached=cached,
             details=details,
@@ -306,6 +381,29 @@ class Session:
             cubin=splice_kernel(compiled.cubin, best_kernel),
             result=result,
         )
+
+    def _verify_spliced_artifact(
+        self,
+        compiled: CompiledKernel,
+        artifact: OptimizedKernel,
+        verifier: ScheduleVerifier,
+    ) -> VerificationResult | None:
+        """Paranoid-mode audit: disassemble the spliced cubin and re-verify.
+
+        Returns ``None`` when the cubin cannot be disassembled (logged; the
+        splice format is exercised by its own tests, so this is best-effort).
+        """
+        try:
+            respliced = disassemble(artifact.cubin, kernel_name=compiled.kernel.metadata.name)
+        except Exception as exc:
+            _LOG.warning(
+                "%s: could not disassemble the spliced cubin for paranoid "
+                "re-verification: %s",
+                compiled.kernel.metadata.name,
+                exc,
+            )
+            return None
+        return verifier.verify(respliced)
 
     def deploy(
         self,
@@ -382,7 +480,7 @@ class Session:
         *,
         jobs: int = 1,
         strategy: str | None = None,
-        verify: bool | None = None,
+        verify: str | bool | None = None,
         store: bool = True,
         on_error: str = "report",
     ) -> list[RunReport]:

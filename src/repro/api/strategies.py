@@ -105,6 +105,7 @@ def _from_search(result: ScheduleSearchResult) -> StrategyOutcome:
         details={
             "history": list(result.history),
             "measurement": dict(result.measurement_stats),
+            "invalid_actions": result.invalid_actions,
         },
     )
 
@@ -143,6 +144,7 @@ class PPOStrategy:
             if config.trace:
                 details["moves"] = trainer.trace_inference(seed=config.seed)
             details["measurement"] = trainer.env.measurement_stats.as_dict()
+            details["invalid_actions"] = trainer.env.invalid_actions
         finally:
             trainer.env.close()
         return StrategyOutcome(

@@ -23,7 +23,10 @@ from repro.core.env import AssemblyGame
 from repro.sass.kernel import SassKernel
 from repro.sim.gpu import GPUSimulator, MeasurementConfig
 from repro.triton.compiler import CompiledKernel
+from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
+
+_LOG = get_logger("baselines.search")
 
 
 @dataclass
@@ -36,8 +39,10 @@ class ScheduleSearchResult:
     best_kernel: SassKernel
     evaluations: int
     history: list[float] = field(default_factory=list)
-    #: Measurement-service counters (submitted / raw measured / memo hits).
+    #: Measurement-service counters (submitted / measured / memo hits / pruned).
     measurement_stats: dict = field(default_factory=dict)
+    #: Unmasked-but-invalid actions the env swallowed during the search.
+    invalid_actions: int = 0
 
     @property
     def speedup(self) -> float:
@@ -125,6 +130,7 @@ def run_random_search(
             evaluations=evaluations,
             history=history,
             measurement_stats=env.measurement_stats.as_dict(),
+            invalid_actions=env.invalid_actions,
         )
     finally:
         env.close()
@@ -183,6 +189,21 @@ def run_greedy_search(
                 base_kernel.swap(*env.action_space_map.target_indices(base_kernel, action))
                 for action in actions
             ]
+            # Static pre-filter: every masked action should verify legal, so
+            # anything pruned here is masking drift — skip its measurement and
+            # leave a visible trace.
+            legal = [env.verifier.is_legal(candidate) for candidate in candidates]
+            if not all(legal):
+                pruned = legal.count(False)
+                env.measurement_stats.count_pruned(pruned)
+                _LOG.warning(
+                    "greedy: pruned %d statically-illegal candidate(s) on %s; "
+                    "the action mask and the verifier disagree",
+                    pruned,
+                    base_kernel.metadata.name,
+                )
+                actions = [action for action, ok in zip(actions, legal) if ok]
+                candidates = [candidate for candidate, ok in zip(candidates, legal) if ok]
             times = env.measure_candidates(candidates)
             evaluations += len(times)
             history.extend(times)
@@ -207,6 +228,7 @@ def run_greedy_search(
             evaluations=evaluations,
             history=history,
             measurement_stats=env.measurement_stats.as_dict(),
+            invalid_actions=env.invalid_actions,
         )
     finally:
         env.close()
@@ -262,6 +284,20 @@ def run_evolutionary_search(
                     action = int(valid[action % len(valid)])
                 else:
                     action = action % len(mask)
+                # Static pre-filter (same contract as greedy): prune the move
+                # instead of measuring it when the verifier rejects the swap.
+                source, destination = env.action_space_map.target_indices(
+                    env.current_kernel, action
+                )
+                if not env.verifier.is_legal(env.current_kernel.swap(source, destination)):
+                    env.measurement_stats.count_pruned()
+                    _LOG.warning(
+                        "evolutionary: pruned statically-illegal move %d on %s; "
+                        "the action mask and the verifier disagree",
+                        action,
+                        env.current_kernel.metadata.name,
+                    )
+                    continue
                 _, _, terminated, truncated, info = env.step(action)
                 evaluations += 1
                 last_time = info.get("time_ms", last_time)
@@ -297,6 +333,7 @@ def run_evolutionary_search(
             evaluations=evaluations,
             history=history,
             measurement_stats=env.measurement_stats.as_dict(),
+            invalid_actions=env.invalid_actions,
         )
     finally:
         env.close()

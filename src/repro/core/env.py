@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.passes import PreGameAnalysis, run_pre_game_analysis
+from repro.analysis.verify import ScheduleVerifier
 from repro.arch.latency_table import StallCountTable
 from repro.core.actions import ActionSpace
 from repro.core.embedding import StateEmbedder
@@ -140,6 +141,10 @@ class AssemblyGame(Env):
         self.best_time_ms = self.baseline_time_ms
         self.best_kernel = self.initial_kernel
         self.episodes: list[EpisodeRecord] = []
+        #: Unmasked-but-invalid actions swallowed by :meth:`step`; a non-zero
+        #: count from a mask-respecting agent means the masking has drifted.
+        self.invalid_actions = 0
+        self._verifier: "ScheduleVerifier | None" = None
 
         self._kernel = self.initial_kernel
         self._previous_time_ms = self.baseline_time_ms
@@ -166,6 +171,22 @@ class AssemblyGame(Env):
     def measurement_stats(self) -> MeasurementStats:
         """Raw-measurement / memoization counters of the measurement service."""
         return self.measure_service.stats
+
+    @property
+    def verifier(self) -> ScheduleVerifier:
+        """Whole-schedule semantic verifier over this env's seed listing.
+
+        Built lazily (and once) from the pre-game analysis; the searches use
+        its :meth:`~repro.analysis.verify.ScheduleVerifier.is_legal` fast path
+        to prune statically-illegal candidates before measurement.
+        """
+        if self._verifier is None:
+            self._verifier = ScheduleVerifier(
+                self.initial_kernel,
+                cfg=self.analysis.cfg,
+                stalls=self.analysis.stalls,
+            )
+        return self._verifier
 
     def close(self) -> None:
         """Release the measurement service's workers (no-op for inline)."""
@@ -211,6 +232,15 @@ class AssemblyGame(Env):
         if not mask[action]:
             # An invalid action should have been masked by the agent; treat it
             # as a no-op with zero reward so training remains well defined.
+            self.invalid_actions += 1
+            log = _LOG.warning if self.invalid_actions == 1 else _LOG.debug
+            log(
+                "%s: invalid action %d swallowed (%d so far); a mask-respecting "
+                "agent should never send one — check for masking drift",
+                self.initial_kernel.metadata.name,
+                action,
+                self.invalid_actions,
+            )
             observation = self.embedder.embed(self._kernel)
             self._steps += 1
             truncated = self._steps >= self.episode_length

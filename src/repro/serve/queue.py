@@ -42,6 +42,7 @@ import time
 from collections import deque
 from typing import Iterable, Sequence
 
+from repro.analysis.verify import verify_schedule
 from repro.api.backends import backend_spec
 from repro.api.config import ServeConfig
 from repro.api.report import JobRecord, JobStatus, RunReport
@@ -501,6 +502,9 @@ class JobQueue:
         if self.store is not None and job.use_store:
             key = self._store_key(session, job)
             hit = None if key is None else self.store.get(key)
+            if hit is not None and not self._store_hit_ok(hit):
+                self.store.invalidate(key)
+                hit = None  # fall through: re-optimize instead of serving it
             if hit is not None:
                 with self._work:
                     job.from_store = True
@@ -579,6 +583,40 @@ class JobQueue:
             return session.key_for(job.spec, job.shapes)
         except Exception:
             return None  # unknown spec: let the run itself surface the error
+
+    def _store_hit_ok(self, hit: RunReport) -> bool:
+        """Gate a result-store hit behind the static schedule verifier.
+
+        A stored report is served only while its schedule still audits as a
+        dependence-preserving permutation of the seed it was optimized from;
+        a hit that no longer verifies (stale entry, corrupted artifact) is
+        invalidated and the job re-optimizes instead.  Reports without an
+        artifact carry no schedule to audit and pass through unchanged.
+        """
+        if not self.serve_config.verify_store_hits:
+            return True
+        artifact = hit.artifact
+        if artifact is None:
+            return True
+        try:
+            result = verify_schedule(
+                artifact.compiled.kernel, artifact.optimized.kernel,
+                include_warnings=False,
+            )
+        except Exception as exc:  # noqa: BLE001 - a crashing audit is a failed audit
+            _LOG.warning(
+                "store-hit audit of %s crashed (%s: %s); invalidating the entry",
+                hit.kernel, type(exc).__name__, exc,
+            )
+            return False
+        if not result.ok:
+            _LOG.warning(
+                "store-hit for %s failed re-verification with %d error(s); "
+                "invalidating the entry and re-optimizing",
+                hit.kernel, len(result.errors),
+            )
+            return False
+        return True
 
     def _checkpoint_for(self, job: _Job):
         def checkpoint() -> None:

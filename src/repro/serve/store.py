@@ -25,6 +25,7 @@ class ResultStoreStats:
     hits: int = 0
     stores: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -32,6 +33,7 @@ class ResultStoreStats:
             "hits": self.hits,
             "stores": self.stores,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -66,6 +68,18 @@ class ResultStore:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop the entry for ``key`` (e.g. a hit that failed re-verification).
+
+        Returns whether an entry was actually removed; invalidating an absent
+        key is a no-op so concurrent invalidators cannot double-count.
+        """
+        with self._lock:
+            if self._entries.pop(key, None) is None:
+                return False
+            self.stats.invalidations += 1
+            return True
 
     def clear(self) -> None:
         with self._lock:

@@ -57,12 +57,20 @@ class MeasurementStats:
     measured: int = 0
     #: Requests answered from the memoization table instead of the simulator.
     memo_hits: int = 0
+    #: Candidates rejected by the static schedule verifier before measurement
+    #: (counted by the searches, not the service itself).
+    pruned: int = 0
+
+    def count_pruned(self, n: int = 1) -> None:
+        """Record ``n`` candidates statically pruned ahead of measurement."""
+        self.pruned += n
 
     def as_dict(self) -> dict:
         return {
             "submitted": self.submitted,
             "measured": self.measured,
             "memo_hits": self.memo_hits,
+            "pruned": self.pruned,
         }
 
 

@@ -100,9 +100,10 @@ def test_every_strategy_returns_same_report_shape(session, strategy):
     summary = report.summary()
     assert set(summary) == {
         "kernel", "gpu", "strategy", "shapes", "config", "baseline_time_ms",
-        "best_time_ms", "speedup", "evaluations", "verified", "cache_key", "cached",
-        "error",
+        "best_time_ms", "speedup", "evaluations", "verified", "diagnostics",
+        "cache_key", "cached", "error",
     }
+    assert summary["diagnostics"] == []
     assert not report.failed
     assert report.details["evaluations_per_sec"] > 0
     assert isinstance(report.to_json(), str)
