@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Optimize the full LLM kernel suite (the paper's Table 2 / Figure 6 workloads).
+"""Optimize the full LLM kernel suite (the registry's ``llm``-tagged workloads).
 
 ``session.optimize_many`` fans the hierarchical search of §3.1 out over every
-evaluated kernel — grid-search autotuning of the kernel configuration followed
-by RL optimization of the SASS schedule — and returns one structured
-``RunReport`` per workload, printed as a Figure-6-style table of normalized
-throughput against the Triton (-O3) baseline.
+``llm``-tagged kernel in the registry — the paper's Table 2 / Figure 6
+workloads plus the extended suite (fused layernorm, MoE dispatch scan) —
+grid-search autotuning of the kernel configuration followed by RL
+optimization of the SASS schedule, returning one structured ``RunReport``
+per workload, printed as a Figure-6-style table of normalized throughput
+against the Triton (-O3) baseline.
 
 Run with:  python examples/llm_kernel_suite.py
 """
@@ -13,7 +15,7 @@ Run with:  python examples/llm_kernel_suite.py
 from statistics import geometric_mean
 
 from repro.api import CacheConfig, OptimizationConfig, Session
-from repro.bench.experiments import EVALUATED_KERNELS
+from repro.triton.spec import available_kernels
 from repro.utils.logging import enable_console_logging
 
 
@@ -30,7 +32,10 @@ def main() -> None:
         ),
     )
 
-    reports = session.optimize_many(EVALUATED_KERNELS, jobs=2)
+    # Enumerate the suite from the kernel registry: every ``llm``-tagged
+    # workload, which grows automatically as kernels are registered.
+    workloads = available_kernels(tags=("llm",))
+    reports = session.optimize_many(workloads, jobs=2)
     succeeded = []
     for report in reports:
         if report.failed:

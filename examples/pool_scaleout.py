@@ -28,7 +28,15 @@ def main() -> None:
         autotune=False,
         verify=False,
     )
-    workloads = ["mmLeakyReLu", "rmsnorm", "mmLeakyReLu", "rmsnorm", "softmax", "bmm"]
+    # Enumerate from the kernel registry: the gemm family plus the
+    # timing-bench set (bmm carries both tags, so it appears twice —
+    # duplicate jobs exercise the shared measurement memo).
+    from repro.triton.spec import available_kernels
+
+    workloads = [
+        *available_kernels(tags=("gemm",)),
+        *available_kernels(tags=("timing-bench",)),
+    ]
 
     with tempfile.TemporaryDirectory() as cache_dir:
         with SessionPool(

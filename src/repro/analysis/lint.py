@@ -17,6 +17,7 @@ Exit codes, linter-style::
 Examples::
 
     python -m repro.analysis.lint softmax bmm --scale test
+    python -m repro.analysis.lint --all --scale test      # every registered kernel
     python -m repro.analysis.lint softmax --schedule candidate.sass --strict
     python -m repro.analysis.lint dump.sass --json
 """
@@ -94,8 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lint SASS schedules with the independent dependence verifier.",
     )
     parser.add_argument(
-        "kernels", nargs="+", metavar="KERNEL",
+        "kernels", nargs="*", metavar="KERNEL",
         help="bundled kernel spec name (e.g. softmax) or path to a .sass listing",
+    )
+    parser.add_argument(
+        "--all", action="store_true", dest="all_kernels",
+        help="lint every kernel in the spec registry (the CI gate's mode, so "
+        "newly registered kernels are gated automatically)",
     )
     parser.add_argument(
         "--schedule", type=Path, default=None, metavar="PATH",
@@ -123,11 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.schedule is not None and len(args.kernels) != 1:
-        parser.error("--schedule requires exactly one seed KERNEL")
     try:
+        targets = list(args.kernels)
+        if args.all_kernels:
+            import repro.triton.kernels  # noqa: F401  (registers the bundled specs)
+            from repro.triton.spec import available_kernels
+
+            targets.extend(available_kernels())
+        if not targets:
+            parser.error("give at least one KERNEL, or --all")
+        if args.schedule is not None and len(targets) != 1:
+            parser.error("--schedule requires exactly one seed KERNEL")
         failed = False
-        for target in args.kernels:
+        for target in targets:
             name, seed = _load_seed(target, args.scale)
             result = _lint_one(
                 name, seed, args.schedule, as_json=args.as_json, quiet=args.quiet,

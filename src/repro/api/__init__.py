@@ -10,6 +10,10 @@ optimize-once / deploy-from-cache workflow (§4):
   extend with :func:`register_strategy`.
 * Backend registry — simulated GPU targets keyed by name; extend with
   :func:`register_backend`.
+* Regime / preset registries — named :class:`MeasurementPolicy` and
+  :class:`OptimizationConfig` presets (:func:`register_regime`,
+  :func:`register_preset`); composed with kernels and backends into the
+  declarative scenario matrix of :mod:`repro.scenarios`.
 
 Scale-out lives in :mod:`repro.pool`: a :class:`~repro.pool.SessionPool`
 shards ``optimize_many`` workloads across several worker sessions and returns
@@ -33,6 +37,18 @@ from repro.api.config import (
     OptimizationConfig,
     PoolConfig,
     ServeConfig,
+)
+from repro.api.presets import (
+    PresetSpec,
+    available_presets,
+    preset_spec,
+    register_preset,
+)
+from repro.api.regimes import (
+    RegimeSpec,
+    available_regimes,
+    regime_spec,
+    register_regime,
 )
 from repro.api.report import JobRecord, JobStatus, PoolReport, RunReport, WorkerReport
 from repro.api.session import Session, SessionHooks
@@ -70,4 +86,12 @@ __all__ = [
     "create_backend",
     "resolve_backend",
     "available_backends",
+    "RegimeSpec",
+    "register_regime",
+    "regime_spec",
+    "available_regimes",
+    "PresetSpec",
+    "register_preset",
+    "preset_spec",
+    "available_presets",
 ]

@@ -1,0 +1,120 @@
+"""Optimization-preset registry: named :class:`OptimizationConfig` presets.
+
+Completes the registry quartet (kernels, backends, regimes, optimization
+presets) the scenario layer composes.  Same idiom as
+:mod:`repro.api.backends`: canonical names, case-insensitive aliases,
+tag-filtered enumeration.  Scenarios reference presets by name and may layer
+field overrides on top (``OptimizationConfig.replace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.api.config import OptimizationConfig
+
+
+@dataclass(frozen=True, slots=True)
+class PresetSpec:
+    """One registered optimization preset."""
+
+    name: str
+    description: str
+    config: OptimizationConfig
+    aliases: tuple[str, ...] = ()
+    tags: tuple[str, ...] = ()
+
+
+_PRESETS: dict[str, PresetSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_preset(
+    name: str,
+    config: OptimizationConfig,
+    *,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+    tags: tuple[str, ...] = (),
+) -> PresetSpec:
+    """Register an optimization config under ``name`` (and its aliases)."""
+    spec = PresetSpec(
+        name=name, description=description, config=config,
+        aliases=tuple(aliases), tags=tuple(tags),
+    )
+    _PRESETS[name] = spec
+    _ALIASES[name.lower()] = name
+    for alias in spec.aliases:
+        _ALIASES[alias.lower()] = name
+    return spec
+
+
+def available_presets(*, tags: Iterable[str] | None = None) -> tuple[str, ...]:
+    """Canonical names of every registered preset, optionally tag-filtered."""
+    names = sorted(_PRESETS)
+    if tags is not None:
+        wanted = set(tags)
+        names = [name for name in names if wanted <= set(_PRESETS[name].tags)]
+    return tuple(names)
+
+
+def preset_spec(name: str) -> PresetSpec:
+    """Look a preset up by canonical name or alias (case-insensitive)."""
+    try:
+        return _PRESETS[_ALIASES[name.lower()]]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown optimization preset {name!r}; available: {list(available_presets())}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Built-in presets
+# ---------------------------------------------------------------------------
+register_preset(
+    "default",
+    OptimizationConfig(),
+    aliases=("ppo",),
+    description="The paper's §3 configuration: PPO over the assembly game, "
+    "stage-1 autotuning, final verification.",
+)
+
+register_preset(
+    "smoke",
+    OptimizationConfig(
+        strategy="greedy",
+        search_budget=8,
+        episode_length=8,
+        autotune=False,
+        verify="final",
+    ),
+    aliases=("greedy-smoke",),
+    description="Cheapest useful search: short greedy walk, no autotuning; "
+    "the scenario suite runner's default.",
+    tags=("smoke",),
+)
+
+register_preset(
+    "ppo-short",
+    OptimizationConfig(
+        strategy="ppo",
+        episode_length=8,
+        train_timesteps=64,
+    ),
+    description="Abbreviated PPO run for quick end-to-end RL coverage.",
+    tags=("smoke",),
+)
+
+register_preset(
+    "thorough",
+    OptimizationConfig(
+        strategy="evolutionary",
+        population=8,
+        generations=8,
+        search_budget=128,
+        verify="paranoid",
+    ),
+    aliases=("evolutionary",),
+    description="Widest training-free search with paranoid verification.",
+)

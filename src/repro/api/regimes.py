@@ -1,0 +1,100 @@
+"""Measurement-regime registry: named :class:`MeasurementPolicy` presets.
+
+The paper measures with one fixed CUDA-events protocol (§3.6); the harness
+wants to sweep *regimes* — deterministic vs. noisy measurement, full-length
+vs. quick smoke protocols — without every consumer hand-building
+:class:`~repro.api.config.MeasurementPolicy` objects.  Same registry idiom
+as :mod:`repro.api.backends`: canonical names, case-insensitive aliases,
+tag-filtered enumeration.  The scenario layer (:mod:`repro.scenarios`)
+references regimes by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.api.config import MeasurementPolicy
+
+
+@dataclass(frozen=True, slots=True)
+class RegimeSpec:
+    """One registered measurement regime."""
+
+    name: str
+    description: str
+    policy: MeasurementPolicy
+    aliases: tuple[str, ...] = ()
+    tags: tuple[str, ...] = ()
+
+
+_REGIMES: dict[str, RegimeSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_regime(
+    name: str,
+    policy: MeasurementPolicy,
+    *,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+    tags: tuple[str, ...] = (),
+) -> RegimeSpec:
+    """Register a measurement policy under ``name`` (and its aliases)."""
+    spec = RegimeSpec(
+        name=name, description=description, policy=policy,
+        aliases=tuple(aliases), tags=tuple(tags),
+    )
+    _REGIMES[name] = spec
+    _ALIASES[name.lower()] = name
+    for alias in spec.aliases:
+        _ALIASES[alias.lower()] = name
+    return spec
+
+
+def available_regimes(*, tags: Iterable[str] | None = None) -> tuple[str, ...]:
+    """Canonical names of every registered regime, optionally tag-filtered."""
+    names = sorted(_REGIMES)
+    if tags is not None:
+        wanted = set(tags)
+        names = [name for name in names if wanted <= set(_REGIMES[name].tags)]
+    return tuple(names)
+
+
+def regime_spec(name: str) -> RegimeSpec:
+    """Look a regime up by canonical name or alias (case-insensitive)."""
+    try:
+        return _REGIMES[_ALIASES[name.lower()]]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown measurement regime {name!r}; available: {list(available_regimes())}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Built-in regimes
+# ---------------------------------------------------------------------------
+register_regime(
+    "default",
+    MeasurementPolicy(),
+    aliases=("deterministic",),
+    description="The §3.6 protocol: 100 warm-up + 100 timed launches, no noise.",
+    tags=("deterministic",),
+)
+
+register_regime(
+    "noisy",
+    MeasurementPolicy(noise_std=0.01),
+    aliases=("noise-1pct",),
+    description="Measurement noise at the paper's reported run-to-run std (1%); "
+    "stresses search robustness against misleading rewards.",
+    tags=("adversarial",),
+)
+
+register_regime(
+    "quick",
+    MeasurementPolicy(warmup_iterations=10, measure_iterations=10),
+    aliases=("smoke",),
+    description="Shortened deterministic protocol for smoke runs and CI.",
+    tags=("deterministic", "smoke"),
+)

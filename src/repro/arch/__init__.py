@@ -1,6 +1,7 @@
-"""GPU architecture model: Ampere/A100 parameters, latencies and register banks."""
+"""GPU architecture model: Ampere/Hopper parameters, latencies and register banks."""
 
 from repro.arch.ampere import A100, AmpereConfig
+from repro.arch.hopper import H100, HopperConfig
 from repro.arch.latency_table import (
     STALL_COUNT_TABLE,
     StallCountTable,
@@ -13,6 +14,8 @@ from repro.arch.registers import RegisterBankModel
 __all__ = [
     "AmpereConfig",
     "A100",
+    "HopperConfig",
+    "H100",
     "StallCountTable",
     "STALL_COUNT_TABLE",
     "default_stall_table",

@@ -1,0 +1,67 @@
+"""Hopper (H100) architecture parameters used by the simulator.
+
+Same modelling philosophy as :mod:`repro.arch.ampere`: the numbers follow
+NVIDIA's GH100 whitepaper and the Hopper microbenchmarking literature
+(Luo et al., "Benchmarking and Dissecting the Nvidia Hopper GPU
+Architecture"), rounded to the granularity the timing model cares about.
+What matters is the *relationships* that change scheduling pressure versus
+Ampere: more SMs at a higher clock, a larger shared-memory carve-out
+(228 KB), a deeper L2/DRAM path (HBM3 latency is measurably higher than
+A100's HBM2e), and tensor cores with twice the per-partition HMMA
+throughput.
+
+The cubin container format stays sm_80 — the frozen seed ISA is the paper's
+Ampere SASS subset — so an H100 backend reuses the same decoded programs and
+differs only through this latency/throughput table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.ampere import AmpereConfig, MemoryTimings
+
+
+@dataclass(frozen=True)
+class HopperMemoryTimings(MemoryTimings):
+    """GH100 memory-hierarchy timings (SM-cycle latencies)."""
+
+    #: Shared-memory load-to-use is a touch deeper than GA100.
+    shared_latency: int = 29
+    #: L1 hit latency barely moved.
+    l1_latency: int = 33
+    #: L2 is physically partitioned; far-partition hits dominate the average.
+    l2_latency: int = 260
+    #: HBM3 round trip at 1755 MHz SM clock.
+    dram_latency: int = 650
+    #: The TMA/LDGSTS path adds a similar fixed overhead to Ampere's.
+    async_copy_extra: int = 26
+    #: More outstanding-request capacity per SM.
+    mshr_per_sm: int = 64
+    #: HBM3 ~3.35 TB/s across 132 SMs @ 1755 MHz -> ~14.5 B/SM/cycle.
+    dram_bytes_per_cycle_per_sm: float = 14.5
+
+
+@dataclass(frozen=True)
+class HopperConfig(AmpereConfig):
+    """Top-level GH100 machine description consumed by :mod:`repro.sim`.
+
+    Subclasses :class:`AmpereConfig` so every ``isinstance`` coercion path
+    (``resolve_backend``, ``GPUSimulator(config)``) accepts it unchanged.
+    """
+
+    name: str = "H100-80GB-SXM"
+    compute_capability: int = 90
+    #: GH100 as shipped in SXM5 H100: 132 SMs.
+    num_sms: int = 132
+    #: Shared memory carve-out grows to 228 KB usable per SM.
+    shared_memory_per_sm: int = 228 * 1024
+    #: Boost clock of the SXM5 part.
+    clock_mhz: float = 1755.0
+    #: 4th-gen tensor cores retire HMMA at twice the GA100 rate.
+    hmma_issue_interval: int = 2
+    memory: MemoryTimings = field(default_factory=HopperMemoryTimings)
+
+
+#: The Hopper-class target registered as ``H100-sim`` in :mod:`repro.api.backends`.
+H100 = HopperConfig()

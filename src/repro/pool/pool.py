@@ -155,6 +155,33 @@ class SessionPool:
             self.shared_memo is not None,
         )
 
+    @classmethod
+    def for_scenarios(
+        cls,
+        scenarios: "Iterable[object]",
+        **kwargs,
+    ) -> "SessionPool":
+        """A pool whose workers cover every backend the scenarios target.
+
+        ``scenarios`` is any iterable of :class:`repro.scenarios.Scenario`
+        (or anything with a ``backend`` attribute); one worker is created per
+        distinct backend, in first-appearance order.  Scenario-specific
+        measurement regimes / optimization presets are *not* derived here —
+        a pool's workers share one :class:`MeasurementPolicy` and
+        :class:`OptimizationConfig`, so callers (e.g. the
+        ``repro.scenarios.run`` suite runner) group scenarios by regime and
+        preset and build one pool per group, passing that group's
+        ``config=``/``measurement=`` through ``kwargs``.
+        """
+        backends: list[str] = []
+        for scenario in scenarios:
+            name = backend_spec(scenario.backend).name  # type: ignore[attr-defined]
+            if name not in backends:
+                backends.append(name)
+        if not backends:
+            raise ValueError("for_scenarios needs at least one scenario")
+        return cls(backends=backends, **kwargs)
+
     @staticmethod
     def _namespace(backend_name: str) -> str:
         """Filesystem-safe per-backend cache namespace (§4.2 keys stay per-GPU)."""

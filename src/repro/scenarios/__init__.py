@@ -1,0 +1,34 @@
+"""Declarative scenario layer: kernels × backends × scales × regimes.
+
+One :class:`Scenario` names a point of the evaluation matrix by reference to
+the four axis registries (kernel specs, GPU backends, measurement regimes,
+optimization presets).  Importing this package registers the built-in matrix
+(:mod:`repro.scenarios.builtin`); run it with::
+
+    python -m repro.scenarios.run --list
+    python -m repro.scenarios.run softmax --scale test
+
+Adding a kernel (one file in ``repro/triton/kernels/``), a backend (one
+``register_backend`` call) or a regime (one ``register_regime`` call)
+automatically flows into the matrix here.
+"""
+
+from repro.scenarios.registry import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenarios_matching,
+)
+
+# Importing the kernel library and builtin module populates the registries.
+import repro.triton.kernels  # noqa: F401  (side-effect import)
+import repro.scenarios.builtin  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "all_scenarios",
+    "scenarios_matching",
+]

@@ -1,0 +1,161 @@
+"""Built-in scenario population: the evaluation matrix shipped with the repo.
+
+Importing this module (which :mod:`repro.scenarios` does as a side effect)
+registers:
+
+* **core** — every registered kernel on the paper's A100 target at test
+  scale, deterministic measurement.  Grows automatically when a kernel is
+  registered before this module is imported.
+* **hopper** — the same kernel sweep on the simulated H100, exercising the
+  Hopper latency table end to end.
+* **backend-sweep** — the two timing-bench workloads across the remaining
+  Ampere parts (A100-40GB, A30, RTX3090).
+* **adversarial** — noisy-measurement regimes plus register-pressure and
+  register-bank-conflict shape variants (shapes chosen to stay within the
+  240-register budget and lint clean at test scale).
+* **bench** — bench-scale entries for the perf-trajectory workloads.
+
+All built-ins use the ``smoke`` optimization preset so a full matrix run
+stays CI-sized; heavier presets are one ``config_overrides``/``preset``
+edit away.
+"""
+
+from __future__ import annotations
+
+from repro.api.backends import available_backends
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.triton.spec import available_kernels
+
+#: The paper's primary target and the new Hopper-class part.
+_PRIMARY = "A100-80GB-PCIe"
+_HOPPER = "H100-80GB-SXM"
+
+
+def _register_builtins() -> None:
+    kernels = available_kernels()
+
+    # Core matrix: every kernel on the primary target.
+    for kernel in kernels:
+        register_scenario(
+            Scenario(
+                kernel=kernel,
+                backend=_PRIMARY,
+                scale="test",
+                regime="default",
+                preset="smoke",
+                description=f"{kernel} on the paper's A100 target, deterministic measurement",
+                tags=("core",),
+            )
+        )
+
+    # Hopper sweep: the full kernel set on the simulated H100.
+    for kernel in kernels:
+        register_scenario(
+            Scenario(
+                kernel=kernel,
+                backend=_HOPPER,
+                scale="test",
+                regime="default",
+                preset="smoke",
+                description=f"{kernel} on the simulated H100 (Hopper latency table)",
+                tags=("hopper", "backend-sweep"),
+            )
+        )
+
+    # Remaining backends: timing-bench workloads on every other registered part.
+    others = tuple(
+        name for name in available_backends() if name not in (_PRIMARY, _HOPPER)
+    )
+    for kernel in available_kernels(tags=("timing-bench",)):
+        for backend in others:
+            register_scenario(
+                Scenario(
+                    kernel=kernel,
+                    backend=backend,
+                    scale="test",
+                    regime="default",
+                    preset="smoke",
+                    description=f"{kernel} retargeted to {backend}",
+                    tags=("backend-sweep",),
+                )
+            )
+
+    # Adversarial: noisy measurement on one compute- and one memory-bound
+    # workload (the regimes where misleading rewards hurt most).
+    for kernel in ("softmax", "bmm", "flash-attention"):
+        register_scenario(
+            Scenario(
+                kernel=kernel,
+                backend=_PRIMARY,
+                scale="test",
+                regime="noisy",
+                preset="smoke",
+                description=f"{kernel} under 1% run-to-run measurement noise",
+                tags=("adversarial", "noisy"),
+            )
+        )
+
+    # Adversarial: register-pressure-bound row width.  n_cols=1536 keeps 12
+    # fragment streams live through the softmax reduction — the widest row
+    # that both fits the 240-register budget and lints clean.
+    register_scenario(
+        Scenario(
+            kernel="softmax",
+            backend=_PRIMARY,
+            scale="test",
+            regime="default",
+            preset="smoke",
+            shape_overrides=(("n_cols", 1536),),
+            variant="regpressure",
+            description="softmax at the widest register-clean row (12 live fragments)",
+            tags=("adversarial", "register-pressure"),
+        )
+    )
+
+    # Adversarial: register-bank-conflict-heavy operand mix.  The fused
+    # layernorm kernel's four concurrent fragment streams (y, weight, bias,
+    # out) produce the highest measured bank-conflict stall count of the
+    # lint-clean shape set.
+    register_scenario(
+        Scenario(
+            kernel="layernorm-residual",
+            backend=_PRIMARY,
+            scale="test",
+            regime="default",
+            preset="smoke",
+            shape_overrides=(("n_rows", 16),),
+            variant="bankconflict",
+            description="fused layernorm's 4-stream operand mix maximizes register-bank conflicts",
+            tags=("adversarial", "bank-conflict"),
+        )
+    )
+
+    # Quick-regime smoke entry (third measurement regime in the matrix).
+    register_scenario(
+        Scenario(
+            kernel="fused_ff",
+            backend=_PRIMARY,
+            scale="test",
+            regime="quick",
+            preset="smoke",
+            description="fused feed-forward under the shortened smoke protocol",
+            tags=("smoke",),
+        )
+    )
+
+    # Bench scale: the perf-trajectory workloads at harness shapes.
+    for kernel in available_kernels(tags=("timing-bench",)):
+        register_scenario(
+            Scenario(
+                kernel=kernel,
+                backend=_PRIMARY,
+                scale="bench",
+                regime="default",
+                preset="smoke",
+                description=f"{kernel} at bench scale (perf-trajectory shapes)",
+                tags=("bench",),
+            )
+        )
+
+
+_register_builtins()

@@ -281,6 +281,22 @@ class JobQueue:
             self._work.notify_all()
         return JobHandle(self, job)
 
+    def submit_scenario(self, scenario, **options) -> JobHandle:
+        """Queue one :class:`repro.scenarios.Scenario` (kernel + backend + shapes).
+
+        The scenario's kernel, backend restriction and resolved shapes (scale
+        plus per-scenario overrides) become the job; any additional keyword
+        arguments are forwarded to :meth:`submit`.  The pool must already
+        have a worker for the scenario's backend — build one with
+        :meth:`repro.pool.SessionPool.for_scenarios`.
+        """
+        return self.submit(
+            scenario.kernel,
+            backend=scenario.backend,
+            shapes=scenario.shapes(),
+            **options,
+        )
+
     def submit_many(
         self,
         specs: Iterable[str | KernelSpec],

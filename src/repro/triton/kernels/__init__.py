@@ -1,13 +1,19 @@
-"""Workload kernel library (Table 2 of the paper).
+"""Workload kernel library.
 
-Importing this package registers every evaluated kernel spec:
-``fused_ff``, ``mmLeakyReLu``, ``bmm``, ``flash-attention`` (compute-bound)
-and ``softmax``, ``rmsnorm`` (memory-bound).
+Importing this package registers every bundled kernel spec: the six Table 2
+workloads — ``fused_ff``, ``mmLeakyReLu``, ``bmm``, ``flash-attention``
+(compute-bound) and ``softmax``, ``rmsnorm`` (memory-bound) — plus the
+extended LLM suite: ``layernorm-residual`` (fused residual + layernorm) and
+``seg-scan`` (MoE token-dispatch prefix scan).  Enumerate them through
+:func:`repro.triton.spec.available_kernels` rather than importing the
+constants below.
 """
 
 from repro.triton.kernels.flash_attention import FLASH_ATTENTION
 from repro.triton.kernels.gemm import BMM, FUSED_FF, MM_LEAKY_RELU, build_gemm_program
+from repro.triton.kernels.layernorm import LAYERNORM_RESIDUAL, build_layernorm_program
 from repro.triton.kernels.rmsnorm import RMSNORM, build_rmsnorm_program
+from repro.triton.kernels.segscan import SEG_SCAN, build_segscan_program
 from repro.triton.kernels.softmax import SOFTMAX, build_softmax_program
 
 __all__ = [
@@ -17,7 +23,11 @@ __all__ = [
     "FLASH_ATTENTION",
     "SOFTMAX",
     "RMSNORM",
+    "LAYERNORM_RESIDUAL",
+    "SEG_SCAN",
     "build_gemm_program",
     "build_softmax_program",
     "build_rmsnorm_program",
+    "build_layernorm_program",
+    "build_segscan_program",
 ]

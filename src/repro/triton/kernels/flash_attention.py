@@ -151,5 +151,7 @@ FLASH_ATTENTION = register_spec(
         test_shapes={"B": 1, "n_head": 2, "seq_len": 128, "d_head": 32},
         compute_bound=True,
         description="fused self-attention with online softmax (flash-attention)",
+        aliases=("flash_attention", "attention"),
+        tags=("table2", "attention", "llm"),
     )
 )

@@ -274,6 +274,8 @@ MM_LEAKY_RELU = register_spec(
         test_shapes={"B": 1, "M": 64, "N": 32, "K": 128},
         compute_bound=True,
         description="fused GEMM with a LeakyReLU epilogue",
+        aliases=("mm_leaky_relu", "mm-leaky-relu"),
+        tags=("table2", "gemm"),
     )
 )
 
@@ -294,6 +296,8 @@ BMM = register_spec(
         test_shapes={"B": 2, "M": 64, "N": 32, "K": 128},
         compute_bound=True,
         description="batched matrix multiplication",
+        aliases=("batched-matmul",),
+        tags=("table2", "gemm", "llm", "timing-bench"),
     )
 )
 
@@ -314,5 +318,7 @@ FUSED_FF = register_spec(
         test_shapes={"B": 1, "M": 64, "N": 32, "K": 128},
         compute_bound=True,
         description="fused SiLU-gated feed-forward (LLaMA MLP)",
+        aliases=("fused-ff", "ffn"),
+        tags=("table2", "gemm", "llm"),
     )
 )

@@ -94,5 +94,7 @@ RMSNORM = register_spec(
         test_shapes={"n_rows": 8, "hidden": 512},
         compute_bound=False,
         description="root-mean-square layer normalization",
+        aliases=("rms-norm",),
+        tags=("table2", "normalization", "llm", "timing-bench"),
     )
 )

@@ -1,0 +1,96 @@
+"""Segmented chunk-granular prefix scan (MoE token-dispatch offsets).
+
+Mixture-of-experts dispatch needs, per expert, the running offsets at which
+each block of routed tokens lands in the expert's contiguous buffer.  The
+standard decomposition splits the scan into an intra-chunk part (done locally
+at scatter time) and the inter-chunk carry chain, which is what this kernel
+computes: each row is one expert's segment of per-slot token weights, and
+every element of chunk *j* is biased by the sum of all chunks before *j*::
+
+    out[row, j*C : (j+1)*C] = x[row, j*C : (j+1)*C] + sum(x[row, : j*C])
+
+Scheduling-wise this is the adversarial opposite of softmax: the carry is a
+*serial* scalar dependence chain through every chunk (load -> reduce -> add
+-> next chunk), so the schedule quality hinges on hoisting the independent
+global loads above the chain — exactly the interleaving the paper's
+optimizer is supposed to discover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.sim.launch import GridConfig
+from repro.triton.ir import TileProgram
+from repro.triton.spec import KernelSpec, register_spec
+
+_CHUNK_BYTES = 512  # fp16 elements per fragment = 256
+
+
+def build_segscan_program(shapes: dict, config: dict) -> TileProgram:
+    n_cols = shapes["n_cols"]
+    chunk_elems = _CHUNK_BYTES // 2
+    if n_cols % chunk_elems:
+        raise CompilerError(f"n_cols={n_cols} must be a multiple of {chunk_elems}")
+    num_chunks = n_cols // chunk_elems
+
+    p = TileProgram("seg_scan")
+    x_ptr = p.param_ptr("x")
+    out_ptr = p.param_ptr("out")
+    pid = p.program_id(0)
+
+    row_off = p.mul_int(pid, n_cols)
+    row_ptr = p.ptr_offset(x_ptr, row_off, 2)
+    out_row_ptr = p.ptr_offset(out_ptr, row_off, 2)
+
+    carry = p.const_float(0.0)
+    for i in range(num_chunks):
+        chunk_ptr = p.ptr_offset(row_ptr, i * chunk_elems, 2)
+        frag = p.load_global(chunk_ptr, _CHUNK_BYTES)
+        biased = p.ewise("add", frag, carry)
+        p.store_global(p.ptr_offset(out_row_ptr, i * chunk_elems, 2), biased, _CHUNK_BYTES)
+        chunk_sum = p.redux(frag, op="add")
+        carry = p.ewise("add", carry, chunk_sum)
+    return p
+
+
+def _segscan_grid(shapes: dict, config: dict) -> GridConfig:
+    return GridConfig(grid=(shapes["n_rows"], 1, 1), num_warps=config.get("num_warps", 1))
+
+
+def _segscan_inputs(rng: np.random.Generator, shapes: dict) -> dict:
+    # Positive token weights, as produced by a top-k router's gate values.
+    x = rng.uniform(0.0, 1.0, size=(shapes["n_rows"], shapes["n_cols"])).astype(np.float16)
+    return {"x": x, "out": np.zeros_like(x)}
+
+
+def _segscan_reference(inputs: dict, shapes: dict) -> dict:
+    chunk_elems = _CHUNK_BYTES // 2
+    n_rows, n_cols = shapes["n_rows"], shapes["n_cols"]
+    x = inputs["x"].astype(np.float32).reshape(n_rows, n_cols // chunk_elems, chunk_elems)
+    chunk_sums = x.sum(axis=2)
+    offsets = np.cumsum(chunk_sums, axis=1) - chunk_sums  # exclusive chunk prefix
+    out = x + offsets[:, :, None]
+    return {"out": out.reshape(n_rows, n_cols).astype(np.float16)}
+
+
+SEG_SCAN = register_spec(
+    KernelSpec(
+        name="seg-scan",
+        build=build_segscan_program,
+        grid=_segscan_grid,
+        make_inputs=_segscan_inputs,
+        reference=_segscan_reference,
+        output_names=("out",),
+        default_config={"num_warps": 1},
+        config_space=({"num_warps": 1},),
+        paper_shapes={"n_rows": 256, "n_cols": 4096},
+        bench_shapes={"n_rows": 64, "n_cols": 2048},
+        test_shapes={"n_rows": 8, "n_cols": 512},
+        compute_bound=False,
+        description="segmented chunk-prefix scan (MoE token-dispatch offset chain)",
+        aliases=("segscan", "moe-dispatch", "token-dispatch"),
+        tags=("scan", "moe", "llm"),
+    )
+)

@@ -95,5 +95,6 @@ SOFTMAX = register_spec(
         test_shapes={"n_rows": 8, "n_cols": 512},
         compute_bound=False,
         description="row-wise numerically stable softmax",
+        tags=("table2", "normalization", "llm", "timing-bench"),
     )
 )

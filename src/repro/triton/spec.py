@@ -4,12 +4,19 @@ A :class:`KernelSpec` bundles everything needed to compile, launch, verify and
 benchmark one of the evaluated workloads (Table 2 of the paper): the tile
 program builder, the launch grid, input generation, a numpy reference oracle,
 the autotuning configuration space and the paper / reduced shape sets.
+
+Specs live in a registry with the same lookup idiom as the GPU backend
+registry (:mod:`repro.api.backends`): canonical names, case-insensitive
+aliases, tag-filtered enumeration.  The scenario layer
+(:mod:`repro.scenarios`) composes this registry with backends and
+measurement regimes, so registering a spec here is the *only* step needed to
+pull a new workload into the whole test/bench/serve matrix.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -45,6 +52,11 @@ class KernelSpec:
     #: Whether the workload is compute-bound (Figure 6 grouping).
     compute_bound: bool = True
     description: str = ""
+    #: Alternative lookup names (case-insensitive, like backend aliases).
+    aliases: tuple[str, ...] = ()
+    #: Free-form grouping labels (``"table2"``, ``"llm"``, ...) consumed by
+    #: :func:`available_kernels` and the scenario registry.
+    tags: tuple[str, ...] = ()
 
     def shapes(self, scale: str = "bench") -> dict:
         """Shape set by scale name: ``paper``, ``bench`` or ``test``."""
@@ -52,19 +64,43 @@ class KernelSpec:
 
 
 _REGISTRY: dict[str, KernelSpec] = {}
+_ALIASES: dict[str, str] = {}
 
 
 def register_spec(spec: KernelSpec) -> KernelSpec:
-    """Register a spec so the harness can enumerate all evaluated kernels."""
+    """Register a spec so the harness can enumerate all evaluated kernels.
+
+    The canonical name and every alias resolve case-insensitively through
+    :func:`get_spec`, mirroring :func:`repro.api.backends.backend_spec`.
+    """
     _REGISTRY[spec.name] = spec
+    _ALIASES[spec.name.lower()] = spec.name
+    for alias in spec.aliases:
+        _ALIASES[alias.lower()] = spec.name
     return spec
 
 
 def get_spec(name: str) -> KernelSpec:
+    """Look a kernel up by canonical name or alias (case-insensitive)."""
     try:
-        return _REGISTRY[name]
+        return _REGISTRY[_ALIASES[name.lower()]]
     except KeyError as exc:
-        raise KeyError(f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}") from exc
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {list(available_kernels())}"
+        ) from exc
+
+
+def available_kernels(*, tags: Iterable[str] | None = None) -> tuple[str, ...]:
+    """Canonical names of every registered kernel, optionally tag-filtered.
+
+    With ``tags``, only kernels carrying *all* the given tags are returned —
+    the same filter semantics as :func:`repro.scenarios.scenarios_matching`.
+    """
+    names = sorted(_REGISTRY)
+    if tags is not None:
+        wanted = set(tags)
+        names = [name for name in names if wanted <= set(_REGISTRY[name].tags)]
+    return tuple(names)
 
 
 def all_specs() -> dict[str, KernelSpec]:

@@ -193,8 +193,9 @@ def test_backend_registry_names_and_aliases():
     assert "A100-80GB-PCIe" in available_backends()
     assert resolve_backend("A100-sim").config.name == "A100-80GB-PCIe"
     assert resolve_backend("a30").config.num_sms == 56
+    assert resolve_backend("H100").config.name == "H100-80GB-SXM"
     with pytest.raises(KeyError):
-        resolve_backend("H100")
+        resolve_backend("B200")
 
 
 def test_backend_name_namespaces_cache_keys(tmp_path, simulator):

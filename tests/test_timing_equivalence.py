@@ -17,7 +17,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import repro.triton.kernels  # noqa: F401 - registers the workload specs
 from repro.sass.instruction import Instruction
 from repro.sim import (
     GPUSimulator,
@@ -31,10 +30,13 @@ from repro.sim import (
     decoded_program_cache_info,
 )
 from repro.sim._reference_sm import ReferenceTimingSimulator, reference_measure
+from repro.scenarios import all_scenarios
 from repro.triton.compiler import compile_spec
-from repro.triton.spec import all_specs, get_spec
+from repro.triton.spec import get_spec
 
-WORKLOADS = sorted(all_specs())
+# Every kernel the scenario matrix exercises (importing repro.scenarios
+# registers the kernel library and the built-in scenarios).
+WORKLOADS = sorted({scenario.kernel for scenario in all_scenarios()})
 
 
 @pytest.fixture(scope="module")

@@ -13,7 +13,6 @@ import json
 import numpy as np
 import pytest
 
-import repro.triton.kernels  # noqa: F401 - registers the bundled specs
 from repro.analysis import (
     ScheduleVerifier,
     build_dependence_graph,
@@ -28,11 +27,14 @@ from repro.api.session import normalize_verify_mode
 from repro.baselines.search import run_greedy_search
 from repro.core.env import AssemblyGame
 from repro.sass import KernelMetadata, SassKernel
+from repro.scenarios import all_scenarios
 from repro.serve.store import ResultStore
 from repro.triton.compiler import compile_spec
-from repro.triton.spec import all_specs, get_spec
+from repro.triton.spec import get_spec
 
-WORKLOADS = sorted(all_specs())
+# Every kernel the scenario matrix exercises (importing repro.scenarios
+# registers the kernel library and the built-in scenarios).
+WORKLOADS = sorted({scenario.kernel for scenario in all_scenarios()})
 
 _COMPILED = {}
 
