@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Remote serving: HTTP front door, durable restarts, quotas.
+
+Boots ``python -m repro.remote.serve`` as a real subprocess, drives it with
+:class:`repro.remote.RemoteClient` (submit → stream SSE events → result),
+then **kills the server and restarts it on the same cache directory**: the
+job journal replays the finished records, so the old job id still answers
+``status``/``result`` and an identical re-submit is an instant result-store
+hit — no schedule search re-runs.
+
+Run with:  python examples/serve_http.py
+"""
+
+import contextlib
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import QuotaExceeded
+from repro.remote import RemoteClient
+
+SERVER_ARGS = [
+    "--strategy", "greedy", "--scale", "test", "--budget", "16",
+    "--no-autotune", "--no-verify",
+    "--tenant-tokens", "8",
+    "--job-ttl-s", "3600",
+]
+
+
+def boot(cache_dir: str) -> tuple[subprocess.Popen, str]:
+    """Start the server on an ephemeral port and wait for its READY line."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.remote.serve",
+         "--cache-dir", cache_dir, "--port", "0", *SERVER_ARGS],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = process.stdout.readline().strip()
+    if not line.startswith("READY "):
+        process.terminate()
+        raise RuntimeError(f"server did not come up: {line!r}")
+    url = dict(part.split("=", 1) for part in line.split()[1:])["url"]
+    print(f"   server up at {url}")
+    return process, url
+
+
+def _cache_dir():
+    """A temp dir, unless REPRO_SMOKE_DIR pins one (CI keeps the journal
+    there and uploads it as an artifact)."""
+    pinned = os.environ.get("REPRO_SMOKE_DIR")
+    if pinned:
+        Path(pinned).mkdir(parents=True, exist_ok=True)
+        return contextlib.nullcontext(pinned)
+    return tempfile.TemporaryDirectory()
+
+
+def main() -> None:
+    with _cache_dir() as cache_dir:
+        print("== boot the server")
+        server, url = boot(cache_dir)
+        try:
+            client = RemoteClient(url, tenant="demo")
+
+            print("== submit over HTTP and stream SSE progress events")
+            handle = client.submit("softmax")
+            for event in handle.events():
+                print(f"   [{event['seq']:03d}] {event['job_id']} {event['kind']}")
+            report = handle.result(timeout=300)
+            print(f"   {handle.job_id} {report.kernel}: "
+                  f"{report.baseline_time_ms:.4f} -> {report.best_time_ms:.4f} ms "
+                  f"({report.speedup:.2f}x)")
+            first_id = handle.job_id
+
+            print("== per-tenant quota: a greedy tenant gets HTTP 429")
+            try:
+                while True:
+                    client.submit("rmsnorm", cost=4.0)
+            except QuotaExceeded as exc:
+                print(f"   rejected (quota): job_id={exc.job_id} tenant={exc.tenant}")
+        finally:
+            print("== kill the server process")
+            server.terminate()
+            server.wait(timeout=30)
+
+        journal = Path(cache_dir) / "serve-journal.jsonl"
+        print(f"   journal survives: {journal.name}, "
+              f"{len(journal.read_text().splitlines())} line(s)")
+
+        print("== restart on the same cache dir: the journal replays")
+        server, url = boot(cache_dir)
+        try:
+            client = RemoteClient(url, tenant="demo")
+            record = client.status(first_id)
+            print(f"   old job {first_id}: status={record.status.value} "
+                  f"replayed={record.replayed}")
+            replayed = client.result(first_id, timeout=10)
+            print(f"   old result still served: best={replayed.best_time_ms:.4f} ms")
+
+            start = time.perf_counter()
+            again = client.submit("softmax")
+            report = again.result(timeout=60)
+            elapsed = time.perf_counter() - start
+            record = again.record()
+            print(f"   re-submit {again.job_id}: from_store={record.from_store} "
+                  f"evaluations={report.evaluations} in {elapsed:.2f}s")
+
+            metrics = client.metrics()
+            print(f"== metrics: {metrics['queue']['store_hits']} store hit(s), "
+                  f"{metrics['server']['replayed_records']} replayed record(s), "
+                  f"journal at {metrics['server']['journal']['path']}")
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

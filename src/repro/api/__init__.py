@@ -36,6 +36,7 @@ from repro.api.config import (
     MeasurementPolicy,
     OptimizationConfig,
     PoolConfig,
+    RemoteConfig,
     ServeConfig,
 )
 from repro.api.presets import (
@@ -74,6 +75,7 @@ __all__ = [
     "CacheConfig",
     "PoolConfig",
     "ServeConfig",
+    "RemoteConfig",
     "SearchStrategy",
     "StrategyContext",
     "StrategyOutcome",

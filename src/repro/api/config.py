@@ -139,8 +139,61 @@ class ServeConfig:
     verify_store_hits: bool = True
     #: Emit a ``measured(n)`` progress event every N candidate submissions.
     progress_every: int = 1
+    #: Admission control: reject new submissions (``rejected`` event +
+    #: :class:`repro.errors.AdmissionError`) while this many jobs are already
+    #: waiting (inbox + per-worker queues).  ``None`` accepts everything.
+    max_pending: int | None = None
+    #: Job-record TTL: terminal records older than this many seconds are
+    #: evicted by :meth:`repro.serve.JobQueue.gc` (run opportunistically on
+    #: submit).  ``None`` keeps terminal records forever.  In-flight jobs are
+    #: never evicted regardless.
+    job_ttl_s: float | None = None
+    #: Hard bound on retained job records; the oldest *terminal* records are
+    #: evicted beyond it.  ``None`` keeps the job map unbounded.
+    max_records: int | None = None
 
     def replace(self, **overrides) -> "ServeConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteConfig:
+    """Shape of the :mod:`repro.remote` HTTP front door over a serve queue.
+
+    Everything the in-process :class:`~repro.api.config.ServeConfig` does not
+    cover: where the server listens, where the durable job journal lives,
+    how often it is compacted, and the per-tenant submission quotas enforced
+    before a request ever reaches the queue.
+    """
+
+    #: Listen address of ``python -m repro.remote.serve``.
+    host: str = "127.0.0.1"
+    #: Listen port; ``0`` binds an ephemeral port (printed on startup).
+    port: int = 0
+    #: Record submissions, terminal job records and result-store entries in
+    #: an append-only JSONL journal so serving state survives restarts.
+    journal: bool = True
+    #: Journal location; ``None`` places ``serve-journal.jsonl`` beside the
+    #: pool's cubin cache (journaling is disabled when the pool has no cache
+    #: directory and no explicit path is given).
+    journal_path: str | Path | None = None
+    #: Compact the journal (rewrite it from live state, dropping superseded
+    #: and GC'd entries) after this many appended lines.
+    compact_every: int = 2048
+    #: Token-bucket capacity per tenant; every submission spends ``cost``
+    #: tokens and an empty bucket means HTTP 429 + a ``rejected`` event.
+    #: ``None`` disables quotas.
+    tenant_tokens: float | None = None
+    #: Bucket refill rate in tokens/second (0 never refills).
+    tenant_refill_per_s: float = 0.0
+    #: Tenant accounted when a request carries no ``X-Tenant`` header.
+    default_tenant: str = "anonymous"
+    #: Longest server-side block of one ``GET /v1/jobs/<id>/result`` call;
+    #: clients long-poll in slices of at most this many seconds.
+    result_timeout_s: float = 60.0
+
+    def replace(self, **overrides) -> "RemoteConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **overrides)
 

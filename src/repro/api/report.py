@@ -76,6 +76,33 @@ class RunReport:
             error=error,
         )
 
+    @classmethod
+    def from_summary(cls, summary: dict) -> "RunReport":
+        """Rebuild a report from its :meth:`summary` projection.
+
+        Used by the durable serving layer (:mod:`repro.remote`) to replay
+        journaled results across process restarts.  The deployable artifact
+        and strategy ``details`` are not part of the summary, so replayed
+        reports carry ``artifact=None`` — deploys still resolve through the
+        on-disk cubin cache, which persists independently.
+        """
+        verified = summary.get("verified")
+        return cls(
+            kernel=summary.get("kernel", ""),
+            gpu=summary.get("gpu", ""),
+            strategy=summary.get("strategy", ""),
+            shapes=dict(summary.get("shapes") or {}),
+            config=dict(summary.get("config") or {}),
+            baseline_time_ms=float(summary.get("baseline_time_ms") or 0.0),
+            best_time_ms=float(summary.get("best_time_ms") or 0.0),
+            evaluations=int(summary.get("evaluations") or 0),
+            verified=verified if verified is None else bool(verified),
+            diagnostics=tuple(dict(diag) for diag in summary.get("diagnostics") or ()),
+            cache_key=summary.get("cache_key"),
+            cached=bool(summary.get("cached", False)),
+            error=summary.get("error"),
+        )
+
     @property
     def failed(self) -> bool:
         return self.error is not None
@@ -112,7 +139,9 @@ class JobStatus(str, enum.Enum):
 
     ``queued → assigned → running → done/failed/cancelled``; ``cancelled``
     can also follow ``queued``/``assigned`` directly when the job is pulled
-    back before a worker picks it up.
+    back before a worker picks it up.  ``rejected`` is terminal from birth:
+    admission control (a full pending queue, an exhausted tenant quota)
+    refused the submission before it ever queued.
     """
 
     QUEUED = "queued"
@@ -121,10 +150,16 @@ class JobStatus(str, enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    REJECTED = "rejected"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+        return self in (
+            JobStatus.DONE,
+            JobStatus.FAILED,
+            JobStatus.CANCELLED,
+            JobStatus.REJECTED,
+        )
 
 
 @dataclass(frozen=True)
@@ -162,6 +197,14 @@ class JobRecord:
     error: str | None = None
     #: §4.2 cache key of the result, once known.
     cache_key: str | None = None
+    #: Tenant the submission was accounted to (remote front door quotas).
+    tenant: str | None = None
+    #: Verifier rule codes (``V1xx``...) that invalidated a result-store hit
+    #: and forced this job to re-optimize; empty otherwise.
+    invalidation_rules: tuple = ()
+    #: The record was reconstructed from a journal replay after a restart
+    #: (the job ran in a previous server process).
+    replayed: bool = False
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -179,7 +222,33 @@ class JobRecord:
             "finished_at": self.finished_at,
             "error": self.error,
             "cache_key": self.cache_key,
+            "tenant": self.tenant,
+            "invalidation_rules": list(self.invalidation_rules),
+            "replayed": self.replayed,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        """Rebuild a record from its :meth:`as_dict` projection (journal replay)."""
+        return cls(
+            job_id=payload["job_id"],
+            kernel=payload.get("kernel", ""),
+            backend=payload.get("backend"),
+            status=JobStatus(payload.get("status", "queued")),
+            worker=payload.get("worker"),
+            cost=float(payload.get("cost") or 1.0),
+            stolen=bool(payload.get("stolen", False)),
+            from_store=bool(payload.get("from_store", False)),
+            measured=int(payload.get("measured") or 0),
+            submitted_at=payload.get("submitted_at"),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            error=payload.get("error"),
+            cache_key=payload.get("cache_key"),
+            tenant=payload.get("tenant"),
+            invalidation_rules=tuple(payload.get("invalidation_rules") or ()),
+            replayed=bool(payload.get("replayed", False)),
+        )
 
     def to_json(self) -> str:
         return to_json_str(self.as_dict())

@@ -113,6 +113,49 @@ class OptimizationError(ReproError):
     """The high-level CuAsmRL optimizer failed."""
 
 
+class AdmissionError(OptimizationError):
+    """A submission was rejected by admission control (overloaded queue).
+
+    Carries the structured rejection so front doors can surface it without
+    parsing the message: ``reason`` (``"pending-queue-full"`` /
+    ``"tenant-quota"``), the rejected ``job_id`` (when a rejected job record
+    was minted) and ``tenant``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "rejected",
+        job_id: str | None = None,
+        tenant: str | None = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.job_id = job_id
+        self.tenant = tenant
+
+
+class QuotaExceeded(AdmissionError):
+    """A tenant ran out of submission tokens (see ``repro.remote.admission``)."""
+
+    def __init__(self, message: str, *, job_id: str | None = None, tenant: str | None = None):
+        super().__init__(message, reason="tenant-quota", job_id=job_id, tenant=tenant)
+
+
+class RemoteError(ReproError):
+    """An HTTP remote-serving call failed.
+
+    ``status`` is the HTTP status code and ``payload`` the structured JSON
+    error body (when the server sent one).
+    """
+
+    def __init__(self, message: str, *, status: int = 0, payload: "dict | None" = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
 class JobCancelled(ReproError):
     """A serving job was cancelled before it produced a result.
 

@@ -94,6 +94,19 @@ class PoolWorker:
             elapsed_s=self.busy_s - busy_s,
         )
 
+    def stats(self) -> dict:
+        """Live, JSON-able utilization counters (the ``/metrics`` slice)."""
+        return {
+            "worker": self.name,
+            "backend": self.backend,
+            "backlog": self.backlog,
+            "jobs_run": self.jobs_run,
+            "failures": self.failures,
+            "evaluations": self.evaluations,
+            "busy_s": self.busy_s,
+            "evals_per_sec": self.evaluations / self.busy_s if self.busy_s > 0 else 0.0,
+        }
+
 
 class SessionPool:
     """A fixed set of worker sessions behind one ``optimize_many`` front door."""
@@ -123,6 +136,9 @@ class SessionPool:
         if cache_dir is not None:
             base_cache = dataclasses.replace(base_cache, directory=cache_dir)
         base_measurement = measurement or MeasurementPolicy()
+        #: Base cache directory (per-backend caches are namespaced under it);
+        #: durable serving state (the job journal) lives beside it.
+        self.cache_dir = Path(base_cache.directory) if base_cache.enabled else None
 
         self.workers: list[PoolWorker] = []
         for index, backend in enumerate(pool_config.backends):
@@ -260,10 +276,22 @@ class SessionPool:
         self._ensure_open()
         return self.worker_for(backend).session.deploy(spec, shapes=shapes)
 
+    def snapshot(self) -> dict:
+        """Live, JSON-able pool state: scheduler + per-worker utilization.
+
+        The serving layers build on this: the queue's admission control reads
+        backlogs, the remote front door's ``/metrics`` endpoint exposes it.
+        """
+        return {
+            "scheduler": self.config.scheduler,
+            "closed": self._closed,
+            "workers": [worker.stats() for worker in self.workers],
+        }
+
     # ------------------------------------------------------------------
     # Serving front door
     # ------------------------------------------------------------------
-    def serve(self, serve: ServeConfig | None = None):
+    def serve(self, serve: ServeConfig | None = None, *, journal=None, counter_start: int = 0):
         """The pool's async :class:`repro.serve.JobQueue` front door.
 
         Created on first use (with ``serve`` shaping it) and cached — one
@@ -273,6 +301,10 @@ class SessionPool:
         one (worker sessions survive a queue teardown), so closing a queue
         never bricks the pool.  Passing a *different* ``ServeConfig`` while
         a live queue exists is an error.
+
+        ``journal`` and ``counter_start`` (see :class:`repro.remote.JobJournal`)
+        make the queue's state durable; they only take effect on the call
+        that creates the queue.
         """
         self._ensure_open()
         from repro.serve.queue import JobQueue
@@ -281,7 +313,9 @@ class SessionPool:
             self._queue.close()  # join any straggler threads before re-serving
             self._queue = None
         if self._queue is None:
-            self._queue = JobQueue(self, serve=serve)
+            self._queue = JobQueue(
+                self, serve=serve, journal=journal, counter_start=counter_start
+            )
         elif serve is not None and serve != self._queue.serve_config:
             raise OptimizationError(
                 "this pool already serves a JobQueue with a different ServeConfig"

@@ -1,0 +1,237 @@
+"""Thin stdlib client for the remote serving HTTP API.
+
+:class:`RemoteClient` speaks the :mod:`repro.remote.server` protocol over
+``urllib.request`` and hands back :class:`RemoteJobHandle` objects that
+mirror the in-process :class:`~repro.serve.JobHandle` surface (``status`` /
+``result`` / ``cancel`` / ``events``), so call sites can swap between local
+and remote serving without restructuring.  Server-side refusals come back
+as the same exception types the local queue raises:
+:class:`~repro.errors.QuotaExceeded` / :class:`~repro.errors.AdmissionError`
+for 429, :class:`~repro.errors.JobCancelled` from ``result()`` of a
+cancelled job, :class:`ValueError`/:class:`KeyError` for 400/404 and
+:class:`~repro.errors.RemoteError` for transport or server faults.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+from urllib.parse import quote, urlencode
+
+from repro.api.report import JobRecord, JobStatus, RunReport
+from repro.errors import AdmissionError, JobCancelled, QuotaExceeded, RemoteError
+
+
+def _raise_for_error(status: int, payload: dict) -> None:
+    """Map a structured error payload back to the local exception types."""
+    error = payload.get("error") or {}
+    code = error.get("code", "unknown")
+    message = error.get("message", f"HTTP {status}")
+    if status == 429:
+        if code == "tenant-quota":
+            raise QuotaExceeded(
+                message, job_id=error.get("job_id"), tenant=error.get("tenant")
+            )
+        raise AdmissionError(
+            message,
+            reason=code,
+            job_id=error.get("job_id"),
+            tenant=error.get("tenant"),
+        )
+    if status == 400:
+        raise ValueError(message)
+    if status == 404:
+        raise KeyError(message)
+    raise RemoteError(message, status=status, payload=payload)
+
+
+class RemoteJobHandle:
+    """Client-side view of one remote job, mirroring ``JobHandle``."""
+
+    def __init__(self, client: "RemoteClient", job_id: str):
+        self._client = client
+        self.job_id = job_id
+
+    @property
+    def status(self) -> JobStatus:
+        return self.record().status
+
+    def record(self) -> JobRecord:
+        return self._client.status(self.job_id)
+
+    def done(self) -> bool:
+        return self.record().status.terminal
+
+    def result(self, timeout: float | None = None) -> RunReport:
+        return self._client.result(self.job_id, timeout=timeout)
+
+    def cancel(self) -> bool:
+        return self._client.cancel(self.job_id)
+
+    def events(self) -> Iterator[dict]:
+        return self._client.events(self.job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RemoteJobHandle({self.job_id!r} @ {self._client.base_url})"
+
+
+class RemoteClient:
+    """HTTP client for one remote serving endpoint.
+
+    ``tenant`` (sent as ``X-Tenant``) scopes submissions under the server's
+    per-tenant quota; ``None`` means the server's default tenant.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        tenant: str | None = None,
+        request_timeout_s: float = 30.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.request_timeout_s = request_timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, body=None, query: dict | None = None, *, timeout: float | None = None):
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["X-Tenant"] = self.tenant
+        if body is not None:
+            data = json.dumps(body).encode("utf8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            return urllib.request.urlopen(  # noqa: S310 - http-only control plane
+                request, timeout=timeout or self.request_timeout_s
+            )
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except (json.JSONDecodeError, ValueError):
+                payload = {"error": {"code": "opaque", "message": raw.decode("utf8", "replace")}}
+            _raise_for_error(exc.code, payload)
+        except urllib.error.URLError as exc:
+            raise RemoteError(f"cannot reach {url}: {exc.reason}") from None
+
+    def _request(self, method: str, path: str, body=None, query: dict | None = None, *, timeout: float | None = None) -> dict:
+        with self._open(method, path, body, query, timeout=timeout) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except RemoteError:
+            return False
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        kernel: str,
+        *,
+        backend: str | None = None,
+        shapes: dict | None = None,
+        strategy: str | None = None,
+        verify: bool | None = None,
+        cost: float = 1.0,
+        use_store: bool = True,
+    ) -> RemoteJobHandle:
+        payload = {
+            "kernel": kernel,
+            "backend": backend,
+            "shapes": shapes,
+            "strategy": strategy,
+            "verify": verify,
+            "cost": cost,
+            "use_store": use_store,
+        }
+        payload = {key: value for key, value in payload.items() if value is not None}
+        response = self._request("POST", "/v1/jobs", payload)
+        return RemoteJobHandle(self, response["job"]["job_id"])
+
+    def submit_many(self, payloads: list[dict]) -> list[dict]:
+        """Batch submit; returns per-entry ``{"job_id"}`` or ``{"error"}``."""
+        return self._request("POST", "/v1/jobs/batch", payloads)["jobs"]
+
+    def jobs(self) -> list[JobRecord]:
+        response = self._request("GET", "/v1/jobs")
+        return [JobRecord.from_dict(entry) for entry in response["jobs"]]
+
+    def status(self, job_id: str) -> JobRecord:
+        response = self._request("GET", f"/v1/jobs/{quote(job_id)}")
+        return JobRecord.from_dict(response["job"])
+
+    def result(self, job_id: str, *, timeout: float | None = None) -> RunReport:
+        """Block for the finished report, long-polling in bounded slices.
+
+        Mirrors ``JobHandle.result``: raises :class:`TimeoutError` when
+        ``timeout`` elapses, :class:`~repro.errors.JobCancelled` /
+        :class:`~repro.errors.AdmissionError` for cancelled/rejected jobs,
+        and returns the (possibly failed) report otherwise.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            slice_s = 10.0 if remaining is None else min(10.0, remaining)
+            response = self._request(
+                "GET",
+                f"/v1/jobs/{quote(job_id)}/result",
+                query={"timeout": f"{slice_s:.3f}"},
+                timeout=self.request_timeout_s + slice_s,
+            )
+            record = JobRecord.from_dict(response["job"])
+            if record.status is JobStatus.CANCELLED:
+                raise JobCancelled(f"job {job_id} was cancelled")
+            if record.status is JobStatus.REJECTED:
+                raise AdmissionError(
+                    f"job {job_id} was rejected: {record.error or 'admission control'}",
+                    job_id=job_id,
+                    tenant=record.tenant,
+                )
+            if record.status.terminal:
+                if response.get("report") is None:
+                    raise RemoteError(
+                        f"job {job_id} finished without a report "
+                        f"({record.error or record.status.value})",
+                        payload=response,
+                    )
+                return RunReport.from_summary(response["report"])
+            if remaining is not None and remaining <= 0.0:
+                raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+
+    def cancel(self, job_id: str) -> bool:
+        response = self._request("POST", f"/v1/jobs/{quote(job_id)}/cancel", body={})
+        return bool(response.get("cancelled"))
+
+    def events(self, job_id: str, *, idle_timeout_s: float = 600.0) -> Iterator[dict]:
+        """Stream the job's SSE events as dicts until the terminal event.
+
+        ``idle_timeout_s`` bounds the silence between two events (socket
+        read timeout), not the total stream duration.
+        """
+        response = self._open(
+            "GET", f"/v1/jobs/{quote(job_id)}/events", timeout=idle_timeout_s
+        )
+        try:
+            for raw in response:
+                line = raw.decode("utf8").strip()
+                if line.startswith("data:"):
+                    yield json.loads(line[len("data:") :])
+        finally:
+            response.close()

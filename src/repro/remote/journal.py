@@ -1,0 +1,260 @@
+"""Durable serving state: the append-only job journal.
+
+The in-process :class:`repro.serve.JobQueue` forgets everything on restart.
+The journal fixes that with the record-every-event discipline: every
+submission, every terminal job record and every result-store entry is
+appended as one JSON line to a file living beside the cubin cache.  A
+restarted server :meth:`replays <JobJournal.replay>` the file into a
+consistent job map and a warm :class:`~repro.serve.store.ResultStore`, so
+``status``/``result`` of completed jobs survive the process and an identical
+re-submit resolves instantly without re-running the search.
+
+Entry shapes (one JSON object per line)::
+
+    {"kind": "submitted", "v": 1, "record": {...JobRecord.as_dict()...}}
+    {"kind": "terminal",  "v": 1, "record": {...}, "report": {...summary...}}
+    {"kind": "store",     "v": 1, "key": "<§4.2 cache key>", "report": {...}}
+
+Later entries supersede earlier ones for the same job id / store key, which
+makes replay a simple left-to-right fold and appends crash-safe: a process
+killed mid-write leaves at most one truncated trailing line, which replay
+skips with a warning.  :meth:`compact` rewrites the file from live state
+(atomically, via a temp file) so superseded and GC'd entries do not grow the
+journal forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.api.report import JobRecord, RunReport
+from repro.utils.logging import get_logger
+from repro.utils.serialization import to_json_str
+
+_LOG = get_logger("remote.journal")
+
+#: Journal entry schema version (bump on incompatible shape changes).
+JOURNAL_VERSION = 1
+
+#: Default journal filename, placed beside the pool's cubin cache.
+JOURNAL_FILENAME = "serve-journal.jsonl"
+
+_JOB_ID = re.compile(r"^j(\d+)$")
+
+
+@dataclass
+class JournalReplay:
+    """Everything a restarted server recovers from one journal."""
+
+    #: Latest known record per job id (terminal entries supersede submits),
+    #: each marked ``replayed=True``.
+    records: dict[str, JobRecord] = field(default_factory=dict)
+    #: Finished reports per job id (summary-reconstructed, no artifact).
+    reports: dict[str, RunReport] = field(default_factory=dict)
+    #: Persisted result-store entries: §4.2 cache key → report.
+    store: dict[str, RunReport] = field(default_factory=dict)
+    #: Unreadable lines skipped during replay (truncated tail, corruption).
+    skipped: int = 0
+    #: Total lines scanned.
+    lines: int = 0
+
+    @property
+    def max_job_number(self) -> int:
+        """Highest numeric job id seen; a fresh queue mints ids above it so
+        replayed records never collide with new jobs."""
+        best = 0
+        for job_id in self.records:
+            match = _JOB_ID.match(job_id)
+            if match:
+                best = max(best, int(match.group(1)))
+        return best
+
+
+class JobJournal:
+    """Append-only JSONL journal of serving state, thread-safe.
+
+    Implements the duck-typed hook contract of
+    :class:`repro.serve.JobQueue` (``record_submitted`` /
+    ``record_terminal`` / ``record_store``); every append is flushed so a
+    killed process loses at most the line being written.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = None
+        #: Lines appended since the last compaction (replay counts existing
+        #: lines in, so a restarted server keeps compacting on schedule).
+        self.appends = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # Queue-facing hooks (append side)
+    # ------------------------------------------------------------------
+    def record_submitted(self, record: JobRecord) -> None:
+        self._append({"kind": "submitted", "v": JOURNAL_VERSION, "record": record.as_dict()})
+
+    def record_terminal(self, record: JobRecord, report: RunReport | None) -> None:
+        self._append(
+            {
+                "kind": "terminal",
+                "v": JOURNAL_VERSION,
+                "record": record.as_dict(),
+                "report": None if report is None else report.summary(),
+            }
+        )
+
+    def record_store(self, key: str, report: RunReport) -> None:
+        self._append(
+            {"kind": "store", "v": JOURNAL_VERSION, "key": key, "report": report.summary()}
+        )
+
+    def _append(self, payload: dict) -> None:
+        line = to_json_str(payload)
+        with self._lock:
+            if self._fh is None:
+                self._fh = self.path.open("a", encoding="utf8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.appends += 1
+
+    # ------------------------------------------------------------------
+    # Recovery side
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalReplay:
+        """Fold the journal into the latest-wins serving state.
+
+        Unreadable lines — a truncated tail after a crash, external
+        corruption — are skipped with a warning instead of failing recovery;
+        ``replay.skipped`` counts them.
+        """
+        replay = JournalReplay()
+        if not self.path.exists():
+            return replay
+        with self.path.open("r", encoding="utf8") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                replay.lines = lineno
+                text = raw.strip()
+                if not text:
+                    continue
+                try:
+                    self._fold(json.loads(text), replay)
+                except Exception as exc:  # noqa: BLE001 - skip-and-warn recovery
+                    replay.skipped += 1
+                    _LOG.warning(
+                        "journal %s line %d unreadable (%s: %s); skipping",
+                        self.path, lineno, type(exc).__name__, exc,
+                    )
+        with self._lock:
+            self.appends = replay.lines
+        _LOG.info(
+            "journal replay: %d record(s), %d report(s), %d store entr(ies) "
+            "from %d line(s), %d skipped",
+            len(replay.records), len(replay.reports), len(replay.store),
+            replay.lines, replay.skipped,
+        )
+        return replay
+
+    @staticmethod
+    def _fold(payload: dict, replay: JournalReplay) -> None:
+        kind = payload["kind"]
+        if kind in ("submitted", "terminal"):
+            record = JobRecord.from_dict(payload["record"])
+            record = dataclasses.replace(record, replayed=True)
+            replay.records[record.job_id] = record
+            if kind == "terminal" and payload.get("report") is not None:
+                replay.reports[record.job_id] = RunReport.from_summary(payload["report"])
+        elif kind == "store":
+            replay.store[payload["key"]] = RunReport.from_summary(payload["report"])
+        else:
+            raise ValueError(f"unknown journal entry kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        records: Iterable[tuple[JobRecord, RunReport | None]],
+        store: Iterable[tuple[str, RunReport]],
+    ) -> int:
+        """Atomically rewrite the journal from live state; returns the line
+        count of the compacted file.
+
+        Everything not passed in — superseded entries, GC'd job records,
+        evicted store keys — is dropped.  The rewrite goes through a temp
+        file and ``os.replace``, so a crash mid-compaction leaves either the
+        old or the new journal, never a half-written one.
+        """
+        tmp = self.path.with_name(self.path.name + ".compact")
+        written = 0
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            with tmp.open("w", encoding="utf8") as fh:
+                for record, report in records:
+                    if record.status.terminal:
+                        payload = {
+                            "kind": "terminal",
+                            "v": JOURNAL_VERSION,
+                            "record": record.as_dict(),
+                            "report": None if report is None else report.summary(),
+                        }
+                    else:
+                        payload = {
+                            "kind": "submitted",
+                            "v": JOURNAL_VERSION,
+                            "record": record.as_dict(),
+                        }
+                    fh.write(to_json_str(payload) + "\n")
+                    written += 1
+                for key, report in store:
+                    fh.write(
+                        to_json_str(
+                            {
+                                "kind": "store",
+                                "v": JOURNAL_VERSION,
+                                "key": key,
+                                "report": report.summary(),
+                            }
+                        )
+                        + "\n"
+                    )
+                    written += 1
+            os.replace(tmp, self.path)
+            self.appends = 0
+            self.compactions += 1
+        _LOG.info("journal compacted to %d line(s): %s", written, self.path)
+        return written
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-able journal counters (part of the ``/metrics`` payload)."""
+        return {
+            "path": str(self.path),
+            "appends_since_compact": self.appends,
+            "compactions": self.compactions,
+            "size_bytes": self.path.stat().st_size if self.path.exists() else 0,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,249 @@
+"""Stdlib HTTP/JSON front door over :class:`~repro.remote.app.RemoteApp`.
+
+No third-party web framework: a :class:`http.server.ThreadingHTTPServer`
+(one daemon thread per connection) is plenty for an optimization service
+whose unit of work is a multi-second schedule search.  The surface mirrors
+the in-process :class:`~repro.serve.JobHandle` API:
+
+==========  =============================  =======================================
+Method      Path                           Meaning
+==========  =============================  =======================================
+GET         ``/healthz``                   liveness probe
+GET         ``/metrics``                   live pool/queue/store/quota snapshot
+POST        ``/v1/jobs``                   submit one job (202 + record)
+POST        ``/v1/jobs/batch``             submit many (200 + per-entry outcome)
+GET         ``/v1/jobs``                   list every known job record
+GET         ``/v1/jobs/{id}``              job status record
+GET         ``/v1/jobs/{id}/result``       record + report (``?timeout=`` blocks)
+GET         ``/v1/jobs/{id}/events``       SSE stream of progress events
+POST        ``/v1/jobs/{id}/cancel``       request cancellation
+==========  =============================  =======================================
+
+Tenancy rides on the ``X-Tenant`` request header.  Errors are structured
+JSON ``{"error": {"code", "message", ...}}``: 400 for malformed payloads,
+404 for unknown ids/routes, 429 for admission/quota refusals (with the
+minted rejected job id), 500 for everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import AdmissionError
+from repro.remote.app import RemoteApp
+from repro.utils.logging import get_logger
+from repro.utils.serialization import to_json_str
+
+_LOG = get_logger("remote.server")
+
+_MAX_BODY = 8 * 1024 * 1024  # refuse absurd request bodies outright
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request to the shared :class:`RemoteApp`."""
+
+    # HTTP/1.0: every response closes its connection, which keeps the
+    # SSE stream semantics trivial (stream ends = job reached terminal).
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-remote"
+
+    @property
+    def app(self) -> RemoteApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    def _tenant(self) -> str | None:
+        return self.headers.get("X-Tenant") or None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = to_json_str(payload).encode("utf8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str, **extra) -> None:
+        self._send_json(status, {"error": {"code": code, "message": message, **extra}})
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body must be JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        try:
+            self._route(method, parts, query)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to answer
+        except AdmissionError as exc:
+            self._send_error_json(
+                429, exc.reason, str(exc), job_id=exc.job_id, tenant=exc.tenant
+            )
+        except ValueError as exc:
+            self._send_error_json(400, "bad-request", str(exc))
+        except KeyError as exc:
+            self._send_error_json(404, "not-found", f"unknown job or route: {exc}")
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            _LOG.exception("unhandled error serving %s %s", method, self.path)
+            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _route(self, method: str, parts: list[str], query: dict) -> None:
+        app = self.app
+        if method == "GET" and parts == ["healthz"]:
+            self._send_json(200, {"ok": True})
+        elif method == "GET" and parts == ["metrics"]:
+            self._send_json(200, app.metrics())
+        elif parts[:1] == ["v1"] and parts[1:2] == ["jobs"]:
+            self._route_jobs(method, parts[2:], query)
+        else:
+            raise KeyError("/" + "/".join(parts))
+
+    def _route_jobs(self, method: str, rest: list[str], query: dict) -> None:
+        app = self.app
+        if not rest:
+            if method == "POST":
+                record = app.submit(self._read_body(), tenant=self._tenant())
+                self._send_json(202, {"job": record.as_dict()})
+            else:
+                self._send_json(
+                    200, {"jobs": [record.as_dict() for record in app.jobs()]}
+                )
+            return
+        if rest == ["batch"] and method == "POST":
+            results = app.submit_many(self._read_body(), tenant=self._tenant())
+            self._send_json(200, {"jobs": results})
+            return
+        job_id, action = rest[0], rest[1:]
+        if not action and method == "GET":
+            self._send_json(200, {"job": app.status(job_id).as_dict()})
+        elif action == ["result"] and method == "GET":
+            timeout = float(query.get("timeout", ["0"])[0])
+            timeout = min(timeout, app.remote_config.result_timeout_s)
+            record, report = app.result(job_id, timeout=timeout)
+            self._send_json(
+                200,
+                {
+                    "job": record.as_dict(),
+                    "report": None if report is None else report.summary(),
+                },
+            )
+        elif action == ["events"] and method == "GET":
+            self._stream_events(job_id)
+        elif action == ["cancel"] and method == "POST":
+            cancelled = app.cancel(job_id)
+            self._send_json(
+                200, {"job": app.status(job_id).as_dict(), "cancelled": cancelled}
+            )
+        else:
+            raise KeyError("/".join(["v1", "jobs", *rest]))
+
+    def _stream_events(self, job_id: str) -> None:
+        """SSE stream: one ``data:`` line per event, EOF after the terminal
+        event (HTTP/1.0, so end-of-stream is end-of-connection)."""
+        events = self.app.events(job_id)  # raises KeyError before headers go out
+        first = next(events, None)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        for event in ([first] if first is not None else []):
+            self._write_event(event)
+        for event in events:
+            self._write_event(event)
+
+    def _write_event(self, event: dict) -> None:
+        self.wfile.write(f"data: {to_json_str(event)}\n\n".encode("utf8"))
+        self.wfile.flush()
+
+
+class RemoteServer:
+    """Owns the listening socket and its serving thread.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`url`) —
+    the test-friendly default.  The server does not own the app or the
+    pool; close order is server → app → pool.
+    """
+
+    def __init__(self, app: RemoteApp, *, host: str | None = None, port: int | None = None):
+        self.app = app
+        host = host if host is not None else app.remote_config.host
+        port = port if port is not None else app.remote_config.port
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = app  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RemoteServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="remote-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("remote server listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path); blocks until
+        :meth:`close` or ``KeyboardInterrupt``."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def close(self) -> None:
+        if self._thread is not None:
+            # shutdown() must only run against an active serve_forever loop
+            # (it blocks until the loop acknowledges); the CLI path exits
+            # its foreground loop before calling close().
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "RemoteServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

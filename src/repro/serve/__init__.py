@@ -17,8 +17,8 @@ Entry point: ``SessionPool.serve()`` (one queue per pool) or
 from repro.api.config import ServeConfig
 from repro.api.report import JobRecord, JobStatus
 from repro.api.session import SessionHooks
-from repro.errors import JobCancelled
-from repro.serve.events import EventBus, EventSubscription, ProgressEvent
+from repro.errors import AdmissionError, JobCancelled
+from repro.serve.events import TERMINAL_KINDS, EventBus, EventSubscription, ProgressEvent
 from repro.serve.queue import JobHandle, JobQueue
 from repro.serve.store import ResultStore, ResultStoreStats
 
@@ -28,7 +28,9 @@ __all__ = [
     "JobStatus",
     "JobRecord",
     "JobCancelled",
+    "AdmissionError",
     "ServeConfig",
+    "TERMINAL_KINDS",
     "SessionHooks",
     "ProgressEvent",
     "EventBus",

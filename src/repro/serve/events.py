@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 #: Event kinds that end a job's stream (mirror :class:`repro.api.JobStatus`).
-TERMINAL_KINDS = frozenset({"done", "failed", "cancelled"})
+TERMINAL_KINDS = frozenset({"done", "failed", "cancelled", "rejected"})
 
 
 @dataclass(frozen=True)
@@ -44,10 +44,27 @@ class ProgressEvent:
     stolen: bool = False
     #: Free-form annotation (``"store-hit"``, an error message, ...).
     detail: str = ""
+    #: Verifier rule codes behind this event (``invalidated`` events carry
+    #: the diagnostics that killed a store hit; terminal events repeat them).
+    rules: tuple = ()
 
     @property
     def terminal(self) -> bool:
         return self.kind in TERMINAL_KINDS
+
+    def as_dict(self) -> dict:
+        """JSON-able projection (streamed over HTTP by :mod:`repro.remote`)."""
+        return {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "worker": self.worker,
+            "measured": self.measured,
+            "stolen": self.stolen,
+            "detail": self.detail,
+            "rules": list(self.rules),
+        }
 
 
 class EventSubscription:

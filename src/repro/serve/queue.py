@@ -47,7 +47,7 @@ from repro.api.backends import backend_spec
 from repro.api.config import ServeConfig
 from repro.api.report import JobRecord, JobStatus, RunReport
 from repro.api.session import SessionHooks
-from repro.errors import JobCancelled, OptimizationError
+from repro.errors import AdmissionError, JobCancelled, OptimizationError
 from repro.serve.events import EventBus, EventSubscription, ProgressEvent
 from repro.serve.store import ResultStore
 from repro.triton.spec import KernelSpec
@@ -64,11 +64,11 @@ class _Job:
         "backend", "pin", "use_store", "status", "cancel_event", "done_event",
         "report", "error", "worker_index", "worker", "stolen", "from_store",
         "measured", "last_progress_emit", "submitted_at", "started_at",
-        "finished_at", "cache_key", "events",
+        "finished_at", "cache_key", "events", "tenant", "invalidation_rules",
     )
 
     def __init__(self, job_id, spec, name, shapes, strategy, verify, store,
-                 cost, backend, pin, use_store):
+                 cost, backend, pin, use_store, tenant=None):
         self.id = job_id
         self.spec = spec
         self.name = name
@@ -96,6 +96,8 @@ class _Job:
         self.finished_at: float | None = None
         self.cache_key: str | None = None
         self.events: list[ProgressEvent] = []
+        self.tenant = tenant
+        self.invalidation_rules: tuple = ()
 
     def record(self) -> JobRecord:
         return JobRecord(
@@ -113,6 +115,8 @@ class _Job:
             finished_at=self.finished_at,
             error=self.error,
             cache_key=self.cache_key,
+            tenant=self.tenant,
+            invalidation_rules=self.invalidation_rules,
         )
 
 
@@ -154,6 +158,13 @@ class JobHandle:
             raise TimeoutError(f"job {self.job_id} did not finish within {timeout}s")
         if self._job.status is JobStatus.CANCELLED:
             raise JobCancelled(f"job {self.job_id} ({self._job.name}) was cancelled")
+        if self._job.status is JobStatus.REJECTED:
+            raise AdmissionError(
+                f"job {self.job_id} ({self._job.name}) was rejected: "
+                f"{self._job.error or 'admission control'}",
+                job_id=self.job_id,
+                tenant=self._job.tenant,
+            )
         return self._job.report
 
     def record(self) -> JobRecord:
@@ -190,7 +201,14 @@ class JobQueue:
     and cancels still-pending jobs but leaves the worker sessions usable.
     """
 
-    def __init__(self, pool, *, serve: ServeConfig | None = None):
+    def __init__(
+        self,
+        pool,
+        *,
+        serve: ServeConfig | None = None,
+        journal=None,
+        counter_start: int = 0,
+    ):
         if pool.closed:
             raise OptimizationError("cannot serve from a closed session pool")
         self.pool = pool
@@ -200,17 +218,24 @@ class JobQueue:
             if self.serve_config.result_store
             else None
         )
+        #: Optional durability hook (see :class:`repro.remote.JobJournal`):
+        #: ``record_submitted(record)`` / ``record_terminal(record, report)``
+        #: / ``record_store(key, report)`` are invoked as serving state
+        #: changes; journal failures are logged, never fatal to serving.
+        self.journal = journal
         self._bus = EventBus()
         self._work = threading.Condition(threading.Lock())
         self._inbox: "deque[_Job]" = deque()
         self._queues: "list[deque[_Job]]" = [deque() for _ in pool.workers]
         self._jobs: dict[str, _Job] = {}
-        self._counter = 0
+        # counter_start lets a restarted server mint ids after the highest
+        # journaled one, so replayed records never collide with fresh jobs.
+        self._counter = max(0, counter_start)
         self._closed = False
         self._joined = False
         self._stats = {
             "submitted": 0, "done": 0, "failed": 0, "cancelled": 0,
-            "stolen": 0, "store_hits": 0,
+            "rejected": 0, "stolen": 0, "store_hits": 0, "expired": 0,
         }
         self._threads = [
             threading.Thread(target=self._dispatch_loop, name="serve-dispatch", daemon=True)
@@ -244,6 +269,7 @@ class JobQueue:
         cost: float = 1.0,
         use_store: bool = True,
         pin_worker: int | None = None,
+        tenant: str | None = None,
     ) -> JobHandle:
         """Queue one workload and return its handle immediately.
 
@@ -252,6 +278,13 @@ class JobQueue:
         ``optimize_many`` compatibility wrapper) nails it to one worker index
         and exempts it from stealing.  ``use_store=False`` forces a fresh
         optimization even when the result store already holds this key.
+        ``tenant`` is recorded for accounting (the remote front door charges
+        its quota before submitting).
+
+        With ``ServeConfig.max_pending`` set, a submission arriving while
+        that many jobs are already waiting is refused: the job is minted
+        terminal-``rejected`` (so its record and ``rejected`` event are
+        observable) and :class:`repro.errors.AdmissionError` is raised.
         """
         canonical = None
         if backend is not None:
@@ -263,23 +296,79 @@ class JobQueue:
                 )
         if pin_worker is not None and not 0 <= pin_worker < len(self.pool.workers):
             raise ValueError(f"pin_worker {pin_worker} out of range")
+        self.gc()  # opportunistic TTL/bound sweep of terminal records
         name = spec if isinstance(spec, str) else spec.name
+        max_pending = self.serve_config.max_pending
         with self._work:
             if self._closed:
                 raise OptimizationError("job queue is closed")
+            pending = len(self._inbox) + sum(len(queued) for queued in self._queues)
+            if max_pending is not None and pending >= max_pending:
+                job = self._mint_rejected_locked(
+                    spec, name, cost=float(cost), backend=canonical, tenant=tenant,
+                    reason=f"pending queue full ({pending} waiting >= {max_pending})",
+                )
+                raise AdmissionError(
+                    f"job {job.id} ({name}) rejected: {job.error}",
+                    reason="pending-queue-full",
+                    job_id=job.id,
+                    tenant=tenant,
+                )
             self._counter += 1
             job = _Job(
                 job_id=f"j{self._counter:05d}",
                 spec=spec, name=name, shapes=shapes, strategy=strategy,
                 verify=verify, store=store, cost=float(cost),
                 backend=canonical, pin=pin_worker, use_store=use_store,
+                tenant=tenant,
             )
             self._jobs[job.id] = job
             self._stats["submitted"] += 1
             self._inbox.append(job)
             self._emit(job, "queued")
+            self._journal_submitted(job)
             self._work.notify_all()
         return JobHandle(self, job)
+
+    def reject(
+        self,
+        spec: str | KernelSpec,
+        *,
+        reason: str,
+        backend: str | None = None,
+        cost: float = 1.0,
+        tenant: str | None = None,
+    ) -> JobHandle:
+        """Mint a terminal-``rejected`` job without queueing anything.
+
+        Front doors use this to make quota/overload refusals observable with
+        the same machinery as every other outcome: the job gets an id, a
+        record, a ``rejected`` event on the bus and a journal entry.
+        """
+        name = spec if isinstance(spec, str) else spec.name
+        with self._work:
+            if self._closed:
+                raise OptimizationError("job queue is closed")
+            job = self._mint_rejected_locked(
+                spec, name, cost=float(cost), backend=backend, tenant=tenant,
+                reason=reason,
+            )
+        return JobHandle(self, job)
+
+    def _mint_rejected_locked(
+        self, spec, name: str, *, cost: float, backend, tenant, reason: str
+    ) -> _Job:
+        self._counter += 1
+        job = _Job(
+            job_id=f"j{self._counter:05d}",
+            spec=spec, name=name, shapes=None, strategy=None,
+            verify=None, store=False, cost=cost,
+            backend=backend, pin=None, use_store=False, tenant=tenant,
+        )
+        job.error = reason
+        self._jobs[job.id] = job
+        self._finalize_locked(job, JobStatus.REJECTED, detail=reason)
+        return job
 
     def submit_scenario(self, scenario, **options) -> JobHandle:
         """Queue one :class:`repro.scenarios.Scenario` (kernel + backend + shapes).
@@ -337,10 +426,88 @@ class JobQueue:
         with self._work:
             return self._jobs[job_id].record()
 
+    def handle(self, job_id: str) -> JobHandle:
+        """A (new) handle for a previously submitted job, by id.
+
+        Lets out-of-process front doors rebuild caller-side handles from the
+        ids they returned to clients.  Raises :class:`KeyError` for unknown
+        (or GC-evicted) ids.
+        """
+        with self._work:
+            return JobHandle(self, self._jobs[job_id])
+
     def jobs(self) -> list[JobRecord]:
         """Snapshot of every job this queue has seen, submission order."""
         with self._work:
             return [job.record() for job in self._jobs.values()]
+
+    def records_with_reports(self) -> list:
+        """Snapshot of ``(record, report)`` pairs for journal compaction."""
+        with self._work:
+            return [(job.record(), job.report) for job in self._jobs.values()]
+
+    def gc(self, *, now: float | None = None) -> int:
+        """Evict expired/excess *terminal* job records; returns the count.
+
+        Two bounds from :class:`ServeConfig` apply: ``job_ttl_s`` expires
+        terminal records by age since ``finished_at``, ``max_records`` caps
+        the total record count by evicting the oldest terminal records first.
+        In-flight jobs (queued/assigned/running) are never evicted, so the
+        record count can exceed ``max_records`` transiently under load.
+        Runs opportunistically on every :meth:`submit`.
+        """
+        config = self.serve_config
+        if config.job_ttl_s is None and config.max_records is None:
+            return 0
+        now = time.time() if now is None else now
+        evicted = 0
+        with self._work:
+            if config.job_ttl_s is not None:
+                for job_id, job in list(self._jobs.items()):
+                    if (
+                        job.status.terminal
+                        and job.finished_at is not None
+                        and now - job.finished_at >= config.job_ttl_s
+                    ):
+                        del self._jobs[job_id]
+                        evicted += 1
+            if config.max_records is not None:
+                excess = len(self._jobs) - config.max_records
+                if excess > 0:
+                    for job_id, job in list(self._jobs.items()):
+                        if excess <= 0:
+                            break
+                        if job.status.terminal:
+                            del self._jobs[job_id]
+                            evicted += 1
+                            excess -= 1
+            self._stats["expired"] += evicted
+        if evicted:
+            _LOG.debug("job-record gc evicted %d terminal record(s)", evicted)
+        return evicted
+
+    def metrics(self) -> dict:
+        """Live, JSON-able serving snapshot: queue depths, counters, pool
+        worker utilization and result-store stats (the ``/metrics`` payload
+        of the remote front door)."""
+        with self._work:
+            stats = dict(self._stats)
+            depths = [len(queued) for queued in self._queues]
+            inbox = len(self._inbox)
+            records = len(self._jobs)
+            active = sum(1 for job in self._jobs.values() if not job.status.terminal)
+        return {
+            "queue": {
+                "inbox_depth": inbox,
+                "worker_depths": depths,
+                "pending": inbox + sum(depths),
+                "records": records,
+                "active": active,
+                **stats,
+            },
+            "pool": self.pool.snapshot(),
+            "store": {} if self.store is None else self.store.snapshot(),
+        }
 
     @property
     def stats(self) -> dict:
@@ -518,9 +685,17 @@ class JobQueue:
         if self.store is not None and job.use_store:
             key = self._store_key(session, job)
             hit = None if key is None else self.store.get(key)
-            if hit is not None and not self._store_hit_ok(hit):
-                self.store.invalidate(key)
-                hit = None  # fall through: re-optimize instead of serving it
+            if hit is not None:
+                ok, rules, why = self._store_hit_ok(hit)
+                if not ok:
+                    self.store.invalidate(key)
+                    with self._work:
+                        job.invalidation_rules = tuple(rules)
+                        self._emit(
+                            job, "invalidated", worker=worker.name,
+                            detail=why, rules=tuple(rules),
+                        )
+                    hit = None  # fall through: re-optimize instead of serving it
             if hit is not None:
                 with self._work:
                     job.from_store = True
@@ -582,6 +757,7 @@ class JobQueue:
             key = report.cache_key or self._store_key(session, job)
             if key is not None:
                 self.store.put(key, report)
+                self._journal_store(key, report)
         with self._work:
             self._finalize_locked(
                 job,
@@ -600,7 +776,7 @@ class JobQueue:
         except Exception:
             return None  # unknown spec: let the run itself surface the error
 
-    def _store_hit_ok(self, hit: RunReport) -> bool:
+    def _store_hit_ok(self, hit: RunReport) -> tuple[bool, tuple[str, ...], str]:
         """Gate a result-store hit behind the static schedule verifier.
 
         A stored report is served only while its schedule still audits as a
@@ -608,31 +784,37 @@ class JobQueue:
         a hit that no longer verifies (stale entry, corrupted artifact) is
         invalidated and the job re-optimizes instead.  Reports without an
         artifact carry no schedule to audit and pass through unchanged.
+
+        Returns ``(ok, rule_codes, detail)``: the verifier rule codes that
+        fired are surfaced in the job's ``invalidated`` event and record so
+        clients can see *why* a cached result was thrown away.
         """
         if not self.serve_config.verify_store_hits:
-            return True
+            return True, (), ""
         artifact = hit.artifact
         if artifact is None:
-            return True
+            return True, (), ""
         try:
             result = verify_schedule(
                 artifact.compiled.kernel, artifact.optimized.kernel,
                 include_warnings=False,
             )
         except Exception as exc:  # noqa: BLE001 - a crashing audit is a failed audit
-            _LOG.warning(
-                "store-hit audit of %s crashed (%s: %s); invalidating the entry",
-                hit.kernel, type(exc).__name__, exc,
-            )
-            return False
+            why = f"store-hit audit crashed ({type(exc).__name__}: {exc})"
+            _LOG.warning("%s for %s; invalidating the entry", why, hit.kernel)
+            return False, (), why
         if not result.ok:
-            _LOG.warning(
-                "store-hit for %s failed re-verification with %d error(s); "
-                "invalidating the entry and re-optimizing",
-                hit.kernel, len(result.errors),
+            rules = tuple(sorted({diag.rule for diag in result.errors}))
+            why = (
+                f"store-hit failed re-verification with {len(result.errors)} "
+                f"error(s): {', '.join(rules)}"
             )
-            return False
-        return True
+            _LOG.warning(
+                "store-hit for %s %s; invalidating the entry and re-optimizing",
+                hit.kernel, why,
+            )
+            return False, rules, why
+        return True, (), ""
 
     def _checkpoint_for(self, job: _Job):
         def checkpoint() -> None:
@@ -689,9 +871,47 @@ class JobQueue:
         self._stats[status.value] += 1
         self._emit(
             job, status.value, worker=job.worker, measured=job.measured,
-            stolen=job.stolen, detail=detail,
+            stolen=job.stolen, detail=detail, rules=self._terminal_rules(job, report),
         )
+        self._journal_terminal(job)
         job.done_event.set()
+
+    @staticmethod
+    def _terminal_rules(job: _Job, report) -> tuple:
+        """Verifier rule codes a client should see with the terminal event:
+        the codes that invalidated a store hit, plus any error-severity
+        findings that made the final report fall back to -O3."""
+        rules = list(job.invalidation_rules)
+        if report is not None and report.verified is False:
+            for diag in report.diagnostics:
+                code = diag.get("rule") if isinstance(diag, dict) else None
+                if code and diag.get("severity") == "error" and code not in rules:
+                    rules.append(code)
+        return tuple(rules)
+
+    def _journal_submitted(self, job: _Job) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_submitted(job.record())
+        except Exception as exc:  # noqa: BLE001 - durability is best-effort
+            _LOG.warning("journal submit record for %s failed: %s", job.id, exc)
+
+    def _journal_terminal(self, job: _Job) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_terminal(job.record(), job.report)
+        except Exception as exc:  # noqa: BLE001 - durability is best-effort
+            _LOG.warning("journal terminal record for %s failed: %s", job.id, exc)
+
+    def _journal_store(self, key: str, report: RunReport) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_store(key, report)
+        except Exception as exc:  # noqa: BLE001 - durability is best-effort
+            _LOG.warning("journal store entry for %s failed: %s", key, exc)
 
     def _emit(self, job: _Job, kind: str, **fields) -> None:
         self._bus.publish(job.events, job_id=job.id, kind=kind, **fields)

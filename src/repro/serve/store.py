@@ -81,6 +81,15 @@ class ResultStore:
             self.stats.invalidations += 1
             return True
 
+    def items(self) -> list[tuple[str, RunReport]]:
+        """Snapshot of every ``(key, report)`` entry, LRU order (oldest first).
+
+        Used by the durable serving layer to persist the store into the job
+        journal; taking the snapshot does not refresh LRU ages.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
