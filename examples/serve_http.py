@@ -12,6 +12,7 @@ Run with:  python examples/serve_http.py
 """
 
 import contextlib
+import json
 import os
 import subprocess
 import sys
@@ -30,11 +31,11 @@ SERVER_ARGS = [
 ]
 
 
-def boot(cache_dir: str) -> tuple[subprocess.Popen, str]:
+def boot(cache_dir: str, extra: tuple[str, ...] = ()) -> tuple[subprocess.Popen, str]:
     """Start the server on an ephemeral port and wait for its READY line."""
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.remote.serve",
-         "--cache-dir", cache_dir, "--port", "0", *SERVER_ARGS],
+         "--cache-dir", cache_dir, "--port", "0", *SERVER_ARGS, *extra],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
         text=True,
@@ -56,6 +57,22 @@ def _cache_dir():
         Path(pinned).mkdir(parents=True, exist_ok=True)
         return contextlib.nullcontext(pinned)
     return tempfile.TemporaryDirectory()
+
+
+def _wait_for_checkpoint(journal: Path, job_id: str, timeout_s: float = 120.0) -> None:
+    """Poll the journal until a checkpoint line for ``job_id`` is durable."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if journal.exists():
+            for line in journal.read_text().splitlines():
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line mid-write
+                if payload.get("kind") == "checkpoint" and payload.get("job_id") == job_id:
+                    return
+        time.sleep(0.05)
+    raise RuntimeError(f"no checkpoint for {job_id} within {timeout_s}s")
 
 
 def main() -> None:
@@ -112,6 +129,40 @@ def main() -> None:
             print(f"== metrics: {metrics['queue']['store_hits']} store hit(s), "
                   f"{metrics['server']['replayed_records']} replayed record(s), "
                   f"journal at {metrics['server']['journal']['path']}")
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+
+        print("== chaos: SIGKILL the server mid-search, resume from checkpoint")
+        # Slow every measurement down (chaos flag) so the kill window is wide;
+        # greedy on bmm journals a checkpoint after each committed move.
+        server, url = boot(cache_dir, extra=("--fault-seed", "1234",
+                                             "--fault-delay-ms", "100"))
+        killed = False
+        try:
+            client = RemoteClient(url, tenant="demo")
+            victim = client.submit("bmm")
+            _wait_for_checkpoint(journal, victim.job_id)
+            print(f"   {victim.job_id} checkpointed; kill -9 the server now")
+            server.kill()  # no graceful shutdown: no terminal journal line
+            server.wait(timeout=30)
+            killed = True
+        finally:
+            if not killed:
+                server.terminate()
+                server.wait(timeout=30)
+
+        server, url = boot(cache_dir)
+        try:
+            client = RemoteClient(url, tenant="demo")
+            report = client.result(victim.job_id, timeout=300)
+            record = client.status(victim.job_id)
+            print(f"   {victim.job_id}: status={record.status.value} "
+                  f"resumed={record.resumed} evaluations={report.evaluations} "
+                  f"(budget honored: {report.evaluations <= 16 + 1})")
+            assert record.resumed and not report.failed
+            resumed_jobs = client.metrics()["server"]["resumed_jobs"]
+            print(f"   metrics: {resumed_jobs} job(s) resumed after the kill")
         finally:
             server.terminate()
             server.wait(timeout=30)

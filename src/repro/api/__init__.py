@@ -37,6 +37,7 @@ from repro.api.config import (
     OptimizationConfig,
     PoolConfig,
     RemoteConfig,
+    RetryPolicy,
     ServeConfig,
 )
 from repro.api.presets import (
@@ -76,6 +77,7 @@ __all__ = [
     "PoolConfig",
     "ServeConfig",
     "RemoteConfig",
+    "RetryPolicy",
     "SearchStrategy",
     "StrategyContext",
     "StrategyOutcome",

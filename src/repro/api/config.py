@@ -60,6 +60,16 @@ class MeasurementPolicy:
     #: every candidate submission with the cumulative submission count; the
     #: serve layer turns these into streamed ``measured(n)`` events.
     progress: "object | None" = field(default=None, repr=False, compare=False)
+    #: Checkpoint-state exporter ``save_state(state: dict)``: strategies that
+    #: support resumption call it with an opaque JSON-able snapshot of their
+    #: search state (best schedule so far, evaluations consumed, RNG stream
+    #: position) after every committed step; the serve layer persists the
+    #: latest snapshot in the job journal so a killed server can resume the
+    #: search instead of restarting it.
+    save_state: "object | None" = field(default=None, repr=False, compare=False)
+    #: A previously exported checkpoint to resume from (the dict handed to
+    #: ``save_state``); ``None`` (or an unrecognised payload) starts fresh.
+    resume_state: "object | None" = field(default=None, repr=False, compare=False)
 
     def to_measurement_config(self) -> MeasurementConfig:
         """Lower to the :mod:`repro.sim` measurement record."""
@@ -113,6 +123,55 @@ class PoolConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How the serve queue retries jobs that hit *infrastructure* failures.
+
+    Only failures classified by :func:`repro.errors.is_infrastructure_failure`
+    (worker crashes, closed sessions, broken measurement executors) are ever
+    retried; verifier rejections, compile errors and other user-attributable
+    failures fail immediately on the first attempt.  Delays grow
+    exponentially with a deterministic jitter (no hidden RNG state — the
+    jitter is a pure function of the attempt number), so chaos tests replay
+    bit-identically.  Wall-clock accounting against :attr:`budget_s` uses the
+    queue's injectable clock (``JobQueue(clock=...)``).
+    """
+
+    #: Total attempts per job, including the first run; 1 disables retries.
+    max_attempts: int = 3
+    #: Delay before the first retry, in seconds.
+    backoff_base_s: float = 0.05
+    #: Multiplier applied per subsequent retry.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single retry delay.
+    backoff_max_s: float = 2.0
+    #: Jitter amplitude as a fraction of the delay (0 disables); the realised
+    #: jitter is deterministic per attempt number.
+    jitter: float = 0.1
+    #: Total retry-delay budget per job, in seconds; once a job's cumulative
+    #: backoff would exceed this it fails instead.  ``None`` is unbounded.
+    budget_s: float | None = None
+
+    def replace(self, **overrides) -> "RetryPolicy":
+        """A copy of this policy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff delay before retry number ``attempt`` (1-based)."""
+        import hashlib
+
+        step = max(1, int(attempt))
+        delay = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (step - 1),
+        )
+        if self.jitter > 0.0:
+            digest = hashlib.sha256(f"retry-jitter:{step}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2.0**64  # [0, 1)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return max(0.0, delay)
+
+
+@dataclass(frozen=True, slots=True)
 class ServeConfig:
     """Shape of a :class:`repro.serve.JobQueue` front door over a pool.
 
@@ -151,6 +210,10 @@ class ServeConfig:
     #: Hard bound on retained job records; the oldest *terminal* records are
     #: evicted beyond it.  ``None`` keeps the job map unbounded.
     max_records: int | None = None
+    #: Retry jobs that hit infrastructure failures (worker crash, closed
+    #: session, broken executor) with exponential backoff; ``None`` fails
+    #: them on the first attempt.  See :class:`RetryPolicy`.
+    retry: RetryPolicy | None = None
 
     def replace(self, **overrides) -> "ServeConfig":
         """A copy of this config with the given fields replaced."""
@@ -192,6 +255,10 @@ class RemoteConfig:
     #: Longest server-side block of one ``GET /v1/jobs/<id>/result`` call;
     #: clients long-poll in slices of at most this many seconds.
     result_timeout_s: float = 60.0
+    #: On restart, re-queue journal-replayed *in-flight* jobs (resuming from
+    #: their last journaled checkpoint when one exists) instead of marking
+    #: them failed with a ``ServerRestart`` error.
+    resume_inflight: bool = True
 
     def replace(self, **overrides) -> "RemoteConfig":
         """A copy of this config with the given fields replaced."""

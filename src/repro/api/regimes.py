@@ -98,3 +98,13 @@ register_regime(
     description="Shortened deterministic protocol for smoke runs and CI.",
     tags=("deterministic", "smoke"),
 )
+
+register_regime(
+    "chaos",
+    MeasurementPolicy(noise_std=0.02, warmup_iterations=25, measure_iterations=25),
+    aliases=("fault-injection",),
+    description="Shortened noisy protocol for fault-injection runs: enough "
+    "measurements per job to land mid-flight crashes and checkpoints, 2% "
+    "noise so retried/resumed searches cannot rely on bit-identical timings.",
+    tags=("chaos",),
+)

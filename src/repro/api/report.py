@@ -205,6 +205,12 @@ class JobRecord:
     #: The record was reconstructed from a journal replay after a restart
     #: (the job ran in a previous server process).
     replayed: bool = False
+    #: Retries consumed so far: 0 on the first attempt, incremented each time
+    #: the queue re-ran the job after an infrastructure failure.
+    attempt: int = 0
+    #: The job was re-queued after a server restart and resumed from its last
+    #: journaled search checkpoint (or restarted fresh when none existed).
+    resumed: bool = False
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -225,6 +231,8 @@ class JobRecord:
             "tenant": self.tenant,
             "invalidation_rules": list(self.invalidation_rules),
             "replayed": self.replayed,
+            "attempt": self.attempt,
+            "resumed": self.resumed,
         }
 
     @classmethod
@@ -248,6 +256,8 @@ class JobRecord:
             tenant=payload.get("tenant"),
             invalidation_rules=tuple(payload.get("invalidation_rules") or ()),
             replayed=bool(payload.get("replayed", False)),
+            attempt=int(payload.get("attempt") or 0),
+            resumed=bool(payload.get("resumed", False)),
         )
 
     def to_json(self) -> str:

@@ -32,7 +32,7 @@ from repro.arch.ampere import AmpereConfig
 from repro.core.optimizer import OptimizedKernel
 from repro.core.trainer import OptimizationResult
 from repro.rl.ppo import TrainingHistory
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, SessionClosed
 from repro.sass.assembler import splice_kernel
 from repro.sass.disassembler import disassemble
 from repro.sim.functional import ProbabilisticTester, ProbabilisticTestResult
@@ -74,12 +74,28 @@ class SessionHooks:
     :class:`repro.errors.JobCancelled`) aborts the search within one
     measurement batch.  ``progress(submitted)`` is invoked after every
     candidate submission with the cumulative submission count; the serve
-    layer streams these as ``measured(n)`` events.  Hooks cover the schedule
-    search (stage 2); stage-1 autotuning is not cancellable.
+    layer streams these as ``measured(n)`` events.  Hooks cover both stages:
+    the schedule search (stage 2) and stage-1 autotuning, whose per-config
+    measurement loop also polls ``checkpoint``.
+
+    ``save_state(state)`` receives opaque JSON-able search-state snapshots
+    from strategies that support resumption (best schedule so far,
+    evaluations consumed, RNG stream position); ``resume_state`` hands the
+    last such snapshot back to the strategy so an interrupted search
+    continues where it stopped instead of restarting.
     """
 
     checkpoint: "object | None" = None
     progress: "object | None" = None
+    save_state: "object | None" = None
+    resume_state: "object | None" = None
+
+    def any_set(self) -> bool:
+        """True when at least one hook is installed."""
+        return any(
+            value is not None
+            for value in (self.checkpoint, self.progress, self.save_state, self.resume_state)
+        )
 
 
 class Session:
@@ -146,7 +162,7 @@ class Session:
 
     def _ensure_open(self) -> None:
         if self._closed:
-            raise OptimizationError("session is closed")
+            raise SessionClosed("session is closed")
 
     # ------------------------------------------------------------------
     # Derived sessions and small helpers
@@ -186,17 +202,21 @@ class Session:
         *,
         shapes: dict | None = None,
         config: dict | None = None,
+        hooks: "SessionHooks | None" = None,
     ) -> CompiledKernel:
         """Stage 1 of the hierarchical search (§3.1): kernel-config autotuning
         plus compilation to the ``-O3`` SASS schedule.
 
-        An explicit kernel ``config`` skips autotuning.
+        An explicit kernel ``config`` skips autotuning.  ``hooks.checkpoint``
+        (when given) is polled before each candidate config is measured, so
+        stage-1 autotuning is cancellable too.
         """
         self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
         if config is None and self.config.autotune:
-            return self.autotuner.compile_best(spec, shapes=shapes)
+            checkpoint = hooks.checkpoint if hooks is not None else None
+            return self.autotuner.compile_best(spec, shapes=shapes, checkpoint=checkpoint)
         return compile_spec(spec, shapes=shapes, config=config)
 
     def optimize(
@@ -218,7 +238,7 @@ class Session:
         self._ensure_open()
         spec = self._resolve_spec(spec)
         shapes = self._resolve_shapes(spec, shapes)
-        compiled = self.compile(spec, shapes=shapes)
+        compiled = self.compile(spec, shapes=shapes, hooks=hooks)
         return self.optimize_compiled(
             compiled, strategy=strategy, verify=verify, store=store, hooks=hooks
         )
@@ -241,9 +261,13 @@ class Session:
         strategy_name = strategy or self.config.strategy
         verify_mode = normalize_verify_mode(verify, default=self.config.verify)
         policy = self.measurement
-        if hooks is not None and (hooks.checkpoint is not None or hooks.progress is not None):
+        if hooks is not None and hooks.any_set():
             policy = dataclasses.replace(
-                policy, checkpoint=hooks.checkpoint, progress=hooks.progress
+                policy,
+                checkpoint=hooks.checkpoint,
+                progress=hooks.progress,
+                save_state=hooks.save_state,
+                resume_state=hooks.resume_state,
             )
         search_started = time.perf_counter()
         outcome = get_strategy(strategy_name).run(

@@ -106,6 +106,11 @@ def _from_search(result: ScheduleSearchResult) -> StrategyOutcome:
             "history": list(result.history),
             "measurement": dict(result.measurement_stats),
             "invalid_actions": result.invalid_actions,
+            **(
+                {"resumed_from_evaluations": result.resumed_from}
+                if result.resumed_from
+                else {}
+            ),
         },
     )
 
@@ -183,6 +188,8 @@ class RandomSearchStrategy:
                 memo_owner=policy.memo_owner,
                 checkpoint=policy.checkpoint,
                 progress=policy.progress,
+                save_state=policy.save_state,
+                resume_state=policy.resume_state,
             )
         )
 
@@ -212,6 +219,8 @@ class GreedySearchStrategy:
                 memo_owner=policy.memo_owner,
                 checkpoint=policy.checkpoint,
                 progress=policy.progress,
+                save_state=policy.save_state,
+                resume_state=policy.resume_state,
             )
         )
 
@@ -244,5 +253,7 @@ class EvolutionarySearchStrategy:
                 memo_owner=policy.memo_owner,
                 checkpoint=policy.checkpoint,
                 progress=policy.progress,
+                save_state=policy.save_state,
+                resume_state=policy.resume_state,
             )
         )

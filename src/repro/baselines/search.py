@@ -43,10 +43,62 @@ class ScheduleSearchResult:
     measurement_stats: dict = field(default_factory=dict)
     #: Unmasked-but-invalid actions the env swallowed during the search.
     invalid_actions: int = 0
+    #: Evaluations already consumed when this run resumed from a checkpoint
+    #: (0 for a fresh search); final ``evaluations`` includes them, so the
+    #: budget is honored across the interruption.
+    resumed_from: int = 0
 
     @property
     def speedup(self) -> float:
         return self.baseline_time_ms / self.best_time_ms if self.best_time_ms else 1.0
+
+
+def _resume_search(env: AssemblyGame, resume_state, method: str):
+    """Restore env + counters from a ``save_state`` snapshot, if compatible.
+
+    Returns ``(evaluations, episode_swaps, best_swaps)``; on any mismatch or
+    malformed payload the search starts fresh (``(0, [], [])``) — a stale or
+    foreign checkpoint must never corrupt a run.
+    """
+    fresh = (0, [], [])
+    if not isinstance(resume_state, dict) or resume_state.get("strategy") != method:
+        if resume_state is not None:
+            _LOG.warning(
+                "%s: ignoring incompatible resume state (strategy=%r); starting fresh",
+                method,
+                resume_state.get("strategy") if isinstance(resume_state, dict) else type(resume_state),
+            )
+        return fresh
+    try:
+        swaps = [
+            (int(source), int(destination))
+            for source, destination in resume_state.get("swaps", ())
+        ]
+        best_swaps = [
+            (int(source), int(destination))
+            for source, destination in resume_state.get("best_swaps", ())
+        ]
+        evaluations = max(0, int(resume_state.get("evaluations", 0)))
+        best_time_ms = resume_state.get("best_time_ms")
+        env.restore_schedule(
+            swaps,
+            best_swaps=best_swaps,
+            best_time_ms=float(best_time_ms) if best_time_ms is not None else None,
+        )
+        # The restore re-measurement above is a real measurement tick: count
+        # it so the total budget stays honest across the interruption.
+        evaluations += 1
+        _LOG.info(
+            "%s: resumed from checkpoint at %d evaluation(s), %d committed move(s)",
+            method,
+            evaluations,
+            len(swaps),
+        )
+        return evaluations, swaps, best_swaps
+    except Exception as exc:
+        _LOG.warning("%s: could not resume from checkpoint (%s); starting fresh", method, exc)
+        env.reset()
+        return fresh
 
 
 def _make_env(
@@ -95,8 +147,17 @@ def run_random_search(
     memo_owner: str = "",
     checkpoint=None,
     progress=None,
+    save_state=None,
+    resume_state=None,
 ) -> ScheduleSearchResult:
-    """Uniform random valid moves until the evaluation budget is exhausted."""
+    """Uniform random valid moves until the evaluation budget is exhausted.
+
+    ``save_state``/``resume_state`` make the search resumable: after every
+    committed step the full search state — committed swaps of the current
+    episode, best schedule's swap path, evaluations consumed and the RNG
+    stream position — is exported, and an interrupted run restarted with the
+    last snapshot continues the same move sequence within the same budget.
+    """
     env = _make_env(
         compiled, simulator, episode_length, measurement,
         backend, max_workers, mp_context, memoize, shared_memo, memo_owner,
@@ -105,23 +166,52 @@ def run_random_search(
     try:
         rng = as_rng(seed)
         env.reset()
-        evaluations = 0
+        evaluations, episode_swaps, best_swaps = _resume_search(env, resume_state, "random")
+        resumed_from = evaluations
+        if resumed_from and isinstance(resume_state, dict):
+            rng_state = resume_state.get("rng_state")
+            if rng_state is not None:
+                try:
+                    rng.bit_generator.state = rng_state
+                except Exception as exc:
+                    _LOG.warning("random: could not restore RNG stream (%s)", exc)
         history = []
+
+        def export_state() -> None:
+            if save_state is None:
+                return
+            save_state({
+                "strategy": "random",
+                "evaluations": evaluations,
+                "swaps": [list(move) for move in episode_swaps],
+                "best_swaps": [list(move) for move in best_swaps],
+                "best_time_ms": env.best_time_ms,
+                "rng_state": rng.bit_generator.state,
+            })
+
         while evaluations < budget:
             mask = env.action_masks()
             valid = np.flatnonzero(mask)
             if len(valid) == 0:
                 # A freshly reset schedule with no legal move: nothing to search.
-                if not history:
+                if not history and not resumed_from:
                     break
                 env.reset()
+                episode_swaps = []
                 continue
             action = int(rng.choice(valid))
+            previous_best = env.best_time_ms
             _, _, terminated, truncated, info = env.step(action)
             evaluations += 1
             history.append(info.get("time_ms", env.best_time_ms))
+            if "swap" in info:
+                episode_swaps.append(tuple(info["swap"]))
+            if env.best_time_ms < previous_best:
+                best_swaps = list(episode_swaps)
+            export_state()
             if terminated or truncated:
                 env.reset()
+                episode_swaps = []
         return ScheduleSearchResult(
             method="random",
             baseline_time_ms=env.baseline_time_ms,
@@ -131,6 +221,7 @@ def run_random_search(
             history=history,
             measurement_stats=env.measurement_stats.as_dict(),
             invalid_actions=env.invalid_actions,
+            resumed_from=resumed_from,
         )
     finally:
         env.close()
@@ -151,9 +242,18 @@ def run_greedy_search(
     memo_owner: str = "",
     checkpoint=None,
     progress=None,
+    save_state=None,
+    resume_state=None,
 ) -> ScheduleSearchResult:
     """Greedy hill-climbing: at every step take the single move that improves
     the runtime the most; stop when no move improves or the budget runs out.
+
+    ``save_state``/``resume_state`` make the climb resumable: after every
+    committed move the search exports its committed-swap path and evaluation
+    count, and an interrupted run restarted with the last snapshot replays
+    the path (memo hits under ``memoize=True``) and keeps climbing within
+    the same budget.  Greedy improves monotonically, so the committed path
+    *is* the best path — no separate best tracking rides the snapshot.
 
     Each round batch-measures *all* valid single-move candidates through the
     env's measurement service (concurrently under ``backend="threaded"``),
@@ -172,7 +272,8 @@ def run_greedy_search(
     )
     try:
         env.reset()
-        evaluations = 0
+        evaluations, committed, _ = _resume_search(env, resume_state, "greedy")
+        resumed_from = evaluations
         history = []
         improved = True
         while improved and evaluations < budget:
@@ -216,6 +317,16 @@ def run_greedy_search(
             evaluations += 1
             history.append(info.get("time_ms", times[best_index]))
             improved = True
+            if "swap" in info:
+                committed.append(tuple(info["swap"]))
+            if save_state is not None:
+                save_state({
+                    "strategy": "greedy",
+                    "evaluations": evaluations,
+                    "swaps": [list(move) for move in committed],
+                    "best_swaps": [list(move) for move in committed],
+                    "best_time_ms": env.best_time_ms,
+                })
             if terminated or truncated:
                 # The episode is over (move horizon reached or no actions
                 # left); stepping a finished episode would corrupt the climb.
@@ -229,6 +340,7 @@ def run_greedy_search(
             history=history,
             measurement_stats=env.measurement_stats.as_dict(),
             invalid_actions=env.invalid_actions,
+            resumed_from=resumed_from,
         )
     finally:
         env.close()
@@ -252,6 +364,8 @@ def run_evolutionary_search(
     memo_owner: str = "",
     checkpoint=None,
     progress=None,
+    save_state=None,
+    resume_state=None,
 ) -> ScheduleSearchResult:
     """(mu + lambda)-style evolutionary search over move sequences (§7).
 
@@ -260,7 +374,13 @@ def run_evolutionary_search(
     no training but is prone to local minima.  Surviving parents are replayed
     every generation, so ``memoize=True`` turns those re-measurements into
     cache hits.
+
+    ``save_state``/``resume_state`` are accepted for interface parity with
+    the other searches but population state is not checkpointed yet; a
+    resumed evolutionary job restarts fresh.
     """
+    if resume_state is not None:
+        _LOG.info("evolutionary: population checkpoints unsupported; starting fresh")
     env = _make_env(
         compiled, simulator, episode_length, measurement,
         backend, max_workers, mp_context, memoize, shared_memo, memo_owner,

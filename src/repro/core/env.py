@@ -207,6 +207,44 @@ class AssemblyGame(Env):
         observation = self.embedder.embed(self._kernel)
         return observation, {"baseline_time_ms": self.baseline_time_ms}
 
+    def restore_schedule(
+        self,
+        swaps,
+        *,
+        best_swaps=None,
+        best_time_ms: float | None = None,
+    ) -> float:
+        """Rebuild the episode state from a committed-swap history (resume).
+
+        ``swaps`` is the ``(source, destination)`` sequence of committed
+        :meth:`step` moves since the last reset; the current kernel is rebuilt
+        by replaying them onto the ``-O3`` seed and re-measured (one
+        measurement, typically a memo hit).  ``best_swaps``/``best_time_ms``
+        restore the best-so-far tracking; when omitted, the rebuilt current
+        schedule is the best.  Returns the re-measured current runtime.
+        """
+        swaps = [tuple(move) for move in swaps]
+        kernel = self.initial_kernel
+        for source, destination in swaps:
+            kernel = kernel.swap(int(source), int(destination))
+        self._kernel = kernel
+        self._previous_time_ms = self._measure(kernel)
+        self._steps = min(len(swaps), self.episode_length)
+        self._record = EpisodeRecord()
+        self._record_open = True
+        if best_swaps is not None:
+            best = self.initial_kernel
+            for source, destination in best_swaps:
+                best = best.swap(int(source), int(destination))
+            self.best_kernel = best
+            self.best_time_ms = (
+                float(best_time_ms) if best_time_ms is not None else self._measure(best)
+            )
+        if self._previous_time_ms < self.best_time_ms:
+            self.best_time_ms = self._previous_time_ms
+            self.best_kernel = self._kernel
+        return self._previous_time_ms
+
     def _finish_episode(self) -> None:
         """Append the current episode record exactly once per episode.
 

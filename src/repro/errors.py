@@ -168,3 +168,43 @@ class JobCancelled(ReproError):
 
 class VerificationError(ReproError):
     """Probabilistic testing detected an output mismatch."""
+
+
+# --------------------------------------------------------------------------
+# Infrastructure failures (retryable)
+# --------------------------------------------------------------------------
+class InfrastructureError(OptimizationError):
+    """The serving substrate (worker, executor, session) failed — not the job.
+
+    Errors in this sub-hierarchy mean the *machinery* running a job broke, not
+    that the job itself was invalid: the same job re-run on a healthy worker
+    is expected to succeed.  The serve-layer :class:`repro.api.RetryPolicy`
+    only ever retries these (plus broken stdlib executors); verifier
+    rejections and user errors are never retried.
+    """
+
+
+class WorkerCrash(InfrastructureError):
+    """A pool worker died mid-job (raised by fault injection or supervision)."""
+
+
+class SessionClosed(InfrastructureError):
+    """An operation was attempted on a closed :class:`repro.api.Session`."""
+
+
+def is_infrastructure_failure(exc: BaseException) -> bool:
+    """True when ``exc`` indicates broken serving machinery, not a bad job.
+
+    This is the retry/supervision classifier used by the serve queue: worker
+    crashes (including injected ones), closed sessions and broken
+    ``concurrent.futures`` executors (the ``process`` measurement backend
+    dying) are infrastructure; everything else — compile errors, verifier
+    rejections, bad shapes — is the job's own fault and must not be retried.
+    """
+    if isinstance(exc, InfrastructureError):
+        return True
+    try:
+        from concurrent.futures import BrokenExecutor
+    except ImportError:  # pragma: no cover - stdlib always has it on 3.8+
+        return False
+    return isinstance(exc, BrokenExecutor)

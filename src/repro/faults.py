@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the serving stack.
+
+A :class:`FaultPlan` is a small, seedable schedule of infrastructure
+failures that the serving layers consult at well-defined injection sites:
+
+- the measurement checkpoint inside a running job (``on_measurement`` —
+  crash a worker after K evaluations, or delay every Nth measurement),
+- the journal append path (``on_journal_append`` — fail the Mth append),
+- the SSE event-stream writer (``on_event_write`` — drop the HTTP
+  connection after N events).
+
+Plans are *deterministic*: given the same plan and the same sequence of
+calls, the same faults fire in the same places.  The ``seed`` does not
+drive any randomness today — faults fire at exact counters — but it is
+recorded in :meth:`snapshot` so chaos runs are reproducible end to end and
+future stochastic plans stay API-compatible.
+
+The plan is passed to the serving constructors (``pool.serve(...,
+faults=plan)``, ``JobJournal(path, faults=plan)``, ``RemoteApp(pool,
+faults=plan)``) rather than living on the frozen config dataclasses: it is
+mutable test machinery, not configuration.
+
+Example
+-------
+>>> plan = (FaultPlan(seed=7)
+...         .crash_worker(0, after_evals=4)
+...         .fail_journal_append(at_append=3)
+...         .drop_stream(after_events=2))
+>>> app = RemoteApp(pool, faults=plan)          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.errors import WorkerCrash
+
+__all__ = ["FaultPlan"]
+
+
+class FaultPlan:
+    """A deterministic, seedable schedule of injected infrastructure faults.
+
+    Builder methods (``crash_worker`` / ``fail_journal_append`` /
+    ``drop_stream`` / ``delay_measurement``) are chainable; injection-site
+    methods (``on_measurement`` / ``on_journal_append`` / ``on_event_write``)
+    are called by the serving layers and are thread-safe.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._crashes: list[dict[str, Any]] = []
+        self._journal_failures: list[dict[str, Any]] = []
+        self._drops: list[dict[str, Any]] = []
+        self._delay_every = 0
+        self._delay_s = 0.0
+        self._measure_counts: dict[Any, int] = {}
+        self._journal_appends = 0
+        self._fired: list[dict[str, Any]] = []
+
+    # -- builders (chainable) ----------------------------------------------
+    def crash_worker(
+        self, worker: int | None = None, *, after_evals: int = 1, times: int = 1
+    ) -> "FaultPlan":
+        """Crash worker ``worker`` (or any worker when None) once it has seen
+        ``after_evals`` measurement ticks, at most ``times`` times."""
+        self._crashes.append({
+            "worker": worker, "after": max(1, int(after_evals)),
+            "times": max(1, int(times)), "fired": 0,
+        })
+        return self
+
+    def fail_journal_append(self, *, at_append: int = 1, times: int = 1) -> "FaultPlan":
+        """Fail journal appends number ``at_append``..``at_append+times-1``
+        (1-based, counted across the journal's lifetime)."""
+        self._journal_failures.append({
+            "at": max(1, int(at_append)), "times": max(1, int(times)), "fired": 0,
+        })
+        return self
+
+    def drop_stream(self, *, after_events: int = 1, times: int = 1) -> "FaultPlan":
+        """Drop an SSE event-stream connection after ``after_events`` events
+        have been written on it, at most ``times`` connections."""
+        self._drops.append({
+            "after": max(1, int(after_events)), "times": max(1, int(times)), "fired": 0,
+        })
+        return self
+
+    def delay_measurement(self, *, every: int = 1, delay_s: float = 0.0) -> "FaultPlan":
+        """Sleep ``delay_s`` before every ``every``-th measurement tick
+        (slow-measurement fault; also handy to widen kill windows in tests)."""
+        self._delay_every = max(0, int(every))
+        self._delay_s = max(0.0, float(delay_s))
+        return self
+
+    # -- injection sites (thread-safe) -------------------------------------
+    def on_measurement(self, *, worker: int | None = None, job_id: str | None = None) -> None:
+        """Called once per measurement checkpoint tick of a running job.
+
+        Raises :class:`repro.errors.WorkerCrash` when a scheduled crash for
+        this worker is due; sleeps when a measurement delay is scheduled.
+        """
+        crash: dict[str, Any] | None = None
+        delay = 0.0
+        with self._lock:
+            count = self._measure_counts.get(worker, 0) + 1
+            self._measure_counts[worker] = count
+            if self._delay_every and count % self._delay_every == 0:
+                delay = self._delay_s
+            for spec in self._crashes:
+                if spec["fired"] >= spec["times"]:
+                    continue
+                if spec["worker"] is not None and spec["worker"] != worker:
+                    continue
+                if count >= spec["after"]:
+                    spec["fired"] += 1
+                    crash = self._record_fired(
+                        "worker-crash", worker=worker, job_id=job_id, at_eval=count
+                    )
+                    break
+        if delay > 0.0:
+            time.sleep(delay)
+        if crash is not None:
+            raise WorkerCrash(
+                f"fault injection: worker {worker} crashed after "
+                f"{crash['at_eval']} measurement(s) (job {job_id})"
+            )
+
+    def on_journal_append(self, payload: dict) -> None:
+        """Called before every journal append; raises OSError when the
+        scheduled append failure is due."""
+        fire: dict[str, Any] | None = None
+        with self._lock:
+            self._journal_appends += 1
+            for spec in self._journal_failures:
+                if spec["fired"] >= spec["times"]:
+                    continue
+                if self._journal_appends >= spec["at"]:
+                    spec["fired"] += 1
+                    fire = self._record_fired(
+                        "journal-append-failure",
+                        append=self._journal_appends,
+                        kind=payload.get("kind"),
+                    )
+                    break
+        if fire is not None:
+            raise OSError(
+                f"fault injection: journal append #{fire['append']} failed"
+            )
+
+    def on_event_write(self, *, job_id: str | None = None, index: int = 0) -> bool:
+        """Called before writing the ``index``-th (1-based) event of an SSE
+        stream; returns True when the connection should be dropped."""
+        with self._lock:
+            for spec in self._drops:
+                if spec["fired"] >= spec["times"]:
+                    continue
+                if index >= spec["after"]:
+                    spec["fired"] += 1
+                    self._record_fired("stream-drop", job_id=job_id, at_event=index)
+                    return True
+        return False
+
+    # -- observability ------------------------------------------------------
+    def _record_fired(self, fault: str, **detail: Any) -> dict[str, Any]:
+        entry = {"fault": fault, **detail}
+        self._fired.append(entry)
+        return entry
+
+    @property
+    def fired(self) -> list[dict[str, Any]]:
+        """Log of faults that actually fired, in firing order."""
+        with self._lock:
+            return [dict(entry) for entry in self._fired]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view of the plan and what has fired (for ``/metrics``)."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "planned": {
+                    "crashes": len(self._crashes),
+                    "journal_failures": len(self._journal_failures),
+                    "stream_drops": len(self._drops),
+                    "measurement_delay_s": self._delay_s if self._delay_every else 0.0,
+                },
+                "fired": [dict(entry) for entry in self._fired],
+                "measurement_ticks": dict(self._measure_counts),
+                "journal_appends_seen": self._journal_appends,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, crashes={len(self._crashes)}, "
+            f"journal_failures={len(self._journal_failures)}, "
+            f"drops={len(self._drops)}, fired={len(self._fired)})"
+        )

@@ -77,6 +77,12 @@ class PoolWorker:
         self.failures = 0
         self.evaluations = 0
         self.busy_s = 0.0
+        #: Supervision state: an infrastructure failure marks the worker
+        #: unhealthy until :meth:`SessionPool.revive_worker` respawns its
+        #: session in place.
+        self.healthy = True
+        self.restarts = 0
+        self.last_error: str | None = None
 
     def snapshot(self) -> tuple[int, int, int, float]:
         """Cumulative counters, for per-run deltas across an optimize_many call."""
@@ -105,6 +111,9 @@ class PoolWorker:
             "evaluations": self.evaluations,
             "busy_s": self.busy_s,
             "evals_per_sec": self.evaluations / self.busy_s if self.busy_s > 0 else 0.0,
+            "healthy": self.healthy,
+            "restarts": self.restarts,
+            "last_error": self.last_error,
         }
 
 
@@ -141,6 +150,10 @@ class SessionPool:
         self.cache_dir = Path(base_cache.directory) if base_cache.enabled else None
 
         self.workers: list[PoolWorker] = []
+        #: Per-worker construction recipes, kept so supervision can respawn a
+        #: poisoned worker's session identically (same backend, cache
+        #: namespace and measurement policy) via :meth:`revive_worker`.
+        self._blueprints: list[dict] = []
         for index, backend in enumerate(pool_config.backends):
             simulator = resolve_backend(backend)
             worker_cache = base_cache
@@ -157,6 +170,14 @@ class SessionPool:
                     shared_memo=self.shared_memo,
                     memo_owner=f"w{index}:{simulator.config.name}",
                 )
+            self._blueprints.append(
+                {
+                    "backend": backend,
+                    "config": config,
+                    "measurement": policy,
+                    "cache": worker_cache,
+                }
+            )
             session = Session(
                 gpu=simulator, config=config, measurement=policy, cache=worker_cache
             )
@@ -271,6 +292,59 @@ class SessionPool:
             f"workers: {[worker.name for worker in self.workers]}"
         )
 
+    def revive_worker(self, index: int, *, error: str | None = None) -> PoolWorker:
+        """Respawn worker ``index``'s session in place after a crash.
+
+        The old session is closed best-effort (a poisoned session may refuse
+        even that), a fresh :class:`Session` is built from the worker's
+        construction blueprint — same backend, cache namespace and
+        measurement policy — and the worker is marked healthy again with its
+        ``restarts`` counter bumped.  The :class:`PoolWorker` object itself
+        is reused so queue threads and schedulers holding references see the
+        revival without re-resolving anything.
+        """
+        self._ensure_open()
+        if not 0 <= index < len(self.workers):
+            raise ValueError(f"worker index {index} out of range")
+        worker = self.workers[index]
+        blueprint = self._blueprints[index]
+        try:
+            worker.session.close()
+        except Exception as exc:  # noqa: BLE001 - the session is already poisoned
+            _LOG.debug("closing poisoned session of %s failed: %s", worker.name, exc)
+        worker.session = Session(
+            gpu=resolve_backend(blueprint["backend"]),
+            config=blueprint["config"],
+            measurement=blueprint["measurement"],
+            cache=blueprint["cache"],
+        )
+        worker.restarts += 1
+        worker.healthy = True
+        worker.last_error = error
+        _LOG.warning(
+            "worker %s revived (restart #%d)%s",
+            worker.name, worker.restarts,
+            f" after: {error}" if error else "",
+        )
+        return worker
+
+    def health(self) -> dict:
+        """JSON-able supervision snapshot: per-worker liveness and restarts."""
+        return {
+            "healthy_workers": sum(1 for worker in self.workers if worker.healthy),
+            "total_workers": len(self.workers),
+            "restarts": sum(worker.restarts for worker in self.workers),
+            "workers": [
+                {
+                    "worker": worker.name,
+                    "healthy": worker.healthy,
+                    "restarts": worker.restarts,
+                    "last_error": worker.last_error,
+                }
+                for worker in self.workers
+            ],
+        }
+
     def deploy(self, spec, *, backend: str, shapes: dict | None = None):
         """Deploy-time lookup (§4.2) routed to the worker of ``backend``."""
         self._ensure_open()
@@ -291,7 +365,14 @@ class SessionPool:
     # ------------------------------------------------------------------
     # Serving front door
     # ------------------------------------------------------------------
-    def serve(self, serve: ServeConfig | None = None, *, journal=None, counter_start: int = 0):
+    def serve(
+        self,
+        serve: ServeConfig | None = None,
+        *,
+        journal=None,
+        counter_start: int = 0,
+        faults=None,
+    ):
         """The pool's async :class:`repro.serve.JobQueue` front door.
 
         Created on first use (with ``serve`` shaping it) and cached — one
@@ -303,8 +384,9 @@ class SessionPool:
         a live queue exists is an error.
 
         ``journal`` and ``counter_start`` (see :class:`repro.remote.JobJournal`)
-        make the queue's state durable; they only take effect on the call
-        that creates the queue.
+        make the queue's state durable; ``faults`` injects a chaos-testing
+        :class:`repro.faults.FaultPlan`.  All three only take effect on the
+        call that creates the queue.
         """
         self._ensure_open()
         from repro.serve.queue import JobQueue
@@ -314,7 +396,8 @@ class SessionPool:
             self._queue = None
         if self._queue is None:
             self._queue = JobQueue(
-                self, serve=serve, journal=journal, counter_start=counter_start
+                self, serve=serve, journal=journal, counter_start=counter_start,
+                faults=faults,
             )
         elif serve is not None and serve != self._queue.serve_config:
             raise OptimizationError(

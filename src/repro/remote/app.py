@@ -38,31 +38,45 @@ class RemoteApp:
         *,
         serve: ServeConfig | None = None,
         remote: RemoteConfig | None = None,
+        faults=None,
     ):
         self.pool = pool
         self.remote_config = remote or RemoteConfig()
         self.serve_config = serve or ServeConfig()
         self.started_at = time.time()
+        #: Optional chaos-testing :class:`repro.faults.FaultPlan`, threaded
+        #: into the journal (append failures) and queue (worker crashes,
+        #: measurement delays); the HTTP server reads it for stream drops.
+        self.faults = faults
 
         self.journal = self._open_journal()
         #: Terminal records (and their reports) recovered from the journal;
         #: job ids in here ran in a previous server process.
         self._replayed: dict[str, JobRecord] = {}
         self._replayed_reports: dict[str, RunReport] = {}
+        #: In-flight jobs the previous process died with, awaiting re-queue:
+        #: ``(record, request, checkpoint)`` per job.
+        self._lost: list[tuple[JobRecord, dict | None, dict | None]] = []
+        self._resumed_jobs = 0
         counter_start = 0
         replayed_store: dict[str, RunReport] = {}
         if self.journal is not None:
             replay = self.journal.replay()
             counter_start = replay.max_job_number
             replayed_store = replay.store
-            self._absorb_replayed(replay.records, replay.reports)
+            self._absorb_replayed(
+                replay.records, replay.reports,
+                requests=replay.requests, checkpoints=replay.checkpoints,
+            )
 
         self.queue = pool.serve(
-            self.serve_config, journal=self.journal, counter_start=counter_start
+            self.serve_config, journal=self.journal, counter_start=counter_start,
+            faults=faults,
         )
         if self.queue.store is not None:
             for key, report in replayed_store.items():
                 self.queue.store.put(key, report)
+        self._resume_lost()
 
         self.quota = (
             TenantQuota(
@@ -82,29 +96,43 @@ class RemoteApp:
         if not config.journal:
             return None
         if config.journal_path is not None:
-            return JobJournal(config.journal_path)
+            return JobJournal(config.journal_path, faults=self.faults)
         if self.pool.cache_dir is None:
             _LOG.warning(
                 "journaling disabled: the pool has no cache directory and "
                 "RemoteConfig.journal_path was not set"
             )
             return None
-        return JobJournal(self.pool.cache_dir / JOURNAL_FILENAME)
+        return JobJournal(self.pool.cache_dir / JOURNAL_FILENAME, faults=self.faults)
 
     def _absorb_replayed(
-        self, records: dict[str, JobRecord], reports: dict[str, RunReport]
+        self,
+        records: dict[str, JobRecord],
+        reports: dict[str, RunReport],
+        *,
+        requests: dict[str, dict] | None = None,
+        checkpoints: dict[str, dict] | None = None,
     ) -> None:
         """Keep replayed terminal records, applying the queue's GC bounds.
 
         Non-terminal replayed records belong to jobs that died with the
-        previous process; they are surfaced as failed (:data:`_LOST_IN_RESTART`)
-        so clients polling those ids get a truthful terminal answer instead
-        of a forever-pending ghost.
+        previous process.  With ``RemoteConfig.resume_inflight`` (the
+        default) they are stashed for :meth:`_resume_lost` to re-queue from
+        their last journaled checkpoint; otherwise they are surfaced as
+        failed (:data:`_LOST_IN_RESTART`) so clients polling those ids get a
+        truthful terminal answer instead of a forever-pending ghost.
         """
+        requests = requests or {}
+        checkpoints = checkpoints or {}
         now = time.time()
         ttl = self.serve_config.job_ttl_s
         for job_id, record in records.items():
             if not record.status.terminal:
+                if self.remote_config.resume_inflight:
+                    self._lost.append(
+                        (record, requests.get(job_id), checkpoints.get(job_id))
+                    )
+                    continue
                 record = dataclasses.replace(
                     record,
                     status=JobStatus.FAILED,
@@ -125,6 +153,57 @@ class RemoteApp:
             for job_id in list(self._replayed)[: len(self._replayed) - max_records]:
                 self._replayed.pop(job_id, None)
                 self._replayed_reports.pop(job_id, None)
+
+    def _resume_lost(self) -> None:
+        """Re-queue journal-replayed in-flight jobs under their original ids.
+
+        Each lost job re-enters the live queue with its journaled submission
+        parameters and last strategy checkpoint (fresh start when none was
+        journaled), exempt from admission control — it was admitted and
+        quota-charged before the restart.  A job that cannot be re-queued
+        (its backend has no worker in this pool, say) falls back to the
+        terminal-failed :data:`_LOST_IN_RESTART` record rather than
+        vanishing.
+        """
+        lost, self._lost = self._lost, []
+        for record, request, checkpoint in lost:
+            request = request or {}
+            try:
+                self.queue.submit(
+                    record.kernel,
+                    backend=record.backend,
+                    shapes=request.get("shapes"),
+                    strategy=request.get("strategy"),
+                    verify=request.get("verify"),
+                    store=bool(request.get("store", True)),
+                    cost=record.cost,
+                    use_store=bool(request.get("use_store", True)),
+                    tenant=record.tenant,
+                    job_id=record.job_id,
+                    resume_state=checkpoint,
+                    resumed=True,
+                    attempt=record.attempt,
+                    enforce_admission=False,
+                )
+            except Exception as exc:  # noqa: BLE001 - never lose the record
+                _LOG.warning(
+                    "could not resume job %s (%s) after restart: %s; "
+                    "marking it failed",
+                    record.job_id, record.kernel, exc,
+                )
+                self._replayed[record.job_id] = dataclasses.replace(
+                    record,
+                    status=JobStatus.FAILED,
+                    error=_LOST_IN_RESTART,
+                    finished_at=record.finished_at or time.time(),
+                )
+            else:
+                self._resumed_jobs += 1
+                _LOG.info(
+                    "resumed job %s (%s) after restart%s",
+                    record.job_id, record.kernel,
+                    " from checkpoint" if checkpoint else " from scratch",
+                )
 
     # ------------------------------------------------------------------
     # Serving verbs
@@ -291,9 +370,12 @@ class RemoteApp:
         payload["server"] = {
             "uptime_s": time.time() - self.started_at,
             "replayed_records": len(self._replayed),
+            "resumed_jobs": self._resumed_jobs,
             "journal": {} if self.journal is None else self.journal.stats(),
         }
         payload["quota"] = {} if self.quota is None else self.quota.snapshot()
+        if self.faults is not None:
+            payload["faults"] = self.faults.snapshot()
         return payload
 
     # ------------------------------------------------------------------
@@ -310,7 +392,9 @@ class RemoteApp:
         ]
         records.extend(self.queue.records_with_reports())
         store = [] if self.queue.store is None else self.queue.store.items()
-        return self.journal.compact(records, store)
+        return self.journal.compact(
+            records, store, resume=self.queue.resume_snapshot()
+        )
 
     def maybe_compact(self) -> None:
         if (

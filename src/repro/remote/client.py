@@ -14,6 +14,7 @@ cancelled job, :class:`ValueError`/:class:`KeyError` for 400/404 and
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -83,6 +84,14 @@ class RemoteClient:
 
     ``tenant`` (sent as ``X-Tenant``) scopes submissions under the server's
     per-tenant quota; ``None`` means the server's default tenant.
+
+    Idempotent GETs transparently retry transient transport failures
+    (connection refused/reset, a dropped response) up to ``retry_attempts``
+    times with exponential backoff from ``retry_backoff_s``.  POSTs are
+    **never** auto-retried: submit and cancel are not idempotent — a retried
+    submit whose first attempt actually landed server-side would duplicate
+    the job and double-charge the tenant's quota, so transport failures on
+    POST surface to the caller, who can consult ``jobs()`` before retrying.
     """
 
     def __init__(
@@ -91,10 +100,14 @@ class RemoteClient:
         *,
         tenant: str | None = None,
         request_timeout_s: float = 30.0,
+        retry_attempts: int = 3,
+        retry_backoff_s: float = 0.1,
     ):
         self.base_url = base_url.rstrip("/")
         self.tenant = tenant
         self.request_timeout_s = request_timeout_s
+        self.retry_attempts = max(1, int(retry_attempts))
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------------
     # Transport
@@ -125,9 +138,31 @@ class RemoteClient:
         except urllib.error.URLError as exc:
             raise RemoteError(f"cannot reach {url}: {exc.reason}") from None
 
+    @staticmethod
+    def _transient(exc: Exception) -> bool:
+        """Transport-level failures worth retrying on an idempotent request.
+
+        ``RemoteError`` with ``status == 0`` is the URLError path (connection
+        refused, DNS, timeout) — no HTTP response was received.  Structured
+        HTTP errors (4xx/5xx) are never transient: the server answered.
+        """
+        if isinstance(exc, RemoteError):
+            return exc.status == 0
+        return isinstance(exc, (ConnectionError, http.client.HTTPException))
+
     def _request(self, method: str, path: str, body=None, query: dict | None = None, *, timeout: float | None = None) -> dict:
-        with self._open(method, path, body, query, timeout=timeout) as response:
-            return json.loads(response.read())
+        # Only GETs retry; see the class docstring for why POSTs must not.
+        attempts = self.retry_attempts if method == "GET" else 1
+        delay = self.retry_backoff_s
+        for attempt in range(attempts):
+            try:
+                with self._open(method, path, body, query, timeout=timeout) as response:
+                    return json.loads(response.read())
+            except (RemoteError, ConnectionError, http.client.HTTPException) as exc:
+                if attempt + 1 >= attempts or not self._transient(exc):
+                    raise
+                time.sleep(delay)
+                delay *= 2
 
     # ------------------------------------------------------------------
     # API surface

@@ -11,9 +11,15 @@ re-submit resolves instantly without re-running the search.
 
 Entry shapes (one JSON object per line)::
 
-    {"kind": "submitted", "v": 1, "record": {...JobRecord.as_dict()...}}
-    {"kind": "terminal",  "v": 1, "record": {...}, "report": {...summary...}}
-    {"kind": "store",     "v": 1, "key": "<§4.2 cache key>", "report": {...}}
+    {"kind": "submitted",  "v": 1, "record": {...JobRecord.as_dict()...},
+                           "request": {...submission parameters...}}
+    {"kind": "terminal",   "v": 1, "record": {...}, "report": {...summary...}}
+    {"kind": "store",      "v": 1, "key": "<§4.2 cache key>", "report": {...}}
+    {"kind": "checkpoint", "v": 1, "job_id": "j00001", "state": {...}}
+
+``request`` (optional on submits) and ``checkpoint`` entries are what make
+in-flight jobs *resumable*: a restarted server re-queues a lost job from its
+journaled request and hands the strategy its last exported search state.
 
 Later entries supersede earlier ones for the same job id / store key, which
 makes replay a simple left-to-right fold and appends crash-safe: a process
@@ -60,6 +66,11 @@ class JournalReplay:
     reports: dict[str, RunReport] = field(default_factory=dict)
     #: Persisted result-store entries: §4.2 cache key → report.
     store: dict[str, RunReport] = field(default_factory=dict)
+    #: Journaled submission parameters per job id (resume inputs).
+    requests: dict[str, dict] = field(default_factory=dict)
+    #: Latest strategy checkpoint per still-in-flight job id (a terminal
+    #: entry for the job drops its checkpoint — nothing left to resume).
+    checkpoints: dict[str, dict] = field(default_factory=dict)
     #: Unreadable lines skipped during replay (truncated tail, corruption).
     skipped: int = 0
     #: Total lines scanned.
@@ -86,7 +97,7 @@ class JobJournal:
     killed process loses at most the line being written.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *, faults=None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
@@ -95,12 +106,22 @@ class JobJournal:
         #: lines in, so a restarted server keeps compacting on schedule).
         self.appends = 0
         self.compactions = 0
+        #: Appends that raised (fault-injected or real I/O errors); the
+        #: queue treats journal appends as best-effort, so these surface in
+        #: :meth:`stats` instead of failing jobs.
+        self.append_failures = 0
+        #: Optional :class:`repro.faults.FaultPlan` whose
+        #: ``on_journal_append`` fires inside :meth:`_append` (chaos tests).
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Queue-facing hooks (append side)
     # ------------------------------------------------------------------
-    def record_submitted(self, record: JobRecord) -> None:
-        self._append({"kind": "submitted", "v": JOURNAL_VERSION, "record": record.as_dict()})
+    def record_submitted(self, record: JobRecord, request: dict | None = None) -> None:
+        payload = {"kind": "submitted", "v": JOURNAL_VERSION, "record": record.as_dict()}
+        if request is not None:
+            payload["request"] = request
+        self._append(payload)
 
     def record_terminal(self, record: JobRecord, report: RunReport | None) -> None:
         self._append(
@@ -117,13 +138,29 @@ class JobJournal:
             {"kind": "store", "v": JOURNAL_VERSION, "key": key, "report": report.summary()}
         )
 
+    def record_checkpoint(self, job_id: str, state: dict) -> None:
+        """Persist a strategy's latest search-state checkpoint for ``job_id``.
+
+        Latest-wins like every other entry; replay keeps only the newest
+        checkpoint per job and drops it once the job turns terminal.
+        """
+        self._append(
+            {"kind": "checkpoint", "v": JOURNAL_VERSION, "job_id": job_id, "state": state}
+        )
+
     def _append(self, payload: dict) -> None:
         line = to_json_str(payload)
         with self._lock:
-            if self._fh is None:
-                self._fh = self.path.open("a", encoding="utf8")
-            self._fh.write(line + "\n")
-            self._fh.flush()
+            try:
+                if self.faults is not None:
+                    self.faults.on_journal_append(payload)
+                if self._fh is None:
+                    self._fh = self.path.open("a", encoding="utf8")
+                self._fh.write(line + "\n")
+                self._fh.flush()
+            except Exception:
+                self.append_failures += 1
+                raise
             self.appends += 1
 
     # ------------------------------------------------------------------
@@ -170,10 +207,19 @@ class JobJournal:
             record = JobRecord.from_dict(payload["record"])
             record = dataclasses.replace(record, replayed=True)
             replay.records[record.job_id] = record
-            if kind == "terminal" and payload.get("report") is not None:
-                replay.reports[record.job_id] = RunReport.from_summary(payload["report"])
+            if isinstance(payload.get("request"), dict):
+                replay.requests[record.job_id] = payload["request"]
+            if kind == "terminal":
+                # Nothing left to resume; the checkpoint is superseded.
+                replay.checkpoints.pop(record.job_id, None)
+                if payload.get("report") is not None:
+                    replay.reports[record.job_id] = RunReport.from_summary(payload["report"])
         elif kind == "store":
             replay.store[payload["key"]] = RunReport.from_summary(payload["report"])
+        elif kind == "checkpoint":
+            state = payload["state"]
+            if isinstance(state, dict):
+                replay.checkpoints[payload["job_id"]] = state
         else:
             raise ValueError(f"unknown journal entry kind {kind!r}")
 
@@ -184,15 +230,21 @@ class JobJournal:
         self,
         records: Iterable[tuple[JobRecord, RunReport | None]],
         store: Iterable[tuple[str, RunReport]],
+        *,
+        resume: dict | None = None,
     ) -> int:
         """Atomically rewrite the journal from live state; returns the line
         count of the compacted file.
 
         Everything not passed in — superseded entries, GC'd job records,
-        evicted store keys — is dropped.  The rewrite goes through a temp
-        file and ``os.replace``, so a crash mid-compaction leaves either the
-        old or the new journal, never a half-written one.
+        evicted store keys — is dropped.  ``resume`` (job id →
+        ``{"request", "checkpoint"}``, see
+        :meth:`repro.serve.JobQueue.resume_snapshot`) keeps in-flight jobs
+        resumable across the rewrite.  The rewrite goes through a temp file
+        and ``os.replace``, so a crash mid-compaction leaves either the old
+        or the new journal, never a half-written one.
         """
+        resume = resume or {}
         tmp = self.path.with_name(self.path.name + ".compact")
         written = 0
         with self._lock:
@@ -214,8 +266,26 @@ class JobJournal:
                             "v": JOURNAL_VERSION,
                             "record": record.as_dict(),
                         }
+                        request = (resume.get(record.job_id) or {}).get("request")
+                        if request is not None:
+                            payload["request"] = request
                     fh.write(to_json_str(payload) + "\n")
                     written += 1
+                    if not record.status.terminal:
+                        checkpoint = (resume.get(record.job_id) or {}).get("checkpoint")
+                        if checkpoint is not None:
+                            fh.write(
+                                to_json_str(
+                                    {
+                                        "kind": "checkpoint",
+                                        "v": JOURNAL_VERSION,
+                                        "job_id": record.job_id,
+                                        "state": checkpoint,
+                                    }
+                                )
+                                + "\n"
+                            )
+                            written += 1
                 for key, report in store:
                     fh.write(
                         to_json_str(
@@ -243,6 +313,7 @@ class JobJournal:
         return {
             "path": str(self.path),
             "appends_since_compact": self.appends,
+            "append_failures": self.append_failures,
             "compactions": self.compactions,
             "size_bytes": self.path.stat().st_size if self.path.exists() else 0,
         }

@@ -17,7 +17,8 @@ import argparse
 import signal
 import sys
 
-from repro.api.config import OptimizationConfig, RemoteConfig, ServeConfig
+from repro.api.config import OptimizationConfig, RemoteConfig, RetryPolicy, ServeConfig
+from repro.faults import FaultPlan
 from repro.pool import SessionPool
 from repro.remote.app import RemoteApp
 from repro.remote.server import RemoteServer
@@ -108,6 +109,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="bucket refill rate in tokens/second",
     )
+
+    retry = parser.add_argument_group("retry")
+    retry.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        help="max attempts per job on infrastructure failures (1 = no retries)",
+    )
+    retry.add_argument(
+        "--retry-backoff-s",
+        type=float,
+        default=0.05,
+        help="base exponential-backoff delay between attempts",
+    )
+    retry.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="mark journal-replayed in-flight jobs failed instead of resuming them",
+    )
+
+    chaos = parser.add_argument_group(
+        "chaos (deterministic fault injection for resilience testing)"
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="enable fault injection with this plan seed",
+    )
+    chaos.add_argument(
+        "--fault-crash-worker", type=int, default=None, metavar="INDEX",
+        help="crash this worker once (-1 = whichever worker measures first)",
+    )
+    chaos.add_argument(
+        "--fault-crash-after", type=int, default=1, metavar="EVALS",
+        help="crash after this many measurements (with --fault-crash-worker/--fault-seed)",
+    )
+    chaos.add_argument(
+        "--fault-journal-fail", type=int, default=None, metavar="N",
+        help="fail the N-th journal append",
+    )
+    chaos.add_argument(
+        "--fault-delay-ms", type=float, default=None,
+        help="delay every measurement by this many milliseconds",
+    )
+    chaos.add_argument(
+        "--fault-drop-events", type=int, default=None, metavar="N",
+        help="drop the SSE connection after N streamed events",
+    )
     return parser
 
 
@@ -125,11 +173,18 @@ def configs_from_args(args) -> tuple[OptimizationConfig | None, ServeConfig, Rem
         overrides["verify"] = False
     optimization = OptimizationConfig(**overrides) if overrides else None
 
+    retry = None
+    if args.retry_attempts > 1:
+        retry = RetryPolicy(
+            max_attempts=args.retry_attempts,
+            backoff_base_s=args.retry_backoff_s,
+        )
     serve = ServeConfig(
         steal=not args.no_steal,
         max_pending=args.max_pending,
         job_ttl_s=args.job_ttl_s,
         max_records=args.max_records,
+        retry=retry,
     )
     remote = RemoteConfig(
         host=args.host,
@@ -139,13 +194,37 @@ def configs_from_args(args) -> tuple[OptimizationConfig | None, ServeConfig, Rem
         compact_every=args.compact_every,
         tenant_tokens=args.tenant_tokens,
         tenant_refill_per_s=args.tenant_refill,
+        resume_inflight=not args.no_resume,
     )
     return optimization, serve, remote
+
+
+def faults_from_args(args) -> FaultPlan | None:
+    """The chaos :class:`FaultPlan` the flags describe, or ``None``.
+
+    Kept separate from :func:`configs_from_args` (which stays a pure
+    3-tuple of configs): fault plans carry mutable counters and never
+    belong in frozen config dataclasses.
+    """
+    if args.fault_seed is None:
+        return None
+    plan = FaultPlan(seed=args.fault_seed)
+    if args.fault_crash_worker is not None:
+        worker = None if args.fault_crash_worker < 0 else args.fault_crash_worker
+        plan.crash_worker(worker=worker, after_evals=args.fault_crash_after)
+    if args.fault_journal_fail is not None:
+        plan.fail_journal_append(at_append=args.fault_journal_fail)
+    if args.fault_delay_ms is not None:
+        plan.delay_measurement(delay_s=args.fault_delay_ms / 1000.0)
+    if args.fault_drop_events is not None:
+        plan.drop_stream(after_events=args.fault_drop_events)
+    return plan
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     optimization, serve, remote = configs_from_args(args)
+    faults = faults_from_args(args)
 
     # Foreground servers are killed with SIGTERM by process managers (and the
     # CI smoke); route it through the same KeyboardInterrupt path as Ctrl-C
@@ -159,7 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         backends=args.backends, cache_dir=args.cache_dir, config=optimization
     )
     try:
-        app = RemoteApp(pool, serve=serve, remote=remote)
+        app = RemoteApp(pool, serve=serve, remote=remote, faults=faults)
         try:
             server = RemoteServer(app)
             journal = "-" if app.journal is None else str(app.journal.path)

@@ -174,10 +174,26 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-store")
         self.end_headers()
-        for event in ([first] if first is not None else []):
-            self._write_event(event)
-        for event in events:
-            self._write_event(event)
+        faults = self.app.faults
+        written = 0
+        try:
+            for event in ([first] if first is not None else []):
+                self._write_event(event)
+                written += 1
+            for event in events:
+                if faults is not None and faults.on_event_write(
+                    job_id=job_id, index=written
+                ):
+                    # Planned mid-stream connection drop: close the socket
+                    # abruptly so the client sees a truncated stream.
+                    self.connection.close()
+                    return
+                self._write_event(event)
+                written += 1
+        finally:
+            close = getattr(events, "close", None)
+            if close is not None:
+                close()
 
     def _write_event(self, event: dict) -> None:
         self.wfile.write(f"data: {to_json_str(event)}\n\n".encode("utf8"))

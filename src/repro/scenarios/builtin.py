@@ -13,6 +13,8 @@ registers:
 * **adversarial** — noisy-measurement regimes plus register-pressure and
   register-bank-conflict shape variants (shapes chosen to stay within the
   240-register budget and lint clean at test scale).
+* **chaos** — the fault-injection measurement regime on a cheap workload,
+  for the chaos test suite and the CI resilience smoke.
 * **bench** — bench-scale entries for the perf-trajectory workloads.
 
 All built-ins use the ``smoke`` optimization preset so a full matrix run
@@ -127,6 +129,22 @@ def _register_builtins() -> None:
             variant="bankconflict",
             description="fused layernorm's 4-stream operand mix maximizes register-bank conflicts",
             tags=("adversarial", "bank-conflict"),
+        )
+    )
+
+    # Chaos: the fault-injection regime on a short, cheap workload — the
+    # entry the resilience smoke (tests/test_faults.py, CI chaos step) runs
+    # while a FaultPlan crashes workers and fails journal appends around it.
+    register_scenario(
+        Scenario(
+            kernel="softmax",
+            backend=_PRIMARY,
+            scale="test",
+            regime="chaos",
+            preset="smoke",
+            variant="chaos",
+            description="softmax under the fault-injection measurement regime",
+            tags=("chaos",),
         )
     )
 

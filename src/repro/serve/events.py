@@ -32,7 +32,7 @@ class ProgressEvent:
     #: Job the event belongs to.
     job_id: str
     #: ``queued`` / ``assigned`` / ``running`` / ``measured`` /
-    #: ``done`` / ``failed`` / ``cancelled``.
+    #: ``retrying`` / ``done`` / ``failed`` / ``cancelled``.
     kind: str
     #: Wall-clock timestamp (``time.time``).
     timestamp: float
@@ -47,6 +47,9 @@ class ProgressEvent:
     #: Verifier rule codes behind this event (``invalidated`` events carry
     #: the diagnostics that killed a store hit; terminal events repeat them).
     rules: tuple = ()
+    #: Retries consumed so far (``retrying`` events carry the new attempt
+    #: count; 0 on first-attempt events).
+    attempt: int = 0
 
     @property
     def terminal(self) -> bool:
@@ -64,6 +67,7 @@ class ProgressEvent:
             "stolen": self.stolen,
             "detail": self.detail,
             "rules": list(self.rules),
+            "attempt": self.attempt,
         }
 
 

@@ -47,7 +47,12 @@ from repro.api.backends import backend_spec
 from repro.api.config import ServeConfig
 from repro.api.report import JobRecord, JobStatus, RunReport
 from repro.api.session import SessionHooks
-from repro.errors import AdmissionError, JobCancelled, OptimizationError
+from repro.errors import (
+    AdmissionError,
+    JobCancelled,
+    OptimizationError,
+    is_infrastructure_failure,
+)
 from repro.serve.events import EventBus, EventSubscription, ProgressEvent
 from repro.serve.store import ResultStore
 from repro.triton.spec import KernelSpec
@@ -65,6 +70,7 @@ class _Job:
         "report", "error", "worker_index", "worker", "stolen", "from_store",
         "measured", "last_progress_emit", "submitted_at", "started_at",
         "finished_at", "cache_key", "events", "tenant", "invalidation_rules",
+        "attempt", "checkpoint_state", "resumed", "request", "retry_delay_total",
     )
 
     def __init__(self, job_id, spec, name, shapes, strategy, verify, store,
@@ -98,6 +104,18 @@ class _Job:
         self.events: list[ProgressEvent] = []
         self.tenant = tenant
         self.invalidation_rules: tuple = ()
+        #: Retries consumed so far (0 on the first attempt).
+        self.attempt = 0
+        #: Latest strategy checkpoint exported through SessionHooks.save_state;
+        #: retried and restart-resumed runs hand it back as resume_state.
+        self.checkpoint_state: dict | None = None
+        #: The job was re-queued after a server restart.
+        self.resumed = False
+        #: JSON-able submission parameters (journaled so a restarted server
+        #: can re-submit lost in-flight jobs faithfully).
+        self.request: dict | None = None
+        #: Cumulative retry backoff spent, charged against RetryPolicy.budget_s.
+        self.retry_delay_total = 0.0
 
     def record(self) -> JobRecord:
         return JobRecord(
@@ -117,6 +135,8 @@ class _Job:
             cache_key=self.cache_key,
             tenant=self.tenant,
             invalidation_rules=self.invalidation_rules,
+            attempt=self.attempt,
+            resumed=self.resumed,
         )
 
 
@@ -208,11 +228,19 @@ class JobQueue:
         serve: ServeConfig | None = None,
         journal=None,
         counter_start: int = 0,
+        faults=None,
+        clock=time.monotonic,
     ):
         if pool.closed:
             raise OptimizationError("cannot serve from a closed session pool")
         self.pool = pool
         self.serve_config = serve or ServeConfig()
+        #: Optional :class:`repro.faults.FaultPlan` consulted at the
+        #: measurement checkpoint of every running job (chaos testing).
+        self.faults = faults
+        #: Injectable monotonic clock; retry-budget accounting and backoff
+        #: bookkeeping read it so tests can drive time deterministically.
+        self.clock = clock
         self.store = (
             ResultStore(self.serve_config.store_max_entries)
             if self.serve_config.result_store
@@ -236,7 +264,10 @@ class JobQueue:
         self._stats = {
             "submitted": 0, "done": 0, "failed": 0, "cancelled": 0,
             "rejected": 0, "stolen": 0, "store_hits": 0, "expired": 0,
+            "retries": 0, "worker_failures": 0, "resumed": 0,
         }
+        #: Pending backoff timers of jobs awaiting a retry, by job id.
+        self._retry_timers: dict[str, threading.Timer] = {}
         self._threads = [
             threading.Thread(target=self._dispatch_loop, name="serve-dispatch", daemon=True)
         ]
@@ -270,6 +301,11 @@ class JobQueue:
         use_store: bool = True,
         pin_worker: int | None = None,
         tenant: str | None = None,
+        job_id: str | None = None,
+        resume_state: dict | None = None,
+        resumed: bool = False,
+        attempt: int = 0,
+        enforce_admission: bool = True,
     ) -> JobHandle:
         """Queue one workload and return its handle immediately.
 
@@ -285,6 +321,13 @@ class JobQueue:
         that many jobs are already waiting is refused: the job is minted
         terminal-``rejected`` (so its record and ``rejected`` event are
         observable) and :class:`repro.errors.AdmissionError` is raised.
+
+        The restart-resume path (:class:`repro.remote.RemoteApp`) re-queues
+        journal-replayed in-flight jobs under their *original* ``job_id``,
+        hands the last journaled strategy checkpoint back via
+        ``resume_state``, marks them ``resumed`` and keeps their ``attempt``
+        count; ``enforce_admission=False`` exempts them from ``max_pending``
+        — they were admitted (and quota-charged) before the restart.
         """
         canonical = None
         if backend is not None:
@@ -303,7 +346,11 @@ class JobQueue:
             if self._closed:
                 raise OptimizationError("job queue is closed")
             pending = len(self._inbox) + sum(len(queued) for queued in self._queues)
-            if max_pending is not None and pending >= max_pending:
+            if (
+                enforce_admission
+                and max_pending is not None
+                and pending >= max_pending
+            ):
                 job = self._mint_rejected_locked(
                     spec, name, cost=float(cost), backend=canonical, tenant=tenant,
                     reason=f"pending queue full ({pending} waiting >= {max_pending})",
@@ -314,18 +361,35 @@ class JobQueue:
                     job_id=job.id,
                     tenant=tenant,
                 )
-            self._counter += 1
+            if job_id is None:
+                self._counter += 1
+                job_id = f"j{self._counter:05d}"
+            elif job_id in self._jobs:
+                raise ValueError(f"job id {job_id!r} already exists in this queue")
             job = _Job(
-                job_id=f"j{self._counter:05d}",
+                job_id=job_id,
                 spec=spec, name=name, shapes=shapes, strategy=strategy,
                 verify=verify, store=store, cost=float(cost),
                 backend=canonical, pin=pin_worker, use_store=use_store,
                 tenant=tenant,
             )
+            job.attempt = max(0, int(attempt))
+            job.resumed = bool(resumed)
+            if resume_state is not None:
+                job.checkpoint_state = dict(resume_state)
+            job.request = {
+                "shapes": dict(shapes) if shapes is not None else None,
+                "strategy": strategy,
+                "verify": verify,
+                "store": bool(store),
+                "use_store": bool(use_store),
+            }
             self._jobs[job.id] = job
             self._stats["submitted"] += 1
+            if job.resumed:
+                self._stats["resumed"] += 1
             self._inbox.append(job)
-            self._emit(job, "queued")
+            self._emit(job, "queued", detail="resumed from journal" if job.resumed else "")
             self._journal_submitted(job)
             self._work.notify_all()
         return JobHandle(self, job)
@@ -446,6 +510,18 @@ class JobQueue:
         with self._work:
             return [(job.record(), job.report) for job in self._jobs.values()]
 
+    def resume_snapshot(self) -> dict:
+        """Per-job resume payloads of every in-flight job, for compaction.
+
+        Maps job id to ``{"request": ..., "checkpoint": ...}`` so a compacted
+        journal keeps enough to re-queue these jobs after a restart."""
+        with self._work:
+            return {
+                job.id: {"request": job.request, "checkpoint": job.checkpoint_state}
+                for job in self._jobs.values()
+                if not job.status.terminal
+            }
+
     def gc(self, *, now: float | None = None) -> int:
         """Evict expired/excess *terminal* job records; returns the count.
 
@@ -507,6 +583,7 @@ class JobQueue:
             },
             "pool": self.pool.snapshot(),
             "store": {} if self.store is None else self.store.snapshot(),
+            "health": self.pool.health(),
         }
 
     @property
@@ -544,6 +621,13 @@ class JobQueue:
         with self._work:
             if not self._closed:
                 self._closed = True
+                for job_id, timer in list(self._retry_timers.items()):
+                    timer.cancel()
+                    job = self._jobs.get(job_id)
+                    if job is not None and not job.status.terminal:
+                        job.cancel_event.set()
+                        self._finalize_locked(job, JobStatus.CANCELLED)
+                self._retry_timers.clear()
                 for job in list(self._inbox):
                     job.cancel_event.set()
                     self._finalize_locked(job, JobStatus.CANCELLED)
@@ -604,6 +688,14 @@ class JobQueue:
             for index, worker in enumerate(self.pool.workers)
             if job.backend is None or worker.backend == job.backend
         ]
+        healthy = [
+            index for index in eligible
+            if getattr(self.pool.workers[index], "healthy", True)
+        ]
+        # Prefer healthy workers; with none healthy fall back to any eligible
+        # one so the job queues instead of erroring (supervision revives the
+        # worker before its loop claims again).
+        eligible = healthy or eligible
         return min(
             eligible,
             key=lambda index: (
@@ -630,6 +722,10 @@ class JobQueue:
 
     def _claim_locked(self, index: int) -> _Job | None:
         """Next job for worker ``index``: own queue first, then a steal."""
+        if not getattr(self.pool.workers[index], "healthy", True):
+            # A poisoned worker claims nothing until supervision revived its
+            # session; its backlog was already re-queued to siblings.
+            return None
         own = self._queues[index]
         if own:
             return own.popleft()
@@ -713,6 +809,7 @@ class JobQueue:
 
         report: RunReport | None = None
         cancelled = False
+        failure: Exception | None = None
         try:
             report = session.optimize(
                 job.spec,
@@ -723,6 +820,8 @@ class JobQueue:
                 hooks=SessionHooks(
                     checkpoint=self._checkpoint_for(job),
                     progress=self._progress_for(job),
+                    save_state=self._save_state_for(job),
+                    resume_state=job.checkpoint_state,
                 ),
             )
             if report is None:
@@ -735,13 +834,22 @@ class JobQueue:
             cancelled = True
         except Exception as exc:  # noqa: BLE001 - jobs fail as reports
             _LOG.warning("job %s (%s) failed on %s: %s", job.id, job.name, worker.name, exc)
+            failure = exc
+        elapsed = time.perf_counter() - started
+
+        if failure is not None and is_infrastructure_failure(failure):
+            # A crash poisoned the worker, not just this job: mark it
+            # unhealthy, re-queue its backlog and respawn its session.
+            self._supervise_worker(worker, failure)
+        if failure is not None and self._schedule_retry(worker, job, failure, elapsed):
+            return  # the retry timer owns the job now
+        if failure is not None:
             report = RunReport.from_error(
                 kernel=job.name,
                 gpu=session.gpu_name,
                 strategy=job.strategy or session.config.strategy,
-                error=f"{type(exc).__name__}: {exc}",
+                error=f"{type(failure).__name__}: {failure}",
             )
-        elapsed = time.perf_counter() - started
 
         with self._work:
             worker.busy_s += elapsed
@@ -820,8 +928,30 @@ class JobQueue:
         def checkpoint() -> None:
             if job.cancel_event.is_set():
                 raise JobCancelled(f"job {job.id} ({job.name}) was cancelled")
+            if self.faults is not None:
+                # Chaos harness: this is the per-measurement tick where a
+                # planned worker crash or measurement delay fires.
+                self.faults.on_measurement(worker=job.worker_index, job_id=job.id)
 
         return checkpoint
+
+    def _save_state_for(self, job: _Job):
+        """Checkpoint sink handed to the strategy via ``SessionHooks``.
+
+        The latest exported search state is kept on the job (a retry resumes
+        from it in-process) and journaled (a restarted server resumes from
+        it across processes); both are best-effort and never fail the run.
+        """
+
+        def save_state(state) -> None:
+            if not isinstance(state, dict):
+                return
+            snapshot = dict(state)
+            with self._work:
+                job.checkpoint_state = snapshot
+            self._journal_checkpoint(job, snapshot)
+
+        return save_state
 
     def _progress_for(self, job: _Job):
         every = max(1, self.serve_config.progress_every)
@@ -833,6 +963,116 @@ class JobQueue:
                 self._emit(job, "measured", worker=job.worker, measured=submitted)
 
         return progress
+
+    # ------------------------------------------------------------------
+    # Internals: supervision and retry
+    # ------------------------------------------------------------------
+    def _supervise_worker(self, worker, exc: Exception) -> None:
+        """Contain and repair a poisoned worker.
+
+        Marks it unhealthy (its loop stops claiming, the dispatcher stops
+        placing), re-queues its remaining backlog to the front of the inbox
+        so healthy siblings absorb it in order, then respawns a fresh
+        session on the same backend via ``SessionPool.revive_worker``.
+        """
+        with self._work:
+            self._stats["worker_failures"] += 1
+            worker.healthy = False
+            worker.last_error = f"{type(exc).__name__}: {exc}"
+            drained: list[_Job] = []
+            if worker.index < len(self._queues):
+                backlog_queue = self._queues[worker.index]
+                while backlog_queue:
+                    orphan = backlog_queue.popleft()
+                    worker.backlog = max(0.0, worker.backlog - orphan.cost)
+                    orphan.status = JobStatus.QUEUED
+                    orphan.worker_index = None
+                    orphan.worker = None
+                    drained.append(orphan)
+            # Front of the inbox, original order: the dispatcher re-places
+            # these before any newer submissions.
+            self._inbox.extendleft(reversed(drained))
+            if drained:
+                self._work.notify_all()
+        _LOG.warning(
+            "worker %s poisoned by %s; re-queued %d backlog job(s), respawning",
+            worker.name, worker.last_error, len(drained),
+        )
+        try:
+            self.pool.revive_worker(worker.index, error=worker.last_error)
+        except Exception as revive_exc:  # noqa: BLE001 - stay degraded, keep serving
+            _LOG.error(
+                "failed to respawn worker %s: %s; it stays unhealthy",
+                worker.name, revive_exc,
+            )
+
+    def _schedule_retry(self, worker, job: _Job, exc: Exception, elapsed: float) -> bool:
+        """Arm a backoff timer to re-run ``job`` after an infrastructure
+        failure; ``True`` when the retry was scheduled (the caller must not
+        finalize the job).
+
+        Only infrastructure failures retry — verifier rejections and user
+        errors are deterministic and would fail identically again.  The
+        retry count, per-policy backoff and optional cumulative delay budget
+        all come from ``ServeConfig.retry``.
+        """
+        if not is_infrastructure_failure(exc):
+            return False
+        policy = self.serve_config.retry
+        if policy is None or policy.max_attempts <= 1:
+            return False
+        with self._work:
+            if self._closed or job.cancel_event.is_set() or job.status.terminal:
+                return False
+            next_attempt = job.attempt + 1
+            if next_attempt >= policy.max_attempts:
+                return False
+            delay = policy.delay_for(next_attempt)
+            if (
+                policy.budget_s is not None
+                and job.retry_delay_total + delay > policy.budget_s
+            ):
+                return False
+            job.retry_delay_total += delay
+            # The failed attempt's accounting happens here because the normal
+            # post-run accounting path is skipped for a retried job.
+            worker.busy_s += elapsed
+            worker.backlog = max(0.0, worker.backlog - job.cost)
+            job.attempt = next_attempt
+            job.status = JobStatus.QUEUED
+            job.worker_index = None
+            job.worker = None
+            self._stats["retries"] += 1
+            self._emit(
+                job, "retrying", worker=worker.name, attempt=job.attempt,
+                measured=job.measured,
+                detail=(
+                    f"{type(exc).__name__}: {exc}; retry "
+                    f"{next_attempt + 1}/{policy.max_attempts} in {delay:.3f}s"
+                ),
+            )
+            timer = threading.Timer(delay, self._requeue_retry, args=(job,))
+            timer.daemon = True
+            self._retry_timers[job.id] = timer
+            timer.start()
+        _LOG.info(
+            "job %s (%s) retrying after %s: attempt %d/%d in %.3fs",
+            job.id, job.name, type(exc).__name__,
+            next_attempt + 1, policy.max_attempts, delay,
+        )
+        return True
+
+    def _requeue_retry(self, job: _Job) -> None:
+        """Backoff-timer callback: put the job back in the inbox."""
+        with self._work:
+            self._retry_timers.pop(job.id, None)
+            if job.status.terminal:
+                return
+            if self._closed or job.cancel_event.is_set():
+                self._finalize_locked(job, JobStatus.CANCELLED)
+                return
+            self._inbox.append(job)
+            self._work.notify_all()
 
     def _cancel(self, job: _Job) -> bool:
         with self._work:
@@ -893,9 +1133,24 @@ class JobQueue:
         if self.journal is None:
             return
         try:
-            self.journal.record_submitted(job.record())
+            try:
+                self.journal.record_submitted(job.record(), request=job.request)
+            except TypeError:
+                # Duck-typed journals predating the request parameter.
+                self.journal.record_submitted(job.record())
         except Exception as exc:  # noqa: BLE001 - durability is best-effort
             _LOG.warning("journal submit record for %s failed: %s", job.id, exc)
+
+    def _journal_checkpoint(self, job: _Job, state: dict) -> None:
+        if self.journal is None:
+            return
+        record_checkpoint = getattr(self.journal, "record_checkpoint", None)
+        if record_checkpoint is None:
+            return
+        try:
+            record_checkpoint(job.id, state)
+        except Exception as exc:  # noqa: BLE001 - durability is best-effort
+            _LOG.warning("journal checkpoint for %s failed: %s", job.id, exc)
 
     def _journal_terminal(self, job: _Job) -> None:
         if self.journal is None:

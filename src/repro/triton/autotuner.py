@@ -59,8 +59,21 @@ class Autotuner:
         """Drop the autotune-decision cache (and the kernels it retains)."""
         self._cache.clear()
 
-    def tune(self, spec: KernelSpec, *, shapes: dict | None = None, scale: str = "bench") -> AutotuneResult:
-        """Sweep the spec's configuration space and return the best config."""
+    def tune(
+        self,
+        spec: KernelSpec,
+        *,
+        shapes: dict | None = None,
+        scale: str = "bench",
+        checkpoint=None,
+    ) -> AutotuneResult:
+        """Sweep the spec's configuration space and return the best config.
+
+        ``checkpoint`` (a zero-argument callable) is polled before each
+        candidate configuration is measured; raising from it — typically
+        :class:`repro.errors.JobCancelled` — aborts the sweep, making stage-1
+        autotuning cooperatively cancellable like the stage-2 search.
+        """
         shapes = dict(shapes) if shapes is not None else dict(spec.shapes(scale))
         key = self._key(spec, shapes)
         if key in self._cache:
@@ -69,6 +82,8 @@ class Autotuner:
         trials: list[tuple[dict, float]] = []
         rejected: list[dict] = []
         for config in spec.config_space:
+            if checkpoint is not None:
+                checkpoint()
             try:
                 compiled = compile_spec(spec, shapes=shapes, config=config)
             except CompilerError as exc:
@@ -93,8 +108,13 @@ class Autotuner:
         return result
 
     def compile_best(
-        self, spec: KernelSpec, *, shapes: dict | None = None, scale: str = "bench"
+        self,
+        spec: KernelSpec,
+        *,
+        shapes: dict | None = None,
+        scale: str = "bench",
+        checkpoint=None,
     ) -> CompiledKernel:
         """Autotune and return the kernel compiled with the winning config."""
-        result = self.tune(spec, shapes=shapes, scale=scale)
+        result = self.tune(spec, shapes=shapes, scale=scale, checkpoint=checkpoint)
         return compile_spec(spec, shapes=result.shapes, config=result.best_config)

@@ -17,7 +17,8 @@ from repro.api import (
     register_strategy,
 )
 from repro.api.report import JobRecord, RunReport
-from repro.errors import AdmissionError, JobCancelled, QuotaExceeded
+from repro.errors import AdmissionError, JobCancelled, QuotaExceeded, RemoteError
+from repro.faults import FaultPlan
 from repro.pool import SessionPool
 from repro.remote import (
     JobJournal,
@@ -334,13 +335,16 @@ def test_restart_replays_terminal_records_and_store(tmp_path):
 
 
 def test_restart_marks_lost_inflight_jobs_failed(tmp_path):
+    # With resume_inflight off, lost in-flight jobs surface as failed
+    # (the pre-resume behavior, still available as an operator choice).
     path = tmp_path / "j.jsonl"
     journal = JobJournal(path)
     journal.record_submitted(_record("j00007", JobStatus.RUNNING))
     journal.close()
 
     with _single_worker_pool() as pool:
-        with RemoteApp(pool, remote=RemoteConfig(journal_path=path)) as app:
+        remote = RemoteConfig(journal_path=path, resume_inflight=False)
+        with RemoteApp(pool, remote=remote) as app:
             record = app.status("j00007")
             assert record.status is JobStatus.FAILED
             assert "restart" in (record.error or "").lower()
@@ -349,6 +353,28 @@ def test_restart_marks_lost_inflight_jobs_failed(tmp_path):
             fresh = app.submit({"kernel": "softmax"})
             assert int(fresh.job_id[1:]) > 7
             app.result(fresh.job_id, timeout=300)
+
+
+def test_restart_resumes_lost_inflight_jobs(tmp_path):
+    # The resume default: a journaled in-flight job is re-queued under its
+    # original id and runs to a verifier-clean terminal state.
+    path = tmp_path / "j.jsonl"
+    journal = JobJournal(path)
+    journal.record_submitted(
+        _record("j00007", JobStatus.RUNNING), request={"strategy": "greedy"}
+    )
+    journal.close()
+
+    with _single_worker_pool() as pool:
+        with RemoteApp(pool, remote=RemoteConfig(journal_path=path)) as app:
+            record = app.status("j00007")
+            assert not record.status.terminal
+            assert record.resumed is True
+            final, report = app.result("j00007", timeout=300)
+            assert final.status is JobStatus.DONE
+            assert report is not None and not report.failed
+            assert app.metrics()["server"]["resumed_jobs"] == 1
+            assert app.queue.stats["resumed"] == 1
 
 
 def test_restart_applies_ttl_to_replayed_records(tmp_path):
@@ -506,6 +532,91 @@ def test_http_metrics_shape(http_stack):
     assert "hits" in metrics["store"]
     assert metrics["server"]["journal"]["path"].endswith("j.jsonl")
     assert metrics["quota"]["capacity"] == 50.0
+
+
+def test_http_replayed_job_events_close_immediately(tmp_path):
+    """Streaming events for a journal-replayed terminal job serves one
+    synthesized terminal event and closes — no 30s idle hang."""
+    remote = RemoteConfig(journal_path=tmp_path / "j.jsonl")
+    with _single_worker_pool() as pool:
+        with RemoteApp(pool, remote=remote) as app:
+            job_id = app.submit({"kernel": "softmax"}).job_id
+            app.result(job_id, timeout=300)
+        with RemoteApp(pool, remote=remote) as revived:
+            with RemoteServer(revived) as server:
+                client = RemoteClient(server.url)
+                start = time.monotonic()
+                events = list(client.events(job_id))
+                assert time.monotonic() - start < 10.0
+    assert len(events) == 1
+    assert events[0]["kind"] == "done" and events[0].get("replayed") is True
+
+
+def test_client_get_retries_transient_failures(monkeypatch):
+    """GETs retry transient transport failures; POSTs never do (not
+    idempotent — a lost response may mean the job WAS accepted)."""
+
+    class _Resp:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def read(self):
+            return b'{"ok": true}'
+
+    calls = []
+
+    def _flaky_open(self, method, path, body=None, query=None, *, timeout=None):
+        calls.append(method)
+        if len([m for m in calls if m == calls[-1]]) <= 2:
+            raise RemoteError("connection refused")  # status 0 -> transient
+        return _Resp()
+
+    client = RemoteClient("http://127.0.0.1:1", retry_attempts=3, retry_backoff_s=0.001)
+    monkeypatch.setattr(RemoteClient, "_open", _flaky_open)
+
+    assert client._request("GET", "/healthz") == {"ok": True}
+    assert calls.count("GET") == 3  # two transient failures, then success
+
+    calls.clear()
+    with pytest.raises(RemoteError):
+        client._request("POST", "/v1/jobs", {"kernel": "softmax"})
+    assert calls.count("POST") == 1  # never auto-retried
+
+    calls.clear()
+
+    def _server_error(self, method, path, body=None, query=None, *, timeout=None):
+        calls.append(method)
+        raise RemoteError("boom", status=500)
+
+    monkeypatch.setattr(RemoteClient, "_open", _server_error)
+    with pytest.raises(RemoteError):
+        client._request("GET", "/metrics")
+    assert calls.count("GET") == 1  # the server answered: not transient
+
+
+def test_http_stream_drop_fault(tmp_path):
+    """An injected SSE drop truncates one stream cleanly; a fresh stream on
+    the same job still reaches the terminal event."""
+    plan = FaultPlan(seed=5).drop_stream(after_events=1)
+    remote = RemoteConfig(journal_path=tmp_path / "j.jsonl")
+    with _single_worker_pool() as pool:
+        with RemoteApp(pool, remote=remote, faults=plan) as app:
+            with RemoteServer(app) as server:
+                client = RemoteClient(server.url)
+                handle = client.submit("softmax", strategy="remote-block")
+                assert _STARTED.wait(timeout=30)
+                # HTTP/1.0 responses are close-delimited, so the injected
+                # drop reads as a clean, truncated stream: queued only.
+                truncated = list(handle.events())
+                assert [event["kind"] for event in truncated] == ["queued"]
+                _GATE.set()
+                handle.result(timeout=300)
+                kinds = [event["kind"] for event in handle.events()]
+                assert kinds[-1] == "done"
+    assert [entry["fault"] for entry in plan.fired] == ["stream-drop"]
 
 
 # ---------------------------------------------------------------------------
