@@ -16,16 +16,43 @@ independent whole-schedule semantic verifier (with structured diagnostics
 from :mod:`repro.analysis.diagnostics` over the dependence graph built by
 :mod:`repro.analysis.deps`) and ``python -m repro.analysis.lint`` exposes it
 as a linter for CI.
+
+The precision dataflow layer adds three passes on top:
+
+* :mod:`repro.analysis.liveness` — backward live-range analysis, the
+  register-pressure report and the dead-fragment repack transform;
+* sharper alias disambiguation in :mod:`repro.analysis.deps`
+  (``alias_mode="precise"`` with provenance tracking, vs the sound
+  ``"conservative"`` over-approximation);
+* :mod:`repro.analysis.funcdiff` — bit-exact candidate-vs-seed differential
+  execution (rule ``V701``) and the control-code round-trip audit (``V702``).
 """
 
 from repro.analysis.cfg import BasicBlock, ControlFlowInfo, build_cfg
 from repro.analysis.defuse import DefUseChains, RegisterAccess, build_def_use
 from repro.analysis.deps import (
+    ALIAS_MODES,
+    AliasContext,
     DepEdge,
     DependenceGraph,
     StallConstraint,
+    build_alias_context,
     build_dependence_graph,
+    ldgsts_hazard,
     may_alias,
+)
+from repro.analysis.funcdiff import (
+    FunctionalDiffer,
+    FunctionalDiffResult,
+    audit_control_roundtrip,
+)
+from repro.analysis.liveness import (
+    REGISTER_BUDGET,
+    LivenessInfo,
+    PressureReport,
+    compute_liveness,
+    pressure_report,
+    repack_registers,
 )
 from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity, worst_severity
 from repro.analysis.memory_table import EmbeddingTables, build_embedding_tables
@@ -50,11 +77,24 @@ __all__ = [
     "DefUseChains",
     "RegisterAccess",
     "build_def_use",
+    "ALIAS_MODES",
+    "AliasContext",
     "DepEdge",
     "DependenceGraph",
     "StallConstraint",
+    "build_alias_context",
     "build_dependence_graph",
+    "ldgsts_hazard",
     "may_alias",
+    "FunctionalDiffer",
+    "FunctionalDiffResult",
+    "audit_control_roundtrip",
+    "REGISTER_BUDGET",
+    "LivenessInfo",
+    "PressureReport",
+    "compute_liveness",
+    "pressure_report",
+    "repack_registers",
     "RULES",
     "Diagnostic",
     "Rule",

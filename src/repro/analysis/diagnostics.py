@@ -11,6 +11,8 @@ parsing message text.  Codes are grouped by family:
 ``V3xx``  stall-count sufficiency for fixed-latency producers
 ``V4xx``  memory hazards (LDGSTS shared-base, conservative aliasing)
 ``V5xx``  advisory checks that masking does not enforce
+``V6xx``  register pressure (budget exceeded, dead definitions)
+``V7xx``  functional verification (differential output diff, round-trips)
 ========  ==================================================================
 
 Severity semantics mirror the differential guarantee against
@@ -144,6 +146,32 @@ RULES: dict[str, Rule] = {
             "denylist-slack",
             Severity.WARNING,
             "denylisted instruction lost stall slack versus the seed",
+        ),
+        # -- register pressure ----------------------------------------------
+        _rule(
+            "V601",
+            "pressure-exceeded",
+            Severity.ERROR,
+            "peak live-register pressure exceeds the backend register file",
+        ),
+        _rule(
+            "V602",
+            "dead-definition",
+            Severity.WARNING,
+            "register written but never read on any path",
+        ),
+        # -- functional verification ----------------------------------------
+        _rule(
+            "V701",
+            "functional-mismatch",
+            Severity.ERROR,
+            "candidate output differs bit-exactly from the seed schedule",
+        ),
+        _rule(
+            "V702",
+            "control-roundtrip",
+            Severity.ERROR,
+            "control code does not survive an encode/decode round-trip",
         ),
     )
 }

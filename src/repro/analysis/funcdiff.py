@@ -1,0 +1,208 @@
+"""Functional differential verification (the ``verify="functional"`` tier).
+
+The timing verifier (:mod:`repro.analysis.verify`) proves a candidate is a
+dependence-preserving permutation of the seed — but its dependence model is
+static, so a schedule that defeats the model (or a bug in the model itself)
+can slip through with wrong semantics.  Probabilistic testing
+(:mod:`repro.sim.functional`) compares against a numpy oracle under fp16
+tolerances, which by design forgives small numeric drift — exactly the kind
+of drift a semantics-breaking reorder of same-address accesses produces.
+
+This module closes the gap with *differential* execution: the candidate and
+the seed schedule run through the functional engine on identical inputs and
+their outputs are diffed **bit-exactly**.  Any difference at all means the
+reorder changed observable behaviour, regardless of tolerance — rule
+``V701``.  The paranoid tier adds :func:`audit_control_roundtrip`: every
+control code in the spliced listing must survive ``render`` → ``parse``
+unchanged (rule ``V702``), catching encode/decode disagreements before a
+schedule is persisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.errors import SassParseError
+from repro.sass.control import ControlCode
+from repro.sass.instruction import Instruction
+from repro.sass.kernel import SassKernel
+from repro.sim.gpu import GPUSimulator
+from repro.sim.launch import GridConfig
+
+
+@dataclass(frozen=True)
+class FunctionalDiffResult:
+    """Outcome of one candidate-vs-seed differential run."""
+
+    passed: bool
+    trials: int
+    mismatched_outputs: tuple[str, ...] = ()
+    max_abs_error: float = 0.0
+    diagnostics: tuple[Diagnostic, ...] = ()
+    message: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "trials": self.trials,
+            "mismatched_outputs": list(self.mismatched_outputs),
+            "max_abs_error": self.max_abs_error,
+            "message": self.message,
+            "diagnostics": [diag.as_dict() for diag in self.diagnostics],
+        }
+
+
+def _bit_identical(candidate: np.ndarray, reference: np.ndarray) -> bool:
+    cand = np.asarray(candidate)
+    ref = np.asarray(reference)
+    return (
+        cand.shape == ref.shape
+        and cand.dtype == ref.dtype
+        and cand.tobytes() == ref.tobytes()
+    )
+
+
+def _copy_inputs(inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Fresh buffers per run so in-place output writes cannot leak across."""
+    return {name: np.array(array, copy=True) for name, array in inputs.items()}
+
+
+@dataclass
+class FunctionalDiffer:
+    """Runs candidate and seed schedules on identical inputs and diffs outputs.
+
+    Mirrors :class:`repro.sim.functional.ProbabilisticTester`, but the
+    reference is the *seed schedule itself* (not a numpy oracle) and the
+    comparison is bit-exact — a reordering is only accepted when it is
+    observationally indistinguishable from the schedule it claims to speed up.
+    """
+
+    simulator: GPUSimulator
+    input_factory: Callable[[np.random.Generator], dict[str, np.ndarray]]
+    grid: GridConfig
+    param_order: list[str]
+    scalars: dict[str, int] = field(default_factory=dict)
+    output_names: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_compiled(cls, compiled, simulator: GPUSimulator | None = None) -> "FunctionalDiffer":
+        """Build a differ from a :class:`~repro.triton.compiler.CompiledKernel`."""
+        return cls(
+            simulator=simulator or GPUSimulator(),
+            input_factory=compiled.make_inputs,
+            grid=compiled.grid,
+            param_order=compiled.param_order,
+            output_names=list(compiled.spec.output_names),
+        )
+
+    def _outputs(self, kernel: SassKernel, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        run = self.simulator.run(
+            kernel,
+            self.grid,
+            _copy_inputs(inputs),
+            self.param_order,
+            scalars=self.scalars,
+            output_names=self.output_names,
+        )
+        return run.outputs
+
+    def diff(
+        self,
+        seed_kernel: SassKernel,
+        candidate: SassKernel,
+        *,
+        trials: int = 1,
+        seed: int = 0,
+    ) -> FunctionalDiffResult:
+        """Diff ``candidate`` against ``seed_kernel`` on ``trials`` random inputs."""
+        rng = np.random.default_rng(seed)
+        mismatched: list[str] = []
+        diagnostics: list[Diagnostic] = []
+        worst = 0.0
+        total = max(trials, 1)
+        for trial in range(total):
+            inputs = self.input_factory(rng)
+            expected = self._outputs(seed_kernel, inputs)
+            actual = self._outputs(candidate, inputs)
+            for name, reference in expected.items():
+                candidate_out = actual.get(name)
+                if candidate_out is not None and _bit_identical(candidate_out, reference):
+                    continue
+                if candidate_out is None:
+                    max_err = float("inf")
+                    message = f"candidate did not produce output {name!r}"
+                else:
+                    delta = np.abs(
+                        np.asarray(candidate_out, dtype=np.float64)
+                        - np.asarray(reference, dtype=np.float64)
+                    )
+                    max_err = float(delta.max(initial=0.0))
+                    message = (
+                        f"output {name!r} differs from the seed schedule "
+                        f"(max abs err {max_err:.4g}, trial {trial})"
+                    )
+                worst = max(worst, max_err)
+                if name not in mismatched:
+                    mismatched.append(name)
+                diagnostics.append(
+                    make_diagnostic(
+                        "V701",
+                        message,
+                        line=0,
+                        hint="the schedule changes observable behaviour; reject it",
+                        details={"output": name, "trial": trial, "max_abs_error": max_err},
+                    )
+                )
+            if mismatched:
+                # One failing trial is conclusive; later trials add no signal.
+                return FunctionalDiffResult(
+                    passed=False,
+                    trials=trial + 1,
+                    mismatched_outputs=tuple(mismatched),
+                    max_abs_error=worst,
+                    diagnostics=tuple(diagnostics),
+                    message=diagnostics[0].message,
+                )
+        return FunctionalDiffResult(passed=True, trials=total)
+
+
+def audit_control_roundtrip(kernel: SassKernel) -> list[Diagnostic]:
+    """Paranoid splice audit: ``parse(render(control)) == control`` per line.
+
+    The serializer and parser of :mod:`repro.sass.control` are independent
+    code paths; a respliced listing whose control codes do not survive the
+    round-trip would persist differently than it verified.  Every violation
+    is an error-severity ``V702`` finding.
+    """
+    diagnostics: list[Diagnostic] = []
+    for index, line in enumerate(kernel.lines):
+        if not isinstance(line, Instruction):
+            continue
+        rendered = line.control.render()
+        try:
+            recovered = ControlCode.parse(rendered)
+        except SassParseError as exc:
+            diagnostics.append(
+                make_diagnostic(
+                    "V702",
+                    f"control code {rendered!r} failed to re-parse: {exc}",
+                    line=index,
+                    hint="encoder and parser disagree; do not persist this listing",
+                )
+            )
+            continue
+        if recovered != line.control:
+            diagnostics.append(
+                make_diagnostic(
+                    "V702",
+                    f"control code {rendered!r} re-parsed as {recovered.render()!r}",
+                    line=index,
+                    hint="encoder and parser disagree; do not persist this listing",
+                    details={"rendered": rendered, "reparsed": recovered.render()},
+                )
+            )
+    return diagnostics

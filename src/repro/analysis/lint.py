@@ -20,15 +20,25 @@ Examples::
     python -m repro.analysis.lint --all --scale test      # every registered kernel
     python -m repro.analysis.lint softmax --schedule candidate.sass --strict
     python -m repro.analysis.lint dump.sass --json
+    python -m repro.analysis.lint --pressure --all        # register-pressure gate
+
+Every listing is additionally audited for exact control-code round-trips
+(rule ``V702``); ``--pressure`` adds the liveness-based register-pressure
+report (error ``V601`` when the peak exceeds the register file, warning
+``V602`` per dead definition).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.analysis.funcdiff import audit_control_roundtrip
+from repro.analysis.liveness import pressure_report
 from repro.analysis.verify import ScheduleVerifier, VerificationResult
 from repro.sass.kernel import SassKernel
 
@@ -63,6 +73,33 @@ def _load_seed(target: str, scale: str) -> tuple[str, SassKernel]:
     return target, compile_spec(spec, scale=scale).kernel
 
 
+def _pressure_diagnostics(report) -> list[Diagnostic]:
+    """V6xx findings from a :class:`~repro.analysis.liveness.PressureReport`."""
+    findings: list[Diagnostic] = []
+    if not report.fits:
+        findings.append(
+            make_diagnostic(
+                "V601",
+                f"peak pressure of {report.peak} live registers exceeds the "
+                f"R{report.budget} register file (headroom {report.headroom})",
+                line=report.peak_line,
+                hint="repack dead fragments or reduce the tile shape",
+                details={"peak": report.peak, "budget": report.budget},
+            )
+        )
+    for line, register in report.dead_definitions:
+        findings.append(
+            make_diagnostic(
+                "V602",
+                f"{register} is written here but never read on any path",
+                line=line,
+                hint="dead definition: the fragment is reusable",
+                details={"register": register},
+            )
+        )
+    return findings
+
+
 def _lint_one(
     name: str,
     seed: SassKernel,
@@ -70,19 +107,45 @@ def _lint_one(
     *,
     as_json: bool,
     quiet: bool,
+    pressure: bool = False,
 ) -> VerificationResult:
     verifier = ScheduleVerifier(seed)
     if schedule is None:
+        target = seed
         result = verifier.lint_seed()
     else:
         try:
-            candidate = SassKernel.from_text(schedule.read_text())
+            target = SassKernel.from_text(schedule.read_text())
         except OSError as exc:
             raise SystemExit(f"lint: cannot read schedule {str(schedule)!r}: {exc}") from exc
-        result = verifier.verify(candidate)
+        result = verifier.verify(target)
+    extra: list[Diagnostic] = list(audit_control_roundtrip(target))
+    report = None
+    if pressure:
+        report = pressure_report(target, name=name)
+        extra.extend(_pressure_diagnostics(report))
+    if extra:
+        result = dataclasses.replace(
+            result, diagnostics=tuple(sorted(result.diagnostics + tuple(extra),
+                                             key=lambda d: (d.line, d.rule)))
+        )
     if as_json:
-        print(json.dumps({"kernel": name, **result.summary()}, indent=2))
+        summary = {"kernel": name, **result.summary()}
+        if report is not None:
+            summary["pressure"] = {
+                "peak": report.peak,
+                "peak_line": report.peak_line,
+                "budget": report.budget,
+                "headroom": report.headroom,
+                "fits": report.fits,
+                "allocated": report.allocated,
+                "dead_definitions": len(report.dead_definitions),
+                "free_fragments": [list(frag) for frag in report.free_fragments],
+            }
+        print(json.dumps(summary, indent=2))
     elif not quiet:
+        if report is not None:
+            print(report.render())
         print(result.render(name))
     elif not result.ok:
         print(result.render(name), file=sys.stderr)
@@ -110,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", default="test", choices=("test", "bench", "paper"),
         help="shape set used when compiling spec names (default: test)",
+    )
+    parser.add_argument(
+        "--pressure", action="store_true",
+        help="print the register-pressure report per kernel; exit 1 with a "
+        "V601 error when peak pressure exceeds the backend register file "
+        "(dead definitions surface as V602 warnings)",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -145,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
             name, seed = _load_seed(target, args.scale)
             result = _lint_one(
                 name, seed, args.schedule, as_json=args.as_json, quiet=args.quiet,
+                pressure=args.pressure,
             )
             findings = result.errors if not args.strict else result.diagnostics
             failed = failed or not result.ok or (args.strict and bool(findings))

@@ -104,9 +104,10 @@ class ScheduleVerifier:
         graph: DependenceGraph | None = None,
         cfg: ControlFlowInfo | None = None,
         stalls: StallInferenceResult | None = None,
+        alias_mode: str = "precise",
     ):
         if graph is None:
-            graph = build_dependence_graph(seed, cfg=cfg, stalls=stalls)
+            graph = build_dependence_graph(seed, cfg=cfg, stalls=stalls, alias_mode=alias_mode)
         self.seed = seed
         self.graph = graph
         self.cfg = graph.cfg
@@ -153,6 +154,13 @@ class ScheduleVerifier:
         self._con_cons = np.array([c.consumer for c in constraints], dtype=np.int64)
         self._con_min = np.array([c.min_stall for c in constraints], dtype=np.int64)
 
+        # Scratch state for the is_legal hot path (not thread-safe; each
+        # search loop owns its verifier).  Every entry is overwritten per
+        # call because pos is always a full permutation.
+        self._identity_pos = np.arange(self._num_lines, dtype=np.int64)
+        self._stall_scratch = np.zeros(self._num_lines, dtype=np.int64)
+        self._prefix_scratch = np.zeros(self._num_lines + 1, dtype=np.int64)
+
     # ------------------------------------------------------------------
     # Structural mapping
     # ------------------------------------------------------------------
@@ -181,6 +189,10 @@ class ScheduleVerifier:
 
         boundary_ok = True
         for index, render in zip(self._boundary_indices, self._boundary_renders):
+            # Swapped candidates share line objects with the seed, so identity
+            # settles the common search path without re-rendering.
+            if cand_lines[index] is seed_lines[index]:
+                continue
             if cand_lines[index].render() != render:
                 diagnostics.append(
                     make_diagnostic(
@@ -208,9 +220,14 @@ class ScheduleVerifier:
             unmatched: list[int] = []
             seed_queues: dict[str, deque[int]] | None = None
             for cand_index in range(block.start, block.end):
+                line = cand_lines[cand_index]
+                if line is seed_lines[cand_index]:
+                    # Unmoved line — the common case for single-swap search
+                    # candidates, settled without the id-map lookup.
+                    pos[cand_index] = cand_index
+                    continue
                 if cand_index in boundary_set:
                     continue
-                line = cand_lines[cand_index]
                 seed_index = id_map.get(id(line))
                 if seed_index is not None and block_of[seed_index] == block.index:
                     pos[seed_index] = cand_index
@@ -279,34 +296,78 @@ class ScheduleVerifier:
     # ------------------------------------------------------------------
     # Fast legality pre-filter
     # ------------------------------------------------------------------
+    def _fast_pos(self, candidate: SassKernel) -> np.ndarray | None:
+        """Seed→candidate position map for swap-search candidates, else ``None``.
+
+        Candidates produced by :meth:`SassKernel.swap` share every line object
+        with the seed, so the mapping reduces to an identity scan plus the
+        handful of relocated lines.  Returns ``None`` (caller falls back to
+        the full diagnostic mapper) whenever anything is unusual: unknown
+        line objects, relocated boundaries, cross-block moves, or a
+        non-bijective move set.
+        """
+        seed_lines = self.seed.lines
+        cand_lines = candidate.lines
+        if len(cand_lines) != self._num_lines:
+            return None
+        moved = [k for k, line in enumerate(cand_lines) if line is not seed_lines[k]]
+        if not moved:
+            return self._identity_pos
+        id_map = self._seed_id_to_index
+        block_of = self._block_of_seed
+        boundary = self._boundary_set
+        pos = self._identity_pos.copy()
+        sources = []
+        for k in moved:
+            seed_index = id_map.get(id(cand_lines[k]))
+            if (
+                seed_index is None
+                or seed_index in boundary
+                or k in boundary
+                or block_of[seed_index] != block_of[k]
+            ):
+                return None
+            pos[seed_index] = k
+            sources.append(seed_index)
+        if set(sources) != set(moved):
+            return None
+        return pos
+
     def is_legal(self, candidate: SassKernel) -> bool:
         """Error-severity checks only, no diagnostics: the search pre-filter.
 
         Equivalent to ``verify(candidate).ok`` for schedules reachable by
         in-block permutation (the scoreboard protocol checks it skips are
         invariant under permutations that preserve set/wait edge order).
+        Not thread-safe: reuses per-verifier scratch buffers.
         """
-        scratch: list[Diagnostic] = []
-        pos = self._map_candidate(candidate, scratch)
+        pos = self._fast_pos(candidate)
         if pos is None:
-            return False
-        if self._err_src.size and bool(np.any(pos[self._err_src] > pos[self._err_dst])):
+            scratch: list[Diagnostic] = []
+            pos = self._map_candidate(candidate, scratch)
+            if pos is None:
+                return False
+        if self._err_src.size and bool((pos[self._err_src] > pos[self._err_dst]).any()):
             return False
         if self._con_prod.size:
             prefix = self._stall_prefix(pos)
             produced = pos[self._con_prod]
             consumed = pos[self._con_cons]
             budgets = prefix[consumed] - prefix[produced]
-            if bool(np.any((produced < consumed) & (budgets < self._con_min))):
+            if bool(((produced < consumed) & (budgets < self._con_min)).any()):
                 return False
         return True
 
     def _stall_prefix(self, pos: np.ndarray) -> np.ndarray:
-        """``prefix[k]`` = total stall of candidate lines ``[0, k)``."""
-        cand_stalls = np.zeros(self._num_lines, dtype=np.int64)
+        """``prefix[k]`` = total stall of candidate lines ``[0, k)``.
+
+        Reuses scratch buffers: ``pos`` is a full permutation, so every
+        entry is overwritten before it is read.
+        """
+        cand_stalls = self._stall_scratch
         cand_stalls[pos] = self._seed_stalls
-        prefix = np.zeros(self._num_lines + 1, dtype=np.int64)
-        np.cumsum(cand_stalls, out=prefix[1:])
+        prefix = self._prefix_scratch
+        cand_stalls.cumsum(out=prefix[1:])
         return prefix
 
     # ------------------------------------------------------------------

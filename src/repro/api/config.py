@@ -295,10 +295,13 @@ class OptimizationConfig:
     #: Verification mode: ``"off"`` skips verification; ``"final"`` statically
     #: verifies the best schedule against the seed's dependence graph and
     #: probabilistically tests it (§4.1), falling back to -O3 on any failure;
-    #: ``"paranoid"`` additionally lints the seed listing and re-verifies the
-    #: schedule disassembled back out of the spliced cubin.  Booleans are
-    #: accepted for compatibility: ``True`` means ``"final"``, ``False`` means
-    #: ``"off"``.
+    #: ``"functional"`` additionally runs the best schedule and the -O3 seed
+    #: through the functional engine on identical inputs and diffs the outputs
+    #: bit-exactly (rule ``V701``); ``"paranoid"`` further lints the seed
+    #: listing, re-verifies the schedule disassembled back out of the spliced
+    #: cubin and audits every control code for an exact encode/decode
+    #: round-trip (rule ``V702``).  Booleans are accepted for compatibility:
+    #: ``True`` means ``"final"``, ``False`` means ``"off"``.
     verify: str | bool = "final"
     #: Trials of the probabilistic tester.
     verify_trials: int = 1

@@ -23,6 +23,11 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.funcdiff import (
+    FunctionalDiffer,
+    FunctionalDiffResult,
+    audit_control_roundtrip,
+)
 from repro.analysis.verify import ScheduleVerifier, VerificationResult
 from repro.api.backends import resolve_backend
 from repro.api.config import CacheConfig, MeasurementPolicy, OptimizationConfig
@@ -45,11 +50,16 @@ from repro.utils.logging import get_logger
 _LOG = get_logger("api.session")
 
 #: Recognized verification modes, in increasing strictness.
-VERIFY_MODES = ("off", "final", "paranoid")
+VERIFY_MODES = ("off", "final", "functional", "paranoid")
 
 
 def normalize_verify_mode(value: "str | bool | None", default: "str | bool" = "final") -> str:
     """Normalize a ``verify=`` argument to one of :data:`VERIFY_MODES`.
+
+    ``"functional"`` adds differential execution (candidate vs. seed schedule
+    on identical inputs, outputs diffed bit-exactly — rule ``V701``) on top of
+    ``"final"``; ``"paranoid"`` adds the spliced-cubin re-verification and the
+    control-code round-trip audit (rule ``V702``) on top of ``"functional"``.
 
     Booleans are accepted for backwards compatibility: ``True`` is
     ``"final"`` (static + probabilistic verification of the best schedule),
@@ -231,9 +241,9 @@ class Session:
     ) -> RunReport:
         """Full hierarchical optimization of one workload, cached on success.
 
-        ``verify`` selects the verification mode (``"off"``, ``"final"`` or
-        ``"paranoid"``; bools are accepted as ``"off"``/``"final"``) and
-        defaults to the session config's mode.
+        ``verify`` selects the verification mode (``"off"``, ``"final"``,
+        ``"functional"`` or ``"paranoid"``; bools are accepted as
+        ``"off"``/``"final"``) and defaults to the session config's mode.
         """
         self._ensure_open()
         spec = self._resolve_spec(spec)
@@ -322,6 +332,24 @@ class Session:
                         strategy_name,
                         verification.message,
                     )
+                    best_kernel = compiled.kernel
+                    best_time_ms = outcome.baseline_time_ms
+                    verified = False
+            if (
+                verified
+                and verify_mode in ("functional", "paranoid")
+                and best_kernel is not compiled.kernel
+            ):
+                func_diff = self.functional_diff(compiled, best_kernel)
+                if not func_diff.passed:
+                    _LOG.warning(
+                        "%s/%s: best schedule failed functional differential "
+                        "verification (%s); falling back to -O3",
+                        compiled.kernel.metadata.name,
+                        strategy_name,
+                        func_diff.message,
+                    )
+                    diagnostics.extend(d.as_dict() for d in func_diff.diagnostics)
                     best_kernel = compiled.kernel
                     best_time_ms = outcome.baseline_time_ms
                     verified = False
@@ -427,7 +455,13 @@ class Session:
                 exc,
             )
             return None
-        return verifier.verify(respliced)
+        result = verifier.verify(respliced)
+        roundtrip = audit_control_roundtrip(respliced)
+        if roundtrip:
+            result = dataclasses.replace(
+                result, diagnostics=result.diagnostics + tuple(roundtrip)
+            )
+        return result
 
     def deploy(
         self,
@@ -494,6 +528,23 @@ class Session:
             output_names=list(compiled.spec.output_names),
         )
         return tester.run(kernel, trials=self.config.verify_trials, seed=self.config.seed)
+
+    def functional_diff(self, compiled: CompiledKernel, kernel) -> FunctionalDiffResult:
+        """Differential execution of ``kernel`` against the -O3 seed schedule.
+
+        Both schedules run through the functional engine on identical random
+        inputs; any bit-level output difference is a ``V701`` error.  This is
+        the ``verify="functional"`` tier — strictly sharper than probabilistic
+        testing, whose fp16 tolerances can forgive a semantics-breaking
+        reorder.
+        """
+        differ = FunctionalDiffer.from_compiled(compiled, self.simulator)
+        return differ.diff(
+            compiled.kernel,
+            kernel,
+            trials=self.config.verify_trials,
+            seed=self.config.seed,
+        )
 
     # ------------------------------------------------------------------
     # Batched optimization

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.deps import ldgsts_hazard
 from repro.analysis.stall_inference import StallInferenceResult
 from repro.arch.latency_table import StallCountTable
 from repro.core.actions import ActionSpace, Direction
@@ -60,16 +61,13 @@ def _barrier_conflict(upper: Instruction, lower: Instruction) -> bool:
 
 
 def _shared_async_base(a: Instruction, b: Instruction) -> bool:
-    """Heuristic rule: adjacent LDGSTS from the same base register never swap."""
-    if a.base_opcode != "LDGSTS" or b.base_opcode != "LDGSTS":
-        return False
-    a_regs = set()
-    b_regs = set()
-    for op in a.memory_operands():
-        a_regs |= op.registers()
-    for op in b.memory_operands():
-        b_regs |= op.registers()
-    return bool(a_regs & b_regs)
+    """Adjacent LDGSTS fills with overlapping shared footprints never swap.
+
+    Delegates to :func:`repro.analysis.deps.ldgsts_hazard` — the sharp
+    predicate shared with the ``V401`` verifier rule — so the action mask and
+    the independent verifier can never disagree about this hazard.
+    """
+    return ldgsts_hazard(a, b)
 
 
 def check_stall_after_hoist(

@@ -132,6 +132,25 @@ def _register_builtins() -> None:
         )
     )
 
+    # Paper scale: the width the dead-fragment repack pass unlocked.  Before
+    # the liveness-based repack (repro.analysis.liveness) the fused layernorm
+    # kernel was capped at hidden=1536 by the 240-register budget; hidden=2048
+    # now allocates 54 physical registers after repacking and lints clean
+    # (``python -m repro.analysis.lint --pressure``).
+    register_scenario(
+        Scenario(
+            kernel="layernorm-residual",
+            backend=_PRIMARY,
+            scale="test",
+            regime="default",
+            preset="smoke",
+            shape_overrides=(("hidden", 2048),),
+            variant="wide",
+            description="fused layernorm past the pre-repack hidden=1536 register cap",
+            tags=("paper-scale", "register-pressure"),
+        )
+    )
+
     # Chaos: the fault-injection regime on a short, cheap workload — the
     # entry the resilience smoke (tests/test_faults.py, CI chaos step) runs
     # while a FaultPlan crashes workers and fails journal appends around it.

@@ -21,13 +21,23 @@ from repro.sass.operands import (
     MemoryOperand,
     PredicateOperand,
     RegisterOperand,
+    RZ_INDEX,
     UniformRegisterOperand,
 )
+from repro.analysis.liveness import REGISTER_BUDGET, repack_registers
 from repro.sim.launch import PARAM_BASE_OFFSET, PARAM_SLOT_BYTES
 from repro.triton.ir import Op, TileProgram, Value, ValueKind
 
 #: Memory access widths supported per instruction (bytes per warp).
 _WIDTH_MODS = {1024: "256", 512: "128", 256: "64", 128: "32", 64: "16"}
+
+#: Virtual register ceiling for the bump allocator.  Values are first bump-
+#: allocated (never reused) against this generous ceiling; if the resulting
+#: watermark overflows the real R240 budget, the dead-fragment reuse pass
+#: (``analysis/liveness.repack_registers``) renames condemned live ranges on
+#: top of each other.  Only when even the repacked listing exceeds R240 does
+#: lowering fail — which is what unlocks wide paper-scale shapes.
+_VIRTUAL_MAX_REG = 2048
 
 
 class RegisterAllocator:
@@ -43,6 +53,13 @@ class RegisterAllocator:
         start = self._next
         if align > 1 and start % align:
             start += align - (start % align)
+        if start <= RZ_INDEX < start + count:
+            # Never hand out the RZ encoding slot: an allocation overlapping
+            # R255 would silently read as zero.  Virtual indices past it are
+            # fine — the repack pass renames them below the real budget.
+            start = RZ_INDEX + 1
+            if align > 1 and start % align:
+                start += align - (start % align)
         if start + count > self._max:
             raise LoweringError(
                 f"out of registers: need {count} at R{start} (max R{self._max})"
@@ -93,7 +110,7 @@ class Lowerer:
 
     def __init__(self, program: TileProgram):
         self.program = program
-        self.regs = RegisterAllocator()
+        self.regs = RegisterAllocator(max_reg=_VIRTUAL_MAX_REG)
         self.lines: list = []
         #: Value.id -> physical register index.
         self.location: dict[int, int] = {}
@@ -149,10 +166,27 @@ class Lowerer:
         if self._loop_stack:
             raise LoweringError("unterminated loop in tile program")
         self.emit("EXIT")
+        lines = self.lines
+        watermark = self.regs.high_watermark
+        if watermark > REGISTER_BUDGET:
+            # Bump allocation overflowed the real register file: rename dead
+            # fragments on top of each other before giving up.  Fitting
+            # kernels never reach this branch, so their listings stay
+            # bit-identical to the pre-repack lowerer.
+            result = repack_registers(lines, name=self.program.name)
+            lines = list(result.lines)
+            watermark = result.high_watermark + 1
+            if watermark > REGISTER_BUDGET:
+                raise LoweringError(
+                    f"out of registers: {self.program.name} needs "
+                    f"{watermark} registers even after dead-fragment repack "
+                    f"(bump watermark {self.regs.high_watermark}, "
+                    f"max R{REGISTER_BUDGET})"
+                )
         return LoweredKernel(
             name=self.program.name,
-            lines=self.lines,
-            num_registers=self.regs.high_watermark + 2,
+            lines=lines,
+            num_registers=watermark + 2,
             shared_bytes=self.program.shared_bytes,
             num_params=len(self.program.params),
             param_names=[name for name, _ in self.program.params],

@@ -63,10 +63,25 @@ class ControlCodeAssigner:
         self.read_barriers: list[int | None] = []
         self._next_slot = 0
         self._overflow: dict[int, int] = {}
+        # Slots armed in the current block whose completion nobody has waited
+        # on yet.  Re-arming one of these would lose the earlier completion
+        # signal (the verifier's V203), so allocation prefers free slots and
+        # drains a busy one with an explicit wait when all six are armed.
+        self._armed: set[int] = set()
 
-    def _alloc_slot(self) -> int:
-        slot = self._next_slot % NUM_BARRIERS
-        self._next_slot += 1
+    def _alloc_slot(self, pos: int) -> int:
+        for probe in range(NUM_BARRIERS):
+            slot = (self._next_slot + probe) % NUM_BARRIERS
+            if slot not in self._armed:
+                break
+        else:
+            # Every slot is armed: reuse the round-robin one, waiting on it
+            # first (waits are processed before barrier arming on the same
+            # instruction, so wait-then-re-arm is protocol-clean).
+            slot = self._next_slot % NUM_BARRIERS
+            self.waits[pos].add(slot)
+        self._armed.add(slot)
+        self._next_slot = slot + 1
         return slot
 
     def run(self) -> list:
@@ -87,6 +102,12 @@ class ControlCodeAssigner:
         prev_instr_pos: int | None = None
         for pos in instruction_positions:
             instr: Instruction = lines[pos]
+            # Labels start a new basic block; armed-slot tracking (like the
+            # verifier's per-block V203 state) resets with it.
+            if prev_instr_pos is not None and any(
+                isinstance(lines[i], Label) for i in range(prev_instr_pos + 1, pos)
+            ):
+                self._armed.clear()
             reads = instr.read_registers()
             read_preds = instr.read_predicates()
 
@@ -95,10 +116,12 @@ class ControlCodeAssigner:
                 slot = var_reg_slot.pop(reg, None)
                 if slot is not None:
                     self.waits[pos].add(slot)
+                    self._armed.discard(slot)
             # Barriers / commits wait for every outstanding async copy so the
             # data is resident in shared memory before anyone reads it.
             if instr.base_opcode in {"BAR", "LDGDEPBAR", "DEPBAR", "EXIT"} and outstanding_async:
                 self.waits[pos] |= outstanding_async
+                self._armed -= outstanding_async
                 outstanding_async.clear()
 
             # ---- stall counts for fixed-latency producers ------------------
@@ -135,23 +158,27 @@ class ControlCodeAssigner:
                 # Variable latency: allocate a write barrier when the result
                 # lands in a register, or track the async copy group.
                 if writes:
-                    slot = self._alloc_slot()
+                    slot = self._alloc_slot(pos)
                     self.write_barriers[pos] = slot
                     for reg in writes:
                         var_reg_slot[reg] = slot
                 elif instr.base_opcode == "LDGSTS":
-                    slot = self._alloc_slot()
+                    slot = self._alloc_slot(pos)
                     self.write_barriers[pos] = slot
                     outstanding_async.add(slot)
                 elif instr.info.writes_memory:
                     # Stores consume their sources; give them a read barrier.
-                    self.read_barriers[pos] = self._alloc_slot()
+                    self.read_barriers[pos] = self._alloc_slot(pos)
             # Registers overwritten by any instruction stop being "pending".
             for reg in writes:
                 if not instr.is_fixed_latency:
                     fixed_reg.pop(reg, None)
 
             acc += self.stalls[pos]
+            if instr.is_sync:
+                # Sync instructions terminate a basic block (repro.analysis.cfg),
+                # and with it the verifier's per-block armed-slot state.
+                self._armed.clear()
             prev_instr_pos = pos
 
         return self._rebuild()

@@ -150,9 +150,11 @@ def test_cross_label_move_fires_v003():
 
 
 def test_ldgsts_shared_base_hazard_fires_v401():
+    # Both async copies fill the same shared-memory base register within one
+    # per-warp footprint — the cp.async ordering hazard V401 protects.
     listing = """
 [B------:R-:W-:-:S04] LDGSTS.E [R10], [R4.64] ;
-[B------:R-:W-:-:S06] LDGSTS.E [R12], [R4.64] ;
+[B------:R-:W-:-:S06] LDGSTS.E [R10+0x100], [R6.64] ;
 [B------:R-:W-:-:S05] EXIT ;
 """
     kernel = SassKernel.from_text(listing, KernelMetadata(name="v401"))
@@ -163,6 +165,23 @@ def test_ldgsts_shared_base_hazard_fires_v401():
     assert not verifier.is_legal(swapped)
     result = verifier.verify(swapped, include_warnings=False)
     assert "V401" in {d.rule for d in result.errors}
+
+
+def test_ldgsts_distinct_shared_bases_do_not_edge_v401():
+    # Same *global* source base but different shared destinations: the copies
+    # land in disjoint shared buffers, so there is no fill-order hazard.  The
+    # old conservative predicate (any memory-register overlap) edged this
+    # pair; the sharp shared-side analysis proves it safe.
+    listing = """
+[B------:R-:W-:-:S04] LDGSTS.E [R10], [R4.64] ;
+[B------:R-:W-:-:S06] LDGSTS.E [R12], [R4.64] ;
+[B------:R-:W-:-:S05] EXIT ;
+"""
+    kernel = SassKernel.from_text(listing, KernelMetadata(name="v401"))
+    graph = build_dependence_graph(kernel)
+    assert not graph.edges_by_rule("V401")
+    conservative = build_dependence_graph(kernel, alias_mode="conservative")
+    assert conservative.edges_by_rule("V401"), "conservative mode keeps the edge"
 
 
 def test_structure_mismatch_fires_v001_and_boundary_move_v002():
